@@ -1,0 +1,366 @@
+(* njq — command-line driver for the OOSQL/ADL pipeline.
+
+   Subcommands:
+     njq parse     -q QUERY             print the OOSQL abstract syntax
+     njq translate -q QUERY             print the ADL translation and type
+     njq explain   -q QUERY [opts]      print the rewrite derivation + plan
+     njq run       -q QUERY [opts]      execute against a generated database
+     njq schema                         print the supplier-part schema
+
+   Queries run against the paper's supplier-part-delivery schema on a
+   deterministic generated database; generation knobs are flags. *)
+
+open Njq_adl
+module Strategy = Njq_core.Strategy
+
+let schema = Njq_workload.Queries.schema
+
+(* ---------------- generation flags ---------------- *)
+
+open Cmdliner
+
+let query_arg =
+  let doc = "The OOSQL query text." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let scale_arg =
+  let doc = "Rows per extent of the generated database." in
+  Arg.(value & opt int 64 & info [ "n"; "scale" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Generator seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let dangling_arg =
+  let doc = "Fraction of dangling part references." in
+  Arg.(value & opt float 0.0 & info [ "dangling" ] ~docv:"RATE" ~doc)
+
+let empty_arg =
+  let doc = "Fraction of suppliers with an empty parts_supplied set." in
+  Arg.(value & opt float 0.1 & info [ "empty" ] ~docv:"RATE" ~doc)
+
+let mode_arg =
+  let modes =
+    [ ("nestjoin", Strategy.Nestjoin_always);
+      ("flatjoin", Strategy.Flat_join_when_safe);
+      ("outerjoin", Strategy.Outerjoin) ]
+  in
+  let doc =
+    "Grouping mode: how correlated subqueries that need grouping are \
+     unnested (nestjoin, flatjoin, outerjoin)."
+  in
+  Arg.(value & opt (enum modes) Strategy.Nestjoin_always & info [ "mode" ] ~doc)
+
+let no_opt_arg =
+  let doc = "Skip logical optimization (pure nested-loop execution)." in
+  Arg.(value & flag & info [ "no-opt" ] ~doc)
+
+let counters_arg =
+  let doc = "Print work counters after execution." in
+  Arg.(value & flag & info [ "counters" ] ~doc)
+
+let schema_arg =
+  let doc = "Load class definitions from a file instead of the built-in \
+             supplier-part-delivery schema.  Without --db the extents start \
+             empty (data generation only exists for the built-in schema)." in
+  Arg.(value & opt (some string) None & info [ "schema" ] ~docv:"FILE" ~doc)
+
+let db_arg =
+  let doc = "Load the database from a file saved with --save-db instead of \
+             generating one." in
+  Arg.(value & opt (some string) None & info [ "db" ] ~docv:"FILE" ~doc)
+
+let save_db_arg =
+  let doc = "Save the (generated or loaded) database to a file." in
+  Arg.(value & opt (some string) None & info [ "save-db" ] ~docv:"FILE" ~doc)
+
+let load_schema = function
+  | None -> schema
+  | Some path ->
+    Njq_oosql.Parser.parse_schema
+      (In_channel.with_open_text path In_channel.input_all)
+
+let make_catalog ?db ?save_db ?schema_file scale seed dangling empty =
+  let cat =
+    match db, schema_file with
+    | Some path, _ -> Serialize.load_catalog_file path
+    | None, Some _ -> Njq_oosql.Schema.to_catalog (load_schema schema_file)
+    | None, None ->
+      Njq_workload.Generator.catalog
+        { (Njq_workload.Generator.scaled ~seed scale) with
+          dangling_rate = dangling;
+          empty_rate = empty }
+  in
+  Option.iter (Serialize.save_catalog_file cat) save_db;
+  cat
+
+let options_of mode =
+  { Strategy.default_options with Strategy.grouping_mode = mode }
+
+(* Parse query text that may include view definitions (define v as ...;). *)
+let parse_query_text q =
+  let prog = Njq_oosql.Parser.parse_program q in
+  if prog.Njq_oosql.Ast.classes <> [] then begin
+    Fmt.epr "class definitions are not accepted here (the schema is built in)@.";
+    exit 1
+  end;
+  match Njq_oosql.Views.expand_program prog with
+  | Some e -> e
+  | None ->
+    Fmt.epr "no query in input@.";
+    exit 1
+
+let or_die f =
+  try f () with
+  | Njq_oosql.Parser.Parse_error (msg, pos) ->
+    Fmt.epr "parse error at line %d, column %d: %s@." pos.Njq_oosql.Ast.line
+      pos.Njq_oosql.Ast.col msg;
+    exit 1
+  | Njq_oosql.Lexer.Lex_error (msg, pos) ->
+    Fmt.epr "lexical error at line %d, column %d: %s@." pos.Njq_oosql.Ast.line
+      pos.Njq_oosql.Ast.col msg;
+    exit 1
+  | Njq_oosql.Translate.Translate_error (msg, pos) ->
+    Fmt.epr "type error at line %d, column %d: %s@." pos.Njq_oosql.Ast.line
+      pos.Njq_oosql.Ast.col msg;
+    exit 1
+  | Value.Type_error msg | Vtype.Type_error msg ->
+    Fmt.epr "runtime type error: %s@." msg;
+    exit 1
+
+(* ---------------- subcommands ---------------- *)
+
+let parse_cmd =
+  let run q =
+    or_die (fun () ->
+        let ast = parse_query_text q in
+        Fmt.pr "%s@." (Njq_oosql.Sqlpretty.to_string ast))
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse an OOSQL query and print it back")
+    Term.(const run $ query_arg)
+
+let translate_cmd =
+  let run q =
+    or_die (fun () ->
+        let adl, ty = Njq_oosql.Translate.query schema (parse_query_text q) in
+        Fmt.pr "type: %a@.@.%a@." Vtype.pp ty Pretty.pp adl)
+  in
+  Cmd.v
+    (Cmd.info "translate" ~doc:"Translate an OOSQL query to the ADL algebra")
+    Term.(const run $ query_arg)
+
+let analyze_arg =
+  let doc = "Also execute the plan, printing per-node cardinalities, work \
+             counters and timings (explain analyze)." in
+  Arg.(value & flag & info [ "analyze" ] ~doc)
+
+let cost_arg =
+  let doc = "Use cost-based algorithm and build-side choice." in
+  Arg.(value & flag & info [ "cost" ] ~doc)
+
+let explain_cmd =
+  let run q scale seed dangling empty mode analyze cost =
+    or_die (fun () ->
+        let cat = make_catalog scale seed dangling empty in
+        let adl, _ = Njq_oosql.Translate.query schema (parse_query_text q) in
+        let report = Strategy.rewrite ~options:(options_of mode) cat adl in
+        let algo =
+          if cost then Njq_engine.Planner.Cost_based cat
+          else Njq_engine.Planner.Auto
+        in
+        let plan =
+          Njq_engine.Planner.plan ~algo
+            (Njq_engine.Consthoist.hoist cat report.Strategy.output)
+        in
+        Fmt.pr "%a@.@.plan:@.%a@." Strategy.pp_report report Njq_engine.Plan.pp
+          plan;
+        if analyze then begin
+          Counters.reset ();
+          let v, node_reports = Njq_engine.Instrument.run cat plan in
+          Fmt.pr "@.analyze (%d result rows):@.%a" (Value.set_size v)
+            Njq_engine.Instrument.pp_report node_reports
+        end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the rewrite derivation and the physical plan of a query")
+    Term.(
+      const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
+      $ mode_arg $ analyze_arg $ cost_arg)
+
+let format_arg =
+  let doc = "Output format: adl (value notation), json, or csv." in
+  Arg.(value & opt (enum [ ("adl", `Adl); ("json", `Json); ("csv", `Csv) ]) `Adl
+       & info [ "format" ] ~docv:"FMT" ~doc)
+
+let run_cmd =
+  let run q scale seed dangling empty mode no_opt counters db save_db format
+      schema_file =
+    or_die (fun () ->
+        let cat = make_catalog ?db ?save_db ?schema_file scale seed dangling empty in
+        let adl, _ =
+          Njq_oosql.Translate.query (load_schema schema_file) (parse_query_text q)
+        in
+        let final =
+          if no_opt then adl
+          else Strategy.optimize ~options:(options_of mode) cat adl
+        in
+        Counters.reset ();
+        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan final) in
+        (match format with
+         | `Adl ->
+           Fmt.pr "%a@." Value.pp v;
+           Fmt.pr "(%d rows)@." (Value.set_size v)
+         | `Json -> print_endline (Serialize.value_to_json v)
+         | `Csv -> print_string (Serialize.rows_to_csv v));
+        if counters then
+          Fmt.pr "counters: %a@." Counters.pp_snapshot (Counters.snapshot ()))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a query against a generated database")
+    Term.(
+      const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
+      $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ save_db_arg
+      $ format_arg $ schema_arg)
+
+let adl_cmd =
+  let run q scale seed dangling empty mode no_opt counters db schema_file =
+    or_die (fun () ->
+        let cat = make_catalog ?db ?schema_file scale seed dangling empty in
+        (match Adlsyntax.of_string q with
+         | adl ->
+           (match Typecheck.check_closed cat adl with
+            | Error msg ->
+              Fmt.epr "type error: %s@." msg;
+              exit 1
+            | Ok ty ->
+              let final =
+                if no_opt then adl
+                else Strategy.optimize ~options:(options_of mode) cat adl
+              in
+              Fmt.pr "-- type: %a@." Vtype.pp ty;
+              if not (Expr.equal final adl) then
+                Fmt.pr "-- rewritten: %s@." (Adlsyntax.to_string final);
+              Counters.reset ();
+              let v = Njq_engine.Planner.run cat final in
+              Fmt.pr "%a@.(%d rows)@." Value.pp v (Value.set_size v);
+              if counters then
+                Fmt.pr "counters: %a@." Counters.pp_snapshot (Counters.snapshot ()))
+         | exception Adlsyntax.Parse_error msg ->
+           Fmt.epr "ADL parse error: %s@." msg;
+           exit 1))
+  in
+  Cmd.v
+    (Cmd.info "adl"
+       ~doc:"Execute a raw ADL algebra expression (textual syntax: \
+             select[x : p](@T), semijoin[x,y : p](l, r), ...)")
+    Term.(
+      const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
+      $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ schema_arg)
+
+let schema_cmd =
+  let run () =
+    Fmt.pr "%a@." Njq_oosql.Sqlpretty.pp_schema schema;
+    Fmt.pr "@.ADL extent types:@.";
+    let cat = Njq_oosql.Schema.to_catalog schema in
+    List.iter
+      (fun t -> Fmt.pr "  %s : { %a }@." t Vtype.pp (Catalog.row_type cat t))
+      (Catalog.table_names cat)
+  in
+  Cmd.v
+    (Cmd.info "schema" ~doc:"Print the built-in supplier-part-delivery schema")
+    Term.(const run $ const ())
+
+(* Interactive loop: read a query per line (terminated by ';'), execute it
+   against one generated database, with :explain, :mode and :help
+   directives. *)
+let repl_cmd =
+  let run scale seed dangling empty =
+    let cat = make_catalog scale seed dangling empty in
+    let mode = ref Strategy.Nestjoin_always in
+    let views : (string * Njq_oosql.Ast.expr) list ref = ref [] in
+    Fmt.pr
+      "njq repl — supplier-part-delivery database with %d rows per extent.@.\
+       Terminate queries with ';'.  Directives: :explain <query>;  \
+       :mode nestjoin|flatjoin|outerjoin;  :quit@."
+      scale;
+    let buffer = Buffer.create 256 in
+    let rec read_statement () =
+      Fmt.pr "njq> %!";
+      match In_channel.input_line stdin with
+      | None -> None
+      | Some line ->
+        Buffer.add_string buffer line;
+        Buffer.add_char buffer '\n';
+        let text = Buffer.contents buffer in
+        if String.contains line ';' || String.length (String.trim line) = 0
+           || (String.length (String.trim text) > 0 && (String.trim text).[0] = ':')
+        then begin
+          Buffer.clear buffer;
+          Some (String.trim text)
+        end
+        else read_statement ()
+    in
+    let execute text =
+      let prog = Njq_oosql.Parser.parse_program text in
+      views := !views @ prog.Njq_oosql.Ast.defines;
+      match prog.Njq_oosql.Ast.query with
+      | None -> List.iter (fun (n, _) -> Fmt.pr "view %s defined@." n) prog.Njq_oosql.Ast.defines
+      | Some q ->
+        let q = Njq_oosql.Views.expand !views q in
+        let adl, ty = Njq_oosql.Translate.query schema q in
+        let final = Strategy.optimize ~options:(options_of !mode) cat adl in
+        Counters.reset ();
+        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan final) in
+        Fmt.pr "%a@.(%d rows of type %a; work: %a)@." Value.pp v
+          (Value.set_size v) Vtype.pp ty Counters.pp_snapshot (Counters.snapshot ())
+    in
+    let explain text =
+      let q = Njq_oosql.Views.expand !views (parse_query_text text) in
+      let adl, _ = Njq_oosql.Translate.query schema q in
+      let report = Strategy.rewrite ~options:(options_of !mode) cat adl in
+      Fmt.pr "%a@.plan: %a@." Strategy.pp_report report Njq_engine.Plan.pp
+        (Njq_engine.Planner.plan report.Strategy.output)
+    in
+    let rec loop () =
+      match read_statement () with
+      | None -> ()
+      | Some "" -> loop ()
+      | Some ":quit" | Some ":q" -> ()
+      | Some text ->
+        (try
+           if String.length text > 8 && String.sub text 0 8 = ":explain" then
+             explain (String.sub text 8 (String.length text - 8))
+           else if String.length text > 6 && String.sub text 0 6 = ":mode " then begin
+             (match String.trim (String.sub text 6 (String.length text - 6)) with
+              | "nestjoin" -> mode := Strategy.Nestjoin_always
+              | "flatjoin" -> mode := Strategy.Flat_join_when_safe
+              | "outerjoin" -> mode := Strategy.Outerjoin
+              | m -> Fmt.pr "unknown mode %s@." m);
+             Fmt.pr "ok@."
+           end
+           else execute text
+         with
+         | Njq_oosql.Parser.Parse_error (msg, pos) ->
+           Fmt.pr "parse error at %d:%d: %s@." pos.Njq_oosql.Ast.line
+             pos.Njq_oosql.Ast.col msg
+         | Njq_oosql.Translate.Translate_error (msg, pos) ->
+           Fmt.pr "type error at %d:%d: %s@." pos.Njq_oosql.Ast.line
+             pos.Njq_oosql.Ast.col msg
+         | Value.Type_error msg | Vtype.Type_error msg ->
+           Fmt.pr "runtime type error: %s@." msg);
+        loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query loop against a generated database")
+    Term.(const run $ scale_arg $ seed_arg $ dangling_arg $ empty_arg)
+
+let main =
+  let doc = "nested-loop to join queries in OODB — OOSQL/ADL query pipeline" in
+  Cmd.group (Cmd.info "njq" ~version:"1.0.0" ~doc)
+    [ parse_cmd; translate_cmd; explain_cmd; run_cmd; adl_cmd; schema_cmd;
+      repl_cmd ]
+
+let () = exit (Cmd.eval main)

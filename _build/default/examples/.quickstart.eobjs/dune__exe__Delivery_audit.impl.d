@@ -1,0 +1,1 @@
+examples/delivery_audit.ml: Catalog Counters Dsl Fmt Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload Pretty Value

@@ -1,0 +1,1 @@
+examples/delivery_audit.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Catalog Counters Eval Fmt List Njq_adl Njq_core Njq_engine Njq_oosql Pretty Value Vtype

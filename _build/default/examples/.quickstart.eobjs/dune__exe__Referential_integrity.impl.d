@@ -1,0 +1,1 @@
+examples/referential_integrity.ml: Catalog Counters Eval Fmt List Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload Pretty Value

@@ -1,0 +1,1 @@
+examples/referential_integrity.mli:

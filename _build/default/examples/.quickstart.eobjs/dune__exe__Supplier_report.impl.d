@@ -1,0 +1,1 @@
+examples/supplier_report.ml: Catalog Counters Dsl Eval Fmt List Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload Pretty Value Vtype

@@ -1,0 +1,1 @@
+examples/supplier_report.mli:

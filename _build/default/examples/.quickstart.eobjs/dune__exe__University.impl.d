@@ -1,0 +1,1 @@
+examples/university.ml: Catalog Eval Filename Fmt Fun List Njq_adl Njq_core Njq_engine Njq_oosql Pretty Serialize Sys Value

@@ -1,0 +1,1 @@
+lib/adl/adlsyntax.ml: Buffer Expr Fmt List Serialize String Value

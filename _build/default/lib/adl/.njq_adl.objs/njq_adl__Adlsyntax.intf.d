@@ -1,0 +1,1 @@
+lib/adl/adlsyntax.mli: Expr

@@ -1,0 +1,1 @@
+lib/adl/analysis.ml: Expr List Set String

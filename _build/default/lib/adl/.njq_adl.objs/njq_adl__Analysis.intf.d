@@ -1,0 +1,1 @@
+lib/adl/analysis.mli: Expr Set

@@ -1,0 +1,1 @@
+lib/adl/catalog.ml: Counters Hashtbl List Printf String Value Vtype

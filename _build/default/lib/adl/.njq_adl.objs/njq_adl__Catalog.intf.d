@@ -1,0 +1,1 @@
+lib/adl/catalog.mli: Hashtbl Value Vtype

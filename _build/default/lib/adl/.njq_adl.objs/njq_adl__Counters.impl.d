@@ -1,0 +1,1 @@
+lib/adl/counters.ml: Fmt Fun Hashtbl List String

@@ -1,0 +1,1 @@
+lib/adl/counters.mli: Format

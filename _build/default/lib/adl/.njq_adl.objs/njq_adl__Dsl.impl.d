@@ -1,0 +1,1 @@
+lib/adl/dsl.ml: Expr List Value

@@ -1,0 +1,1 @@
+lib/adl/emptyset.ml: Analysis Expr Fmt Fold Value

@@ -1,0 +1,1 @@
+lib/adl/emptyset.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/adl/eval.ml: Catalog Counters Expr Float Fmt Hashtbl List Value

@@ -1,0 +1,1 @@
+lib/adl/expr.ml: List Printf Stdlib Value

@@ -1,0 +1,1 @@
+lib/adl/expr.mli: Value

@@ -1,0 +1,1 @@
+lib/adl/fold.ml: Eval Expr List String Value

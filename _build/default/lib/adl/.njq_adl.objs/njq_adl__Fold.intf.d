@@ -1,0 +1,1 @@
+lib/adl/fold.mli: Expr

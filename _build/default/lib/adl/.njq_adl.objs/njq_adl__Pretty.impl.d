@@ -1,0 +1,1 @@
+lib/adl/pretty.ml: Expr Fmt List Printf String Value

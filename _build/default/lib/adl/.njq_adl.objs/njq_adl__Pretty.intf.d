@@ -1,0 +1,1 @@
+lib/adl/pretty.mli: Expr Format

@@ -1,0 +1,1 @@
+lib/adl/rng.ml: Array Int64 List

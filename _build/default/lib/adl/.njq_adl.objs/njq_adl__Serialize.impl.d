@@ -1,0 +1,1 @@
+lib/adl/serialize.ml: Buffer Catalog Char Float Fmt In_channel List Out_channel Printf String Value Vtype

@@ -1,0 +1,1 @@
+lib/adl/serialize.mli: Catalog Value Vtype

@@ -1,0 +1,1 @@
+lib/adl/typecheck.ml: Catalog Expr List String Value Vtype

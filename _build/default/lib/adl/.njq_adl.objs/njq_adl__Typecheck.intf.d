@@ -1,0 +1,1 @@
+lib/adl/typecheck.mli: Catalog Expr Vtype

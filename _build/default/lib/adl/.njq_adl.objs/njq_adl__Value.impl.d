@@ -1,0 +1,1 @@
+lib/adl/value.ml: Bool Float Fmt Int List String

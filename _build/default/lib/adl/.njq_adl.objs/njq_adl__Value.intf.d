@@ -1,0 +1,1 @@
+lib/adl/value.mli: Format

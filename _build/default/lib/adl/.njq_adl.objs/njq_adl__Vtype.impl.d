@@ -1,0 +1,1 @@
+lib/adl/vtype.ml: Fmt List String Value

@@ -1,0 +1,1 @@
+lib/adl/vtype.mli: Format Value

@@ -1,0 +1,816 @@
+(* A textual (ASCII) syntax for ADL expressions, with a writer and a
+   parser that round-trip: [of_string (to_string e) = e].
+
+   The concrete syntax mirrors the paper's notation with ASCII keywords:
+
+     @NAME                         base table (class extent)
+     x                             variable
+     42  4.2  "s"  #3  d940101    literals (as in Serialize)
+     true  false  null
+     (a = e, ...)                  tuple construction
+     {e, ...}                      set literal
+     e.a    e[a,b]                 field / tuple subscription
+     except(e; a = e1, ...)        tuple update/extend
+     concat(e1, e2)                tuple concatenation
+     select[x : p](e)              sigma
+     map[x : b](e)                 alpha
+     project[a,b](e)               pi
+     flatten(e) union(e,e) inter(e,e) diff(e,e) product(e,e) divide(e,e)
+     join[x,y : p](l, r)  semijoin[...]  antijoin[...]
+     outerjoin[pad a,b; x,y : p](l, r)
+     nestjoin[x,y : p ; attr g](l, r)
+     nestjoin[x,y : p ; attr g ; body e](l, r)
+     unnest[a](e)    nest[a,b -> g](e)
+     deref[NAME](e)
+     count(e) sum(e) min(e) max(e) avg(e)
+     exists x in e : p    forall x in e : p
+     if p then e1 else e2
+     comparisons = <> < <= > >=; set comparisons in, notin, subseteq,
+     subset, supseteq, supset, seteq, setneq, ni, notni; and, or, not;
+     arithmetic + - * / %.
+
+   Operator precedence matches [Pretty]'s and OOSQL's: or < and < not <
+   comparisons < additive < multiplicative < postfix < primary. *)
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* The concrete syntax cannot distinguish a constant set/tuple from a
+   [SetLit]/[Tuple] node whose parts are all constants (both print as
+   {1, 2} / (a = 1)).  The parser therefore returns the [Const] form for
+   such literals, and [canon] maps any expression to that canonical
+   choice; round-tripping satisfies [of_string (to_string e) = canon e]. *)
+let rec canon (e : Expr.t) : Expr.t =
+  let e = Expr.map_children canon e in
+  match e with
+  | Expr.SetLit elems ->
+    let consts =
+      List.filter_map
+        (function Expr.Const v -> Some v | _ -> None)
+        elems
+    in
+    if List.length consts = List.length elems then
+      Expr.Const (Value.set consts)
+    else e
+  | Expr.Tuple fields ->
+    let consts =
+      List.filter_map
+        (fun (n, fe) ->
+          match fe with Expr.Const v -> Some (n, v) | _ -> None)
+        fields
+    in
+    if List.length consts = List.length fields then
+      Expr.Const (Value.tuple consts)
+    else e
+  | _ -> e
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+open Expr
+
+let setcmp_keyword = function
+  | Mem -> "in" | NotMem -> "notin"
+  | SubsetEq -> "subseteq" | Subset -> "subset"
+  | SupsetEq -> "supseteq" | Supset -> "supset"
+  | SetEq -> "seteq" | SetNeq -> "setneq"
+  | Ni -> "ni" | NotNi -> "notni"
+
+let cmp_token = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let arith_token = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+
+let agg_keyword = function
+  | Count -> "count" | Sum -> "sum" | Min -> "min" | Max -> "max" | Avg -> "avg"
+
+(* Precedence levels for parenthesization (loosest first). *)
+let level = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Not _ | Quant _ -> 3
+  | Cmp _ | SetCmp _ -> 4
+  | Arith ((Add | Sub), _, _) -> 5
+  | Arith ((Mul | Div | Mod), _, _) -> 6
+  | Field _ | TupleProj _ -> 8
+  | _ -> 9
+
+let rec write buf ctx e =
+  let lv = level e in
+  if lv < ctx then begin
+    Buffer.add_char buf '(';
+    write buf 0 e;
+    Buffer.add_char buf ')'
+  end
+  else
+    match e with
+    | Const v -> Buffer.add_string buf (Serialize.value_to_string v)
+    | Var x -> Buffer.add_string buf x
+    | Table t ->
+      Buffer.add_char buf '@';
+      Buffer.add_string buf t
+    | Tuple fields ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i (n, fe) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf n;
+          Buffer.add_string buf " = ";
+          write buf 0 fe)
+        fields;
+      Buffer.add_char buf ')'
+    | SetLit elems ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i ee ->
+          if i > 0 then Buffer.add_string buf ", ";
+          write buf 0 ee)
+        elems;
+      Buffer.add_char buf '}'
+    | Field (x, a) ->
+      write buf 8 x;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf a
+    | TupleProj (x, attrs) ->
+      write buf 8 x;
+      Buffer.add_char buf '[';
+      Buffer.add_string buf (String.concat "," attrs);
+      Buffer.add_char buf ']'
+    | Except (x, updates) ->
+      Buffer.add_string buf "except(";
+      write buf 0 x;
+      List.iter
+        (fun (n, u) ->
+          Buffer.add_string buf "; ";
+          Buffer.add_string buf n;
+          Buffer.add_string buf " = ";
+          write buf 0 u)
+        updates;
+      Buffer.add_char buf ')'
+    | Concat (a, b) -> write_call2 buf "concat" a b
+    | Arith (op, a, b) ->
+      write buf lv a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (arith_token op);
+      Buffer.add_char buf ' ';
+      write buf (lv + 1) b
+    | Cmp (op, a, b) ->
+      write buf (lv + 1) a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (cmp_token op);
+      Buffer.add_char buf ' ';
+      write buf (lv + 1) b
+    | SetCmp (op, a, b) ->
+      write buf (lv + 1) a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (setcmp_keyword op);
+      Buffer.add_char buf ' ';
+      write buf (lv + 1) b
+    | And (a, b) ->
+      write buf lv a;
+      Buffer.add_string buf " and ";
+      write buf (lv + 1) b
+    | Or (a, b) ->
+      write buf lv a;
+      Buffer.add_string buf " or ";
+      write buf (lv + 1) b
+    | Not a ->
+      Buffer.add_string buf "not ";
+      write buf (lv + 1) a
+    | If (c, a, b) ->
+      Buffer.add_string buf "if ";
+      write buf 1 c;
+      Buffer.add_string buf " then ";
+      write buf 1 a;
+      Buffer.add_string buf " else ";
+      write buf 1 b
+    | Quant (q, x, range, pred) ->
+      Buffer.add_string buf (match q with Exists -> "exists " | Forall -> "forall ");
+      Buffer.add_string buf x;
+      Buffer.add_string buf " in ";
+      write buf 4 range;
+      Buffer.add_string buf " : ";
+      write buf 3 pred
+    | Map { var; body; src } -> write_iter buf "map" var body src
+    | Select { var; pred; src } -> write_iter buf "select" var pred src
+    | Project (attrs, src) ->
+      Buffer.add_string buf "project[";
+      Buffer.add_string buf (String.concat "," attrs);
+      Buffer.add_string buf "](";
+      write buf 0 src;
+      Buffer.add_char buf ')'
+    | Flatten src ->
+      Buffer.add_string buf "flatten(";
+      write buf 0 src;
+      Buffer.add_char buf ')'
+    | Union (a, b) -> write_call2 buf "union" a b
+    | Inter (a, b) -> write_call2 buf "inter" a b
+    | Diff (a, b) -> write_call2 buf "diff" a b
+    | Product (a, b) -> write_call2 buf "product" a b
+    | Divide (a, b) -> write_call2 buf "divide" a b
+    | Join { kind; xvar; yvar; pred; left; right } ->
+      let name, pad =
+        match kind with
+        | Inner -> ("join", None)
+        | Semi -> ("semijoin", None)
+        | Anti -> ("antijoin", None)
+        | LeftOuter pad -> ("outerjoin", Some pad)
+      in
+      Buffer.add_string buf name;
+      Buffer.add_char buf '[';
+      (match pad with
+       | Some attrs ->
+         Buffer.add_string buf "pad ";
+         Buffer.add_string buf (String.concat "," attrs);
+         Buffer.add_string buf "; "
+       | None -> ());
+      Buffer.add_string buf xvar;
+      Buffer.add_char buf ',';
+      Buffer.add_string buf yvar;
+      Buffer.add_string buf " : ";
+      write buf 0 pred;
+      Buffer.add_string buf "](";
+      write buf 0 left;
+      Buffer.add_string buf ", ";
+      write buf 0 right;
+      Buffer.add_char buf ')'
+    | Nestjoin { xvar; yvar; pred; body; attr; left; right } ->
+      Buffer.add_string buf "nestjoin[";
+      Buffer.add_string buf xvar;
+      Buffer.add_char buf ',';
+      Buffer.add_string buf yvar;
+      Buffer.add_string buf " : ";
+      write buf 0 pred;
+      Buffer.add_string buf " ; attr ";
+      Buffer.add_string buf attr;
+      (match body with
+       | Var v when String.equal v yvar -> ()
+       | _ ->
+         Buffer.add_string buf " ; body ";
+         write buf 0 body);
+      Buffer.add_string buf "](";
+      write buf 0 left;
+      Buffer.add_string buf ", ";
+      write buf 0 right;
+      Buffer.add_char buf ')'
+    | Rename (pairs, src) ->
+      Buffer.add_string buf "rename[";
+      List.iteri
+        (fun i (o, n) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf o;
+          Buffer.add_string buf " -> ";
+          Buffer.add_string buf n)
+        pairs;
+      Buffer.add_string buf "](";
+      write buf 0 src;
+      Buffer.add_char buf ')'
+    | Unnest (a, src) ->
+      Buffer.add_string buf "unnest[";
+      Buffer.add_string buf a;
+      Buffer.add_string buf "](";
+      write buf 0 src;
+      Buffer.add_char buf ')'
+    | Nest { attrs; into; src } ->
+      Buffer.add_string buf "nest[";
+      Buffer.add_string buf (String.concat "," attrs);
+      Buffer.add_string buf " -> ";
+      Buffer.add_string buf into;
+      Buffer.add_string buf "](";
+      write buf 0 src;
+      Buffer.add_char buf ')'
+    | Agg (op, src) ->
+      Buffer.add_string buf (agg_keyword op);
+      Buffer.add_char buf '(';
+      write buf 0 src;
+      Buffer.add_char buf ')'
+    | Deref (cls, x) ->
+      Buffer.add_string buf "deref[";
+      Buffer.add_string buf cls;
+      Buffer.add_string buf "](";
+      write buf 0 x;
+      Buffer.add_char buf ')'
+
+and write_call2 buf name a b =
+  Buffer.add_string buf name;
+  Buffer.add_char buf '(';
+  write buf 0 a;
+  Buffer.add_string buf ", ";
+  write buf 0 b;
+  Buffer.add_char buf ')'
+
+and write_iter buf name var param src =
+  Buffer.add_string buf name;
+  Buffer.add_char buf '[';
+  Buffer.add_string buf var;
+  Buffer.add_string buf " : ";
+  write buf 0 param;
+  Buffer.add_string buf "](";
+  write buf 0 src;
+  Buffer.add_char buf ')'
+
+let to_string e =
+  let buf = Buffer.create 128 in
+  write buf 0 e;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser (character-level recursive descent over a cursor)            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable i : int }
+
+let peek c = if c.i < String.length c.src then Some c.src.[c.i] else None
+
+let peek_at c k =
+  if c.i + k < String.length c.src then Some c.src.[c.i + k] else None
+
+let advance c = c.i <- c.i + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail "expected %C, found %C at offset %d" ch x c.i
+  | None -> fail "expected %C at end of input" ch
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident_char ch = is_ident_start ch || is_digit ch
+
+let read_ident c =
+  skip_ws c;
+  let start = c.i in
+  (match peek c with
+   | Some ch when is_ident_start ch -> advance c
+   | _ -> fail "expected an identifier at offset %d" c.i);
+  let rec go () =
+    match peek c with
+    | Some ch when is_ident_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub c.src start (c.i - start)
+
+(* Lookahead: does an identifier starting here equal [word]? *)
+let looking_at_word c word =
+  skip_ws c;
+  let n = String.length word in
+  let fits = c.i + n <= String.length c.src in
+  fits
+  && String.sub c.src c.i n = word
+  && (match peek_at c n with
+      | Some ch -> not (is_ident_char ch)
+      | None -> true)
+
+let eat_word c word =
+  if looking_at_word c word then begin
+    c.i <- c.i + String.length word;
+    true
+  end
+  else false
+
+let ident_list c =
+  let rec go acc =
+    let a = read_ident c in
+    skip_ws c;
+    if peek c = Some ',' then begin
+      advance c;
+      go (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  go []
+
+let setcmp_words =
+  [ ("in", Mem); ("notin", NotMem); ("subseteq", SubsetEq); ("subset", Subset);
+    ("supseteq", SupsetEq); ("supset", Supset); ("seteq", SetEq);
+    ("setneq", SetNeq); ("ni", Ni); ("notni", NotNi) ]
+
+let rec parse_or c =
+  let rec loop lhs =
+    if eat_word c "or" then loop (Or (lhs, parse_and c)) else lhs
+  in
+  loop (parse_and c)
+
+and parse_and c =
+  let rec loop lhs =
+    if eat_word c "and" then loop (And (lhs, parse_not c)) else lhs
+  in
+  loop (parse_not c)
+
+and parse_not c =
+  if eat_word c "not" then Not (parse_not c) else parse_cmp c
+
+and parse_cmp c =
+  let lhs = parse_add c in
+  skip_ws c;
+  match peek c with
+  | Some '=' ->
+    advance c;
+    Cmp (Eq, lhs, parse_add c)
+  | Some '<' ->
+    advance c;
+    (match peek c with
+     | Some '>' ->
+       advance c;
+       Cmp (Neq, lhs, parse_add c)
+     | Some '=' ->
+       advance c;
+       Cmp (Le, lhs, parse_add c)
+     | _ -> Cmp (Lt, lhs, parse_add c))
+  | Some '>' ->
+    advance c;
+    (match peek c with
+     | Some '=' ->
+       advance c;
+       Cmp (Ge, lhs, parse_add c)
+     | _ -> Cmp (Gt, lhs, parse_add c))
+  | _ ->
+    let rec try_words = function
+      | [] -> lhs
+      | (w, op) :: rest ->
+        if eat_word c w then SetCmp (op, lhs, parse_add c) else try_words rest
+    in
+    try_words setcmp_words
+
+and parse_add c =
+  let rec loop lhs =
+    skip_ws c;
+    match peek c with
+    | Some '+' ->
+      advance c;
+      loop (Arith (Add, lhs, parse_mul c))
+    | Some '-' when peek_at c 1 <> Some '>' ->
+      advance c;
+      loop (Arith (Sub, lhs, parse_mul c))
+    | _ -> lhs
+  in
+  loop (parse_mul c)
+
+and parse_mul c =
+  let rec loop lhs =
+    skip_ws c;
+    match peek c with
+    | Some '*' ->
+      advance c;
+      loop (Arith (Mul, lhs, parse_postfix c))
+    | Some '/' ->
+      advance c;
+      loop (Arith (Div, lhs, parse_postfix c))
+    | Some '%' ->
+      advance c;
+      loop (Arith (Mod, lhs, parse_postfix c))
+    | _ -> lhs
+  in
+  loop (parse_postfix c)
+
+and parse_postfix c =
+  let e = parse_primary c in
+  let rec loop e =
+    skip_ws c;
+    match peek c with
+    | Some '.' when (match peek_at c 1 with
+                     | Some ch -> is_ident_start ch
+                     | None -> false) ->
+      advance c;
+      loop (Field (e, read_ident c))
+    | Some '[' ->
+      advance c;
+      let attrs = ident_list c in
+      expect c ']';
+      loop (TupleProj (e, attrs))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "expected an expression at end of input"
+  | Some '@' ->
+    advance c;
+    Table (read_ident c)
+  | Some '(' ->
+    advance c;
+    skip_ws c;
+    (* tuple constructor vs grouping: IDENT '=' (but not '==') means tuple;
+       ')' means the empty tuple *)
+    if peek c = Some ')' then begin
+      advance c;
+      Const (Value.tuple [])
+    end
+    else begin
+      let save = c.i in
+      let is_tuple =
+        match peek c with
+        | Some ch when is_ident_start ch ->
+          let _ = read_ident c in
+          skip_ws c;
+          let r = peek c = Some '=' in
+          c.i <- save;
+          r
+        | _ -> false
+      in
+      if is_tuple then begin
+        let rec fields acc =
+          let n = read_ident c in
+          expect c '=';
+          let v = parse_or c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+            advance c;
+            fields ((n, v) :: acc)
+          | Some ')' ->
+            advance c;
+            List.rev ((n, v) :: acc)
+          | _ -> fail "expected ',' or ')' in tuple at offset %d" c.i
+        in
+        canon (Tuple (fields []))
+      end
+      else begin
+        let e = parse_or c in
+        expect c ')';
+        e
+      end
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Const Value.empty_set
+    end
+    else begin
+      let rec elems acc =
+        let e = parse_or c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elems (e :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev (e :: acc)
+        | _ -> fail "expected ',' or '}' in set at offset %d" c.i
+      in
+      canon (SetLit (elems []))
+    end
+  | Some ('"' | '#' | '-') -> parse_const c
+  | Some ch when is_digit ch -> parse_const c
+  | Some 'd'
+    when (match peek_at c 1 with Some ch -> is_digit ch | None -> false) ->
+    parse_const c
+  | Some ch when is_ident_start ch -> parse_keyword_or_var c
+  | Some ch -> fail "unexpected character %C at offset %d" ch c.i
+
+and parse_const c =
+  (* Delegate literals (numbers, strings, oids, dates) to the Serialize
+     value reader on the remaining input. *)
+  let rest = String.sub c.src c.i (String.length c.src - c.i) in
+  match Serialize.read_value_prefix rest with
+  | v, consumed ->
+    c.i <- c.i + consumed;
+    Const v
+  | exception Serialize.Parse_error msg -> fail "bad literal: %s" msg
+
+and parse_keyword_or_var c =
+  let kw_call1 name k =
+    if eat_word c name then begin
+      expect c '(';
+      let e = parse_or c in
+      expect c ')';
+      Some (k e)
+    end
+    else None
+  in
+  let kw_call2 name k =
+    if eat_word c name then begin
+      expect c '(';
+      let a = parse_or c in
+      expect c ',';
+      let b = parse_or c in
+      expect c ')';
+      Some (k a b)
+    end
+    else None
+  in
+  let try_rules =
+    [ (fun () -> kw_call1 "flatten" (fun e -> Flatten e));
+      (fun () -> kw_call1 "count" (fun e -> Agg (Count, e)));
+      (fun () -> kw_call1 "sum" (fun e -> Agg (Sum, e)));
+      (fun () -> kw_call1 "min" (fun e -> Agg (Min, e)));
+      (fun () -> kw_call1 "max" (fun e -> Agg (Max, e)));
+      (fun () -> kw_call1 "avg" (fun e -> Agg (Avg, e)));
+      (fun () -> kw_call2 "union" (fun a b -> Union (a, b)));
+      (fun () -> kw_call2 "inter" (fun a b -> Inter (a, b)));
+      (fun () -> kw_call2 "diff" (fun a b -> Diff (a, b)));
+      (fun () -> kw_call2 "product" (fun a b -> Product (a, b)));
+      (fun () -> kw_call2 "divide" (fun a b -> Divide (a, b)));
+      (fun () -> kw_call2 "concat" (fun a b -> Concat (a, b))) ]
+  in
+  let rec first = function
+    | [] -> None
+    | f :: rest -> (match f () with Some e -> Some e | None -> first rest)
+  in
+  match first try_rules with
+  | Some e -> e
+  | None ->
+    if eat_word c "true" then true_
+    else if eat_word c "false" then false_
+    else if eat_word c "null" then Const Value.VNull
+    else if eat_word c "select" then parse_iter c (fun var pred src ->
+        Select { var; pred; src })
+    else if eat_word c "map" then parse_iter c (fun var body src ->
+        Map { var; body; src })
+    else if eat_word c "project" then begin
+      expect c '[';
+      let attrs = ident_list c in
+      expect c ']';
+      expect c '(';
+      let src = parse_or c in
+      expect c ')';
+      Project (attrs, src)
+    end
+    else if eat_word c "rename" then begin
+      expect c '[';
+      let rec pairs acc =
+        let o = read_ident c in
+        skip_ws c;
+        expect c '-';
+        expect c '>';
+        let n = read_ident c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          pairs ((o, n) :: acc)
+        | _ -> List.rev ((o, n) :: acc)
+      in
+      let ps = pairs [] in
+      expect c ']';
+      expect c '(';
+      let src = parse_or c in
+      expect c ')';
+      Rename (ps, src)
+    end
+    else if eat_word c "unnest" then begin
+      expect c '[';
+      let a = read_ident c in
+      expect c ']';
+      expect c '(';
+      let src = parse_or c in
+      expect c ')';
+      Unnest (a, src)
+    end
+    else if eat_word c "nest" then begin
+      expect c '[';
+      let attrs = ident_list c in
+      skip_ws c;
+      expect c '-';
+      expect c '>';
+      let into = read_ident c in
+      expect c ']';
+      expect c '(';
+      let src = parse_or c in
+      expect c ')';
+      Nest { attrs; into; src }
+    end
+    else if eat_word c "deref" then begin
+      expect c '[';
+      let cls = read_ident c in
+      expect c ']';
+      expect c '(';
+      let x = parse_or c in
+      expect c ')';
+      Deref (cls, x)
+    end
+    else if eat_word c "join" then parse_join c Inner
+    else if eat_word c "semijoin" then parse_join c Semi
+    else if eat_word c "antijoin" then parse_join c Anti
+    else if eat_word c "outerjoin" then begin
+      expect c '[';
+      if not (eat_word c "pad") then fail "expected 'pad' in outerjoin";
+      let pad = ident_list c in
+      expect c ';';
+      parse_join_tail c (LeftOuter pad)
+    end
+    else if eat_word c "nestjoin" then parse_nestjoin c
+    else if eat_word c "exists" then parse_quant c Exists
+    else if eat_word c "forall" then parse_quant c Forall
+    else if eat_word c "except" then begin
+      expect c '(';
+      let x = parse_or c in
+      let rec updates acc =
+        skip_ws c;
+        match peek c with
+        | Some ';' ->
+          advance c;
+          let n = read_ident c in
+          expect c '=';
+          let v = parse_or c in
+          updates ((n, v) :: acc)
+        | Some ')' ->
+          advance c;
+          List.rev acc
+        | _ -> fail "expected ';' or ')' in except at offset %d" c.i
+      in
+      Except (x, updates [])
+    end
+    else if eat_word c "if" then begin
+      let cond = parse_or c in
+      if not (eat_word c "then") then fail "expected 'then'";
+      let a = parse_or c in
+      if not (eat_word c "else") then fail "expected 'else'";
+      let b = parse_or c in
+      If (cond, a, b)
+    end
+    else Var (read_ident c)
+
+and parse_iter c k =
+  expect c '[';
+  let var = read_ident c in
+  expect c ':';
+  let param = parse_or c in
+  expect c ']';
+  expect c '(';
+  let src = parse_or c in
+  expect c ')';
+  k var param src
+
+and parse_join c kind =
+  expect c '[';
+  parse_join_tail c kind
+
+and parse_join_tail c kind =
+  let xvar = read_ident c in
+  expect c ',';
+  let yvar = read_ident c in
+  expect c ':';
+  let pred = parse_or c in
+  expect c ']';
+  expect c '(';
+  let left = parse_or c in
+  expect c ',';
+  let right = parse_or c in
+  expect c ')';
+  Join { kind; xvar; yvar; pred; left; right }
+
+and parse_nestjoin c =
+  expect c '[';
+  let xvar = read_ident c in
+  expect c ',';
+  let yvar = read_ident c in
+  expect c ':';
+  let pred = parse_or c in
+  expect c ';';
+  if not (eat_word c "attr") then fail "expected 'attr' in nestjoin";
+  let attr = read_ident c in
+  skip_ws c;
+  let body =
+    if peek c = Some ';' then begin
+      advance c;
+      if not (eat_word c "body") then fail "expected 'body' in nestjoin";
+      parse_or c
+    end
+    else Var yvar
+  in
+  expect c ']';
+  expect c '(';
+  let left = parse_or c in
+  expect c ',';
+  let right = parse_or c in
+  expect c ')';
+  Nestjoin { xvar; yvar; pred; body; attr; left; right }
+
+and parse_quant c q =
+  let x = read_ident c in
+  if not (eat_word c "in") then fail "expected 'in' after quantifier variable";
+  let range = parse_cmp c in
+  expect c ':';
+  let pred = parse_not c in
+  Quant (q, x, range, pred)
+
+let of_string s =
+  let c = { src = s; i = 0 } in
+  let e = parse_or c in
+  skip_ws c;
+  if c.i < String.length s then
+    fail "trailing input after expression at offset %d" c.i;
+  e

@@ -1,0 +1,25 @@
+(** A textual (ASCII) syntax for ADL expressions: a writer and a parser
+    that round-trip ([of_string (to_string e) = e]).
+
+    Syntax summary: [@NAME] base table, [select\[x : p\](e)],
+    [map\[x : b\](e)], [project\[a,b\](e)], [join\[x,y : p\](l, r)] (and
+    [semijoin]/[antijoin]/[outerjoin\[pad a,b; ...\]]),
+    [nestjoin\[x,y : p ; attr g ; body e\](l, r)], [unnest\[a\](e)],
+    [nest\[a,b -> g\](e)], [deref\[NAME\](e)], [flatten]/[union]/[inter]/
+    [diff]/[product]/[divide] calls, aggregates, [exists/forall x in e : p],
+    OOSQL-style comparison and set-comparison keywords, and [Serialize]
+    value literals. *)
+
+exception Parse_error of string
+
+(** Canonicalize literal ambiguity: a [SetLit]/[Tuple] node whose parts are
+    all constants becomes the corresponding [Const] (the syntax cannot
+    distinguish the two).  Round-tripping satisfies
+    [of_string (to_string e) = canon e]. *)
+val canon : Expr.t -> Expr.t
+
+val to_string : Expr.t -> string
+
+(** Raises {!Parse_error} on malformed input.  Output is canonical
+    ({!canon}). *)
+val of_string : string -> Expr.t

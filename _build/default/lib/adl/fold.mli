@@ -1,0 +1,18 @@
+(** Compile-time simplification (constant folding) of ADL expressions.
+
+    Serves the static reduction of P(x, ∅) behind Table 3 (see
+    {!Emptyset}) and general cleanup after rewrite steps (double negations,
+    trivial conjunctions, selections with constant predicates).
+    Deliberately conservative: never duplicates work, never changes the
+    multiset of base-table scans, and leaves division-by-zero in place. *)
+
+(** The empty-set constant used when reducing P(x, ∅). *)
+val empty_set_const : Expr.t
+
+val is_empty_set_const : Expr.t -> bool
+
+(** One bottom-up folding pass. *)
+val fold : Expr.t -> Expr.t
+
+(** Iterate {!fold} to a fixpoint. *)
+val simplify : Expr.t -> Expr.t

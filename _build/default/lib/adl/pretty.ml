@@ -1,0 +1,120 @@
+(* Paper-style pretty-printing of ADL expressions.
+
+   The notation follows Section 3 of the paper as closely as plain text
+   allows: map is alpha[x : e](src), selection sigma[x : p](src), the join
+   family is written infix with the predicate subscript in brackets, unnest
+   and nest are mu/nu.  Unicode operator glyphs are used because the output
+   of [paper_artifacts] is meant to be read next to the paper. *)
+
+open Expr
+
+let cmp_symbol = function
+  | Eq -> "=" | Neq -> "≠" | Lt -> "<" | Le -> "≤" | Gt -> ">" | Ge -> "≥"
+
+let setcmp_symbol = function
+  | Mem -> "∈" | NotMem -> "∉"
+  | SubsetEq -> "⊆" | Subset -> "⊂"
+  | SupsetEq -> "⊇" | Supset -> "⊃"
+  | SetEq -> "=" | SetNeq -> "≠"
+  | Ni -> "∋" | NotNi -> "∌"
+
+let arith_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "mod"
+
+let agg_name = function
+  | Count -> "count" | Sum -> "sum" | Min -> "min" | Max -> "max" | Avg -> "avg"
+
+let quant_symbol = function Exists -> "∃" | Forall -> "∀"
+
+let join_symbol = function
+  | Inner -> "⋈" | Semi -> "⋉" | Anti -> "▷" | LeftOuter _ -> "⟕"
+
+(* Precedence levels, loosest first: or < and < not < comparisons < additive
+   < multiplicative < application-like forms.  Parenthesization is driven by
+   these levels so output stays readable without being drowned in parens. *)
+let prec = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Not _ -> 3
+  | Quant _ -> 1
+  | Cmp _ | SetCmp _ -> 4
+  | Union _ | Diff _ -> 5
+  | Inter _ -> 6
+  | Arith ((Add | Sub), _, _) -> 7
+  | Arith ((Mul | Div | Mod), _, _) -> 8
+  | Product _ | Join _ | Nestjoin _ | Divide _ -> 4
+  | Concat _ -> 9
+  | _ -> 10
+
+let rec pp ppf e = pp_prec 0 ppf e
+
+and pp_prec ctx ppf e =
+  let p = prec e in
+  if p < ctx then Fmt.pf ppf "(%a)" (pp_node p) e else pp_node p ppf e
+
+and pp_node p ppf e =
+  match e with
+  | Const v -> Value.pp ppf v
+  | Var x -> Fmt.string ppf x
+  | Table t -> Fmt.string ppf t
+  | Tuple fields ->
+    Fmt.pf ppf "⟨@[%a@]⟩"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (n, x) -> Fmt.pf ppf "%s = %a" n pp x))
+      fields
+  | Field (x, a) -> Fmt.pf ppf "%a.%s" (pp_prec 10) x a
+  | TupleProj (x, attrs) ->
+    Fmt.pf ppf "%a[%s]" (pp_prec 10) x (String.concat "," attrs)
+  | Except (x, updates) ->
+    Fmt.pf ppf "%a except ⟨@[%a@]⟩" (pp_prec 10) x
+      (Fmt.list ~sep:Fmt.comma (fun ppf (n, u) -> Fmt.pf ppf "%s = %a" n pp u))
+      updates
+  | Concat (a, b) -> Fmt.pf ppf "%a ∘ %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | SetLit xs -> Fmt.pf ppf "{@[%a@]}" (Fmt.list ~sep:Fmt.comma pp) xs
+  | Arith (op, a, b) ->
+    Fmt.pf ppf "%a %s %a" (pp_prec p) a (arith_symbol op) (pp_prec (p + 1)) b
+  | Cmp (op, a, b) ->
+    Fmt.pf ppf "%a %s %a" (pp_prec (p + 1)) a (cmp_symbol op) (pp_prec (p + 1)) b
+  | SetCmp (op, a, b) ->
+    Fmt.pf ppf "%a %s %a" (pp_prec (p + 1)) a (setcmp_symbol op) (pp_prec (p + 1)) b
+  | And (a, b) -> Fmt.pf ppf "%a ∧ %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Or (a, b) -> Fmt.pf ppf "%a ∨ %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Not a -> Fmt.pf ppf "¬%a" (pp_prec (p + 1)) a
+  | If (c, a, b) ->
+    Fmt.pf ppf "if %a then %a else %a" pp c pp a (pp_prec p) b
+  | Quant (q, x, range, pred) ->
+    Fmt.pf ppf "%s%s ∈ %a • %a" (quant_symbol q) x (pp_prec 5) range (pp_prec 1) pred
+  | Map { var; body; src } ->
+    Fmt.pf ppf "α[%s : @[%a@]](@[%a@])" var pp body pp src
+  | Select { var; pred; src } ->
+    Fmt.pf ppf "σ[%s : @[%a@]](@[%a@])" var pp pred pp src
+  | Project (attrs, src) ->
+    Fmt.pf ppf "π_{%s}(@[%a@])" (String.concat "," attrs) pp src
+  | Flatten src -> Fmt.pf ppf "⋃(@[%a@])" pp src
+  | Union (a, b) -> Fmt.pf ppf "%a ∪ %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Inter (a, b) -> Fmt.pf ppf "%a ∩ %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Diff (a, b) -> Fmt.pf ppf "%a \\ %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Product (a, b) -> Fmt.pf ppf "%a × %a" (pp_prec p) a (pp_prec (p + 1)) b
+  | Join { kind; xvar; yvar; pred; left; right } ->
+    Fmt.pf ppf "%a %s[%s,%s : @[%a@]] %a" (pp_prec (p + 1)) left
+      (join_symbol kind) xvar yvar pp pred (pp_prec (p + 1)) right
+  | Nestjoin { xvar; yvar; pred; body; attr; left; right } ->
+    let pp_body ppf b =
+      match b with
+      | Var v when String.equal v yvar -> ()
+      | _ -> Fmt.pf ppf " ; %a" pp b
+    in
+    Fmt.pf ppf "%a ⊣[%s,%s : @[%a@]%a ; %s] %a" (pp_prec (p + 1)) left xvar
+      yvar pp pred pp_body body attr (pp_prec (p + 1)) right
+  | Rename (pairs, src) ->
+    Fmt.pf ppf "ρ_{%s}(@[%a@])"
+      (String.concat ","
+         (List.map (fun (o, n) -> Printf.sprintf "%s→%s" o n) pairs))
+      pp src
+  | Unnest (a, src) -> Fmt.pf ppf "μ_%s(@[%a@])" a pp src
+  | Nest { attrs; into; src } ->
+    Fmt.pf ppf "ν_{%s→%s}(@[%a@])" (String.concat "," attrs) into pp src
+  | Divide (a, b) -> Fmt.pf ppf "%a ÷ %a" (pp_prec (p + 1)) a (pp_prec (p + 1)) b
+  | Agg (op, src) -> Fmt.pf ppf "%s(@[%a@])" (agg_name op) pp src
+  | Deref (cls, x) -> Fmt.pf ppf "deref⟨%s⟩(%a)" cls pp x
+
+let to_string e = Fmt.str "@[%a@]" pp e

@@ -1,0 +1,16 @@
+(** Paper-style pretty-printing of ADL expressions: map is α[x : e](src),
+    selection σ[x : p](src), joins are infix with the predicate in
+    brackets, unnest/nest are μ/ν.  Output is meant to be read next to the
+    paper (see bin/paper_artifacts.ml). *)
+
+val pp : Format.formatter -> Expr.t -> unit
+val to_string : Expr.t -> string
+
+(** Operator glyphs (shared with plan printing). *)
+
+val cmp_symbol : Expr.cmp -> string
+val setcmp_symbol : Expr.setcmp -> string
+val arith_symbol : Expr.arith -> string
+val agg_name : Expr.agg -> string
+val quant_symbol : Expr.quant -> string
+val join_symbol : Expr.join_kind -> string

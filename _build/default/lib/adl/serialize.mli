@@ -1,0 +1,44 @@
+(** Serialization of values, types and whole catalogs to an unambiguous
+    textual format, so generated databases can be saved, inspected and
+    reloaded.
+
+    Value syntax: [null], [true]/[false], [42], [42.5] (floats always carry
+    ['.'] or an exponent), ["escaped string"], [#42] (oid), [d19940101]
+    (date), [(a = v, ...)], [{v, ...}].  Type syntax: [bool], [int],
+    [float], [string], [date], [oid], [ref Name], [_], [(a : t, ...)],
+    [{t}].  Catalog files are line-oriented: a [nextoid N] header, then per
+    table a [table NAME : TYPE] header followed by one [= VALUE] row per
+    line. *)
+
+exception Parse_error of string
+
+val value_to_string : Value.t -> string
+
+(** Raises {!Parse_error} on malformed input. *)
+val value_of_string : string -> Value.t
+
+(** Read one value from the front of the string, returning it and the
+    number of characters consumed (for embedding value literals in other
+    syntaxes). *)
+val read_value_prefix : string -> Value.t * int
+
+val type_to_string : Vtype.t -> string
+val type_of_string : string -> Vtype.t
+
+(** Lossless JSON rendering: tuples become objects, sets arrays, oids and
+    dates tagged objects ([{"$oid": n}], [{"$date": d}]). *)
+val value_to_json : Value.t -> string
+
+(** CSV rendering of a set of tuples: header from the first row's sorted
+    field names, nested values rendered in the value syntax.  Empty string
+    for the empty set. *)
+val rows_to_csv : Value.t -> string
+
+(** Serialize every table (name, row type, rows) and the oid counter. *)
+val save_catalog : Catalog.t -> string
+
+(** Rebuild a catalog from {!save_catalog} output. *)
+val load_catalog : string -> Catalog.t
+
+val save_catalog_file : Catalog.t -> string -> unit
+val load_catalog_file : string -> Catalog.t

@@ -1,0 +1,284 @@
+(* Type inference for ADL expressions.
+
+   [infer cat env e] computes the type of [e] under the typing environment
+   [env] (types of free variables) and the catalog's table types, raising
+   [Vtype.Type_error] with a located message on ill-typed expressions.
+
+   Empty set literals get the wildcard element type [TAny]; compatibility
+   between types is [Vtype.compat], which treats [TAny] as unifiable with
+   anything and [TRef _] as oid-compatible. *)
+
+open Expr
+
+type env = (string * Vtype.t) list
+
+let err fmt = Vtype.type_error fmt
+
+let lookup env x =
+  match List.assoc_opt x env with
+  | Some t -> t
+  | None -> err "unbound variable %s" x
+
+let expect_bool what t =
+  if not (Vtype.compat t Vtype.TBool) then
+    err "%s must be boolean, got %s" what (Vtype.show t)
+
+let expect_set what t =
+  match t with
+  | Vtype.TSet e -> e
+  | Vtype.TAny -> Vtype.TAny
+  | _ -> err "%s must be a set, got %s" what (Vtype.show t)
+
+let expect_tuple what t =
+  match t with
+  | Vtype.TTuple _ -> t
+  | _ -> err "%s must be a tuple, got %s" what (Vtype.show t)
+
+let is_numeric = function
+  | Vtype.TInt | Vtype.TFloat | Vtype.TAny -> true
+  | _ -> false
+
+let rec infer (cat : Catalog.t) (env : env) (e : Expr.t) : Vtype.t =
+  match e with
+  | Const v ->
+    (match v with
+     | Value.VSet [] -> Vtype.TSet Vtype.TAny
+     | _ -> Vtype.of_value v)
+  | Var x -> lookup env x
+  | Table name ->
+    (match Catalog.find_opt cat name with
+     | Some t -> Vtype.TSet t.row_type
+     | None -> err "unknown base table %s" name)
+  | Tuple fields ->
+    Vtype.tuple (List.map (fun (n, x) -> (n, infer cat env x)) fields)
+  | Field (x, a) ->
+    let t = infer cat env x in
+    (match t with
+     | Vtype.TTuple _ -> Vtype.field t a
+     | Vtype.TAny -> Vtype.TAny
+     | _ -> err "field %s of non-tuple type %s" a (Vtype.show t))
+  | TupleProj (x, attrs) ->
+    let t = expect_tuple "tuple subscription operand" (infer cat env x) in
+    Vtype.project t attrs
+  | Except (x, updates) ->
+    let t = expect_tuple "except operand" (infer cat env x) in
+    let fields = Vtype.fields t in
+    let updated =
+      List.map
+        (fun (n, old) ->
+          match List.assoc_opt n updates with
+          | Some u -> (n, infer cat env u)
+          | None -> (n, old))
+        fields
+    in
+    let added =
+      List.filter_map
+        (fun (n, u) ->
+          if List.mem_assoc n fields then None else Some (n, infer cat env u))
+        updates
+    in
+    Vtype.tuple (updated @ added)
+  | Concat (a, b) ->
+    let ta = expect_tuple "concat left operand" (infer cat env a) in
+    let tb = expect_tuple "concat right operand" (infer cat env b) in
+    Vtype.concat ta tb
+  | SetLit [] -> Vtype.TSet Vtype.TAny
+  | SetLit (x :: rest) ->
+    let t0 = infer cat env x in
+    let t =
+      List.fold_left
+        (fun acc y ->
+          let ty = infer cat env y in
+          if Vtype.compat acc ty then Vtype.lub acc ty
+          else err "heterogeneous set literal: %s vs %s" (Vtype.show acc) (Vtype.show ty))
+        t0 rest
+    in
+    Vtype.TSet t
+  | Arith (_, a, b) ->
+    let ta = infer cat env a and tb = infer cat env b in
+    if not (is_numeric ta && is_numeric tb) then
+      err "arithmetic on non-numeric types %s, %s" (Vtype.show ta) (Vtype.show tb);
+    if not (Vtype.compat ta tb) then
+      err "arithmetic on mixed types %s, %s" (Vtype.show ta) (Vtype.show tb);
+    Vtype.lub ta tb
+  | Cmp (op, a, b) ->
+    let ta = infer cat env a and tb = infer cat env b in
+    (match op with
+     | Eq | Neq ->
+       if not (Vtype.compat ta tb) then
+         err "equality between incompatible types %s and %s" (Vtype.show ta)
+           (Vtype.show tb)
+     | Lt | Le | Gt | Ge ->
+       if not (Vtype.compat ta tb) then
+         err "ordering between incompatible types %s and %s" (Vtype.show ta)
+           (Vtype.show tb));
+    Vtype.TBool
+  | SetCmp (op, a, b) ->
+    let ta = infer cat env a and tb = infer cat env b in
+    (match op with
+     | Mem | NotMem ->
+       let elem = expect_set "right operand of 'in'" tb in
+       if not (Vtype.compat ta elem) then
+         err "'in': element type %s does not match set of %s" (Vtype.show ta)
+           (Vtype.show elem)
+     | Ni | NotNi ->
+       let elem = expect_set "left operand of 'ni'" ta in
+       if not (Vtype.compat tb elem) then
+         err "'ni': element type %s does not match set of %s" (Vtype.show tb)
+           (Vtype.show elem)
+     | SubsetEq | Subset | SupsetEq | Supset | SetEq | SetNeq ->
+       let ea = expect_set "set comparison operand" ta in
+       let eb = expect_set "set comparison operand" tb in
+       if not (Vtype.compat ea eb) then
+         err "set comparison between sets of %s and %s" (Vtype.show ea)
+           (Vtype.show eb));
+    Vtype.TBool
+  | And (a, b) | Or (a, b) ->
+    expect_bool "connective operand" (infer cat env a);
+    expect_bool "connective operand" (infer cat env b);
+    Vtype.TBool
+  | Not a ->
+    expect_bool "negation operand" (infer cat env a);
+    Vtype.TBool
+  | If (c, a, b) ->
+    expect_bool "condition" (infer cat env c);
+    let ta = infer cat env a and tb = infer cat env b in
+    if not (Vtype.compat ta tb) then
+      err "if branches of different types %s and %s" (Vtype.show ta) (Vtype.show tb);
+    Vtype.lub ta tb
+  | Quant (_, x, range, pred) ->
+    let elem = expect_set "quantifier range" (infer cat env range) in
+    expect_bool "quantifier body" (infer cat ((x, elem) :: env) pred);
+    Vtype.TBool
+  | Map { var; body; src } ->
+    let elem = expect_set "map operand" (infer cat env src) in
+    Vtype.TSet (infer cat ((var, elem) :: env) body)
+  | Select { var; pred; src } ->
+    let t = infer cat env src in
+    let elem = expect_set "select operand" t in
+    expect_bool "selection predicate" (infer cat ((var, elem) :: env) pred);
+    t
+  | Project (attrs, src) ->
+    let elem = expect_set "projection operand" (infer cat env src) in
+    let row = expect_tuple "projection row" elem in
+    Vtype.TSet (Vtype.project row attrs)
+  | Flatten src ->
+    let elem = expect_set "flatten operand" (infer cat env src) in
+    (match elem with
+     | Vtype.TAny -> Vtype.TSet Vtype.TAny
+     | _ -> Vtype.TSet (expect_set "flatten inner" elem))
+  | Union (a, b) | Inter (a, b) | Diff (a, b) ->
+    let ta = infer cat env a and tb = infer cat env b in
+    let ea = expect_set "set operation operand" ta in
+    let eb = expect_set "set operation operand" tb in
+    if not (Vtype.compat ea eb) then
+      err "set operation between sets of %s and %s" (Vtype.show ea) (Vtype.show eb);
+    Vtype.TSet (Vtype.lub ea eb)
+  | Product (a, b) ->
+    let ea = expect_tuple "product row" (expect_set "product operand" (infer cat env a)) in
+    let eb = expect_tuple "product row" (expect_set "product operand" (infer cat env b)) in
+    Vtype.TSet (Vtype.concat ea eb)
+  | Join { kind; xvar; yvar; pred; left; right } ->
+    (* Semijoins and antijoins never concatenate, so their operand rows may
+       be of any element type (e.g. a projected set of keys); only the
+       concatenating kinds require tuple rows on both sides. *)
+    let ea = expect_set "join operand" (infer cat env left) in
+    let eb = expect_set "join operand" (infer cat env right) in
+    expect_bool "join predicate" (infer cat ((xvar, ea) :: (yvar, eb) :: env) pred);
+    (match kind with
+     | Semi | Anti -> Vtype.TSet ea
+     | Inner ->
+       let ea = expect_tuple "join row" ea and eb = expect_tuple "join row" eb in
+       Vtype.TSet (Vtype.concat ea eb)
+     | LeftOuter pad ->
+       let ea = expect_tuple "join row" ea and eb = expect_tuple "join row" eb in
+       let sch_b = List.map fst (Vtype.fields eb) in
+       if not (List.sort String.compare pad = sch_b) then
+         err "outer join null-padding %s does not match right schema"
+           (String.concat "," pad);
+       Vtype.TSet (Vtype.concat ea eb))
+  | Nestjoin { xvar; yvar; pred; body; attr; left; right } ->
+    let ea = expect_tuple "nestjoin row" (expect_set "nestjoin operand" (infer cat env left)) in
+    let eb = expect_tuple "nestjoin row" (expect_set "nestjoin operand" (infer cat env right)) in
+    let env' = (xvar, ea) :: (yvar, eb) :: env in
+    expect_bool "nestjoin predicate" (infer cat env' pred);
+    let tbody = infer cat env' body in
+    if Vtype.has_field ea attr then
+      err "nestjoin attribute %s already present in left schema" attr;
+    Vtype.TSet (Vtype.concat ea (Vtype.tuple [ (attr, Vtype.TSet tbody) ]))
+  | Rename (pairs, src) ->
+    let row = expect_tuple "rename row" (expect_set "rename operand" (infer cat env src)) in
+    List.iter
+      (fun (old_name, _) ->
+        if not (Vtype.has_field row old_name) then
+          err "rename: no attribute %s" old_name)
+      pairs;
+    Vtype.TSet
+      (Vtype.tuple
+         (List.map
+            (fun (n, t) ->
+              match List.assoc_opt n pairs with
+              | Some n' -> (n', t)
+              | None -> (n, t))
+            (Vtype.fields row)))
+  | Unnest (a, src) ->
+    let row = expect_tuple "unnest row" (expect_set "unnest operand" (infer cat env src)) in
+    let elem = expect_set "unnested attribute" (Vtype.field row a) in
+    let inner_row =
+      match elem with
+      | Vtype.TTuple _ -> elem
+      | t -> Vtype.tuple [ (a, t) ] (* atomic elements keep the attr name *)
+    in
+    Vtype.TSet (Vtype.concat inner_row (Vtype.project_away row [ a ]))
+  | Nest { attrs; into; src } ->
+    let row = expect_tuple "nest row" (expect_set "nest operand" (infer cat env src)) in
+    List.iter
+      (fun a ->
+        if not (Vtype.has_field row a) then err "nest attribute %s not in schema" a)
+      attrs;
+    let grouped = Vtype.project row attrs in
+    let rest = Vtype.project_away row attrs in
+    if Vtype.has_field rest into then
+      err "nest target attribute %s already present" into;
+    Vtype.concat rest (Vtype.tuple [ (into, Vtype.TSet grouped) ]) |> Vtype.set
+  | Divide (a, b) ->
+    let ra = expect_tuple "division row" (expect_set "division operand" (infer cat env a)) in
+    let rb = expect_tuple "division row" (expect_set "division operand" (infer cat env b)) in
+    let b_attrs = List.map fst (Vtype.fields rb) in
+    List.iter
+      (fun battr ->
+        if not (Vtype.has_field ra battr) then
+          err "division: divisor attribute %s missing from dividend" battr)
+      b_attrs;
+    Vtype.TSet (Vtype.project_away ra b_attrs)
+  | Agg (op, src) ->
+    let elem = expect_set "aggregate operand" (infer cat env src) in
+    (match op with
+     | Count -> Vtype.TInt
+     | Sum | Min | Max ->
+       if not (is_numeric elem) then
+         err "aggregate over non-numeric set of %s" (Vtype.show elem);
+       (match elem with Vtype.TAny -> Vtype.TInt | t -> t)
+     | Avg ->
+       if not (is_numeric elem) then
+         err "avg over non-numeric set of %s" (Vtype.show elem);
+       Vtype.TFloat)
+  | Deref (cls, x) ->
+    let t = infer cat env x in
+    (match t with
+     | Vtype.TOid | Vtype.TAny -> ()
+     | Vtype.TRef c when String.equal c cls -> ()
+     | Vtype.TRef c -> err "dereferencing a ref to %s as %s" c cls
+     | _ -> err "dereferencing non-oid type %s" (Vtype.show t));
+    (match Catalog.find_opt cat cls with
+     | Some tbl -> tbl.row_type
+     | None -> err "deref into unknown extent %s" cls)
+
+(* Result-typed wrapper for callers that prefer not to catch exceptions. *)
+let infer_result cat env e =
+  match infer cat env e with
+  | t -> Ok t
+  | exception Vtype.Type_error msg -> Error msg
+
+(* Typecheck a closed query expression. *)
+let check_closed cat e = infer_result cat [] e

@@ -1,0 +1,229 @@
+(* Complex-object values for the ADL algebra.
+
+   The value domain follows the paper's data model: atomic values (integers,
+   floats, strings, booleans, dates), object identifiers of the basic type
+   [oid], and the tuple and set constructors, closed under arbitrary nesting.
+   [VNull] exists only to support the outer-join variant of unnesting by
+   grouping discussed in Section 5.2.2 of the paper; no OOSQL query or
+   generator produces it directly.
+
+   Invariants (enforced by the smart constructors [tuple] and [set]):
+   - tuple fields are sorted by field name and field names are distinct;
+   - sets are sorted under [compare] with duplicates removed.
+   Thanks to these invariants, structural equality coincides with set/tuple
+   semantic equality, which the rewrite-soundness property tests rely on. *)
+
+type t =
+  | VNull
+  | VBool of bool
+  | VInt of int
+  | VFloat of float
+  | VString of string
+  | VDate of int (* yyyymmdd *)
+  | VOid of int
+  | VTuple of (string * t) list
+  | VSet of t list
+
+exception Type_error of string
+
+let type_error fmt = Fmt.kstr (fun s -> raise (Type_error s)) fmt
+
+(* Rank used to order values of different shapes; any total order works as
+   long as it is fixed, because it only serves set canonicalization. *)
+let rank = function
+  | VNull -> 0
+  | VBool _ -> 1
+  | VInt _ -> 2
+  | VFloat _ -> 3
+  | VString _ -> 4
+  | VDate _ -> 5
+  | VOid _ -> 6
+  | VTuple _ -> 7
+  | VSet _ -> 8
+
+let rec compare a b =
+  match a, b with
+  | VNull, VNull -> 0
+  | VBool x, VBool y -> Bool.compare x y
+  | VInt x, VInt y -> Int.compare x y
+  | VFloat x, VFloat y -> Float.compare x y
+  | VString x, VString y -> String.compare x y
+  | VDate x, VDate y -> Int.compare x y
+  | VOid x, VOid y -> Int.compare x y
+  | VTuple xs, VTuple ys -> compare_fields xs ys
+  | VSet xs, VSet ys -> compare_lists xs ys
+  | _ -> Int.compare (rank a) (rank b)
+
+and compare_fields xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (n1, v1) :: xs', (n2, v2) :: ys' ->
+    let c = String.compare n1 n2 in
+    if c <> 0 then c
+    else
+      let c = compare v1 v2 in
+      if c <> 0 then c else compare_fields xs' ys'
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal a b = compare a b = 0
+
+(* Smart constructors *)
+
+let tuple fields =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) fields in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then type_error "duplicate tuple field %s" a else check rest
+    | _ -> ()
+  in
+  check sorted;
+  VTuple sorted
+
+let set elements =
+  let sorted = List.sort_uniq compare elements in
+  VSet sorted
+
+let empty_set = VSet []
+
+let bool b = VBool b
+let int n = VInt n
+let float f = VFloat f
+let string s = VString s
+let date d = VDate d
+let oid n = VOid n
+
+(* Accessors *)
+
+let as_bool = function
+  | VBool b -> b
+  | v -> type_error "expected bool, got rank %d" (rank v)
+
+let as_int = function
+  | VInt n -> n
+  | v -> type_error "expected int, got rank %d" (rank v)
+
+let as_set = function
+  | VSet xs -> xs
+  | v -> type_error "expected set, got rank %d" (rank v)
+
+let as_tuple = function
+  | VTuple fs -> fs
+  | v -> type_error "expected tuple, got rank %d" (rank v)
+
+let as_oid = function
+  | VOid n -> n
+  | v -> type_error "expected oid, got rank %d" (rank v)
+
+let is_null = function VNull -> true | _ -> false
+
+(* [field v a] is the paper's tuple subscription for a single attribute. *)
+let field v a =
+  match v with
+  | VTuple fs ->
+    (match List.assoc_opt a fs with
+     | Some x -> x
+     | None -> type_error "tuple has no field %s" a)
+  | _ -> type_error "field %s selected from non-tuple" a
+
+let has_field v a =
+  match v with
+  | VTuple fs -> List.mem_assoc a fs
+  | _ -> false
+
+let field_names v =
+  match v with
+  | VTuple fs -> List.map fst fs
+  | _ -> type_error "field_names of non-tuple"
+
+(* Tuple subscription e[a1,...,an] (semantics item 2). *)
+let project v attrs =
+  let fs = as_tuple v in
+  let picked =
+    List.map
+      (fun a ->
+        match List.assoc_opt a fs with
+        | Some x -> (a, x)
+        | None -> type_error "projection: missing field %s" a)
+      attrs
+  in
+  tuple picked
+
+(* Tuple subscription dropping attributes instead of keeping them. *)
+let project_away v attrs =
+  let fs = as_tuple v in
+  tuple (List.filter (fun (a, _) -> not (List.mem a attrs)) fs)
+
+(* Tuple concatenation, the paper's o operator.  Fields must be disjoint. *)
+let concat a b =
+  let fa = as_tuple a and fb = as_tuple b in
+  List.iter
+    (fun (n, _) ->
+      if List.mem_assoc n fa then type_error "tuple concat: duplicate field %s" n)
+    fb;
+  tuple (fa @ fb)
+
+(* The paper's except operator (semantics item 3): updates existing fields
+   and/or extends the tuple with new ones. *)
+let except v updates =
+  let fs = as_tuple v in
+  let updated =
+    List.map
+      (fun (n, old) ->
+        match List.assoc_opt n updates with Some x -> (n, x) | None -> (n, old))
+      fs
+  in
+  let added = List.filter (fun (n, _) -> not (List.mem_assoc n fs)) updates in
+  tuple (updated @ added)
+
+(* Set operations; operands are canonical so merge-style code would work,
+   but sizes here do not warrant it. *)
+let union a b = set (as_set a @ as_set b)
+
+let inter a b =
+  let ys = as_set b in
+  set (List.filter (fun x -> List.exists (equal x) ys) (as_set a))
+
+let diff a b =
+  let ys = as_set b in
+  set (List.filter (fun x -> not (List.exists (equal x) ys)) (as_set a))
+
+let mem x s = List.exists (equal x) (as_set s)
+
+let subset_eq a b =
+  let ys = as_set b in
+  List.for_all (fun x -> List.exists (equal x) ys) (as_set a)
+
+let subset a b = subset_eq a b && not (equal a b)
+
+let set_size s = List.length (as_set s)
+
+(* Multiple union: the paper's flatten (semantics item 1). *)
+let flatten s = set (List.concat_map as_set (as_set s))
+
+(* Pretty-printing in the paper's notation: tuples as (a = v, ...), sets as
+   {v1, v2, ...}. *)
+let rec pp ppf = function
+  | VNull -> Fmt.string ppf "NULL"
+  | VBool b -> Fmt.bool ppf b
+  | VInt n -> Fmt.int ppf n
+  | VFloat f -> Fmt.float ppf f
+  | VString s -> Fmt.pf ppf "%S" s
+  | VDate d -> Fmt.pf ppf "d%d" d
+  | VOid n -> Fmt.pf ppf "#%d" n
+  | VTuple fs ->
+    Fmt.pf ppf "(@[%a@])" (Fmt.list ~sep:Fmt.comma pp_field) fs
+  | VSet xs -> Fmt.pf ppf "{@[%a@]}" (Fmt.list ~sep:Fmt.comma pp) xs
+
+and pp_field ppf (n, v) = Fmt.pf ppf "%s = %a" n pp v
+
+let show v = Fmt.str "%a" pp v

@@ -1,0 +1,1 @@
+lib/core/attrunnest.ml: Analysis Expr List Njq_adl Rules String Typecheck Vtype

@@ -1,0 +1,1 @@
+lib/core/cleanup.ml: Expr List Njq_adl Rules String Subquery

@@ -1,0 +1,1 @@
+lib/core/divisionrw.ml: Analysis Expr List Njq_adl Rules String Subquery Typecheck Vtype

@@ -1,0 +1,1 @@
+lib/core/divisionrw.mli: Rules

@@ -1,0 +1,1 @@
+lib/core/exchange.ml: Analysis Expr List Njq_adl Rules

@@ -1,0 +1,1 @@
+lib/core/grouping.ml: Emptyset Expr List Nestjoinrw Njq_adl Rules Subquery Value

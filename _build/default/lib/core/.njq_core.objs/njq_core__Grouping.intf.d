@@ -1,0 +1,1 @@
+lib/core/grouping.mli: Catalog Expr Njq_adl Rules

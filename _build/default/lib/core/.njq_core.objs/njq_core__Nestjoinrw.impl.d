@@ -1,0 +1,1 @@
+lib/core/nestjoinrw.ml: Analysis Expr Njq_adl Rules Subquery

@@ -1,0 +1,1 @@
+lib/core/nestjoinrw.mli: Expr Njq_adl Rules Subquery

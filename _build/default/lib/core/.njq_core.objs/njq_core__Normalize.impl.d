@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Analysis Expr List Njq_adl Rules Value

@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Catalog Expr Njq_adl Rules

@@ -1,0 +1,1 @@
+lib/core/reljoin.ml: Analysis Expr List Njq_adl Printf Rules String Subquery

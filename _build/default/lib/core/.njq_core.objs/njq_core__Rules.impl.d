@@ -1,0 +1,1 @@
+lib/core/rules.ml: Catalog Expr Fmt Fold List Njq_adl Pretty

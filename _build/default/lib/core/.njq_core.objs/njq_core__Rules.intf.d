@@ -1,0 +1,1 @@
+lib/core/rules.mli: Catalog Expr Format Njq_adl

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Attrunnest Catalog Cleanup Divisionrw Exchange Expr Fmt Fold Grouping List Nestjoinrw Njq_adl Normalize Pretty Reljoin Rules

@@ -1,0 +1,1 @@
+lib/core/subquery.ml: Analysis Expr List Njq_adl String Typecheck Vtype

@@ -1,0 +1,1 @@
+lib/core/subquery.mli: Catalog Expr Njq_adl

@@ -1,0 +1,106 @@
+(* Logical cleanup rules run after unnesting: classical algebraic
+   simplifications that reduce the amount of data flowing between operators
+   without changing the join structure the strategy decided on.
+
+   These are the "relational techniques" the paper assumes an optimizer has
+   at its disposal once queries are in join form (cf. [KeMo93], "Query
+   Optimization in Object Bases: Exploiting Relational Techniques"). *)
+
+open Njq_adl
+open Expr
+
+(* pi_A(X join Y) = pi_A(X semijoin Y) when A only uses left attributes:
+   with set semantics the duplicate-collapsing projection makes the right
+   tuples pure existence witnesses. *)
+let project_join_to_semijoin =
+  Rules.rule "π∘⋈→⋉" (fun cat e ->
+      match e with
+      | Project (attrs, Join ({ kind = Inner; left; _ } as j)) ->
+        (match Subquery.schema_of cat left with
+         | Some sch when List.for_all (fun a -> List.mem a sch) attrs ->
+           Some (Project (attrs, Join { j with kind = Semi }))
+         | _ -> None)
+      | _ -> None)
+
+(* pi_A(pi_B(e)) = pi_A(e) when A 'subseteq' B (guaranteed if the outer
+   projection typechecks, which Project's evaluation requires anyway). *)
+let project_project =
+  Rules.rule "π∘π-merge" (fun _cat e ->
+      match e with
+      | Project (attrs, Project (inner_attrs, src))
+        when List.for_all (fun a -> List.mem a inner_attrs) attrs ->
+        Some (Project (attrs, src))
+      | _ -> None)
+
+(* Identity projection: pi_SCH(e)(e) = e. *)
+let project_identity =
+  Rules.rule "π-identity" (fun cat e ->
+      match e with
+      | Project (attrs, src) ->
+        (match Subquery.schema_of cat src with
+         | Some sch
+           when List.sort String.compare attrs = sch ->
+           Some src
+         | _ -> None)
+      | _ -> None)
+
+(* Selections distribute over unions. *)
+let select_over_union =
+  Rules.rule "σ∘∪-distribute" (fun _cat e ->
+      match e with
+      | Select { var; pred; src = Union (a, b) } ->
+        Some
+          (Union
+             ( Select { var; pred; src = a },
+               Select { var; pred; src = b } ))
+      | _ -> None)
+
+(* Maps distribute over unions (sound for sets: the union dedups). *)
+let map_over_union =
+  Rules.rule "α∘∪-distribute" (fun _cat e ->
+      match e with
+      | Map { var; body; src = Union (a, b) } ->
+        Some
+          (Union
+             (Map { var; body; src = a }, Map { var; body; src = b }))
+      | _ -> None)
+
+(* Projection through union. *)
+let project_over_union =
+  Rules.rule "π∘∪-distribute" (fun _cat e ->
+      match e with
+      | Project (attrs, Union (a, b)) ->
+        Some (Union (Project (attrs, a), Project (attrs, b)))
+      | _ -> None)
+
+(* A projection over a semijoin/antijoin commutes into the left operand
+   when the join predicate only touches projected attributes — not checked
+   here in general; we only commute when the predicate uses the whole left
+   variable through projected fields.  Conservative version: predicate's
+   x-uses are Field accesses within [attrs]. *)
+let rec x_field_uses_within ~var ~attrs e =
+  match e with
+  | Field (Var v, a) when String.equal v var -> List.mem a attrs
+  | Var v when String.equal v var -> false
+  | Quant (_, v, range, pred) ->
+    x_field_uses_within ~var ~attrs range
+    && (String.equal v var || x_field_uses_within ~var ~attrs pred)
+  | _ ->
+    fold_children (fun acc c -> acc && x_field_uses_within ~var ~attrs c) true e
+
+let project_into_semijoin =
+  Rules.rule "π→⋉-left" (fun _cat e ->
+      match e with
+      | Project (attrs, Join ({ kind = Semi | Anti; xvar; pred; left; _ } as j))
+        when x_field_uses_within ~var:xvar ~attrs pred ->
+        Some (Join { j with left = Project (attrs, left) })
+      | _ -> None)
+
+let rules =
+  [ project_join_to_semijoin;
+    project_project;
+    project_identity;
+    select_over_union;
+    map_over_union;
+    project_over_union;
+    project_into_semijoin ]

@@ -1,0 +1,139 @@
+(* Division-based unnesting of universal quantification (Section 5.2.1:
+   "universal quantification is handled by means of the division operator
+   [Codd72]").
+
+   After normalization, a universally quantified coverage test has the form
+
+     sigma[x : 'not exists' y 'in' Y . (C(y) and g(y) 'notin' x.c)](X)
+
+   ("x's set-valued attribute c covers the keys of the qualifying Y rows").
+   The relational-division formulation unnests the pairs (x, element) and
+   divides by the qualifying keys:
+
+     quotient = mu_c(X)  ÷  alpha[y : (c = g(y))](sigma[y : C](Y))
+     result   = (X semijoin[x,q : x[A] = q] quotient)
+                union
+                sigma[x : 'not exists' y 'in' sigma[y : C](Y) . true](X)
+
+   The second operand handles the empty-divisor corner: when no Y row
+   qualifies, every X tuple (including those with empty c, which mu drops)
+   satisfies the universal quantification; when the divisor is non-empty
+   the term is empty.  Both operands are set-oriented (the selection
+   becomes a semijoin/antijoin by Rule 1 in the following relational pass).
+
+   This rule is an ablation alternative to the antijoin produced by Rule 1;
+   the strategy only uses it when [enable_division] is set.  It requires an
+   atomic element type for c (sets of oid references or scalars). *)
+
+open Njq_adl
+open Expr
+
+let only v e =
+  let fv = Analysis.free_vars e in
+  Analysis.S.subset fv (Analysis.S.singleton v)
+
+(* Local negation normal form: the rule races Rule 1 for the ¬∃ pattern and
+   must see the pushed-negation body even when the [push_not] steps have not
+   reached it yet. *)
+let rec nnf e =
+  match e with
+  | Not (Not a) -> nnf a
+  | Not (And (a, b)) -> Or (nnf (Not a), nnf (Not b))
+  | Not (Or (a, b)) -> And (nnf (Not a), nnf (Not b))
+  | Not (Cmp (op, a, b)) -> Cmp (negate_cmp op, a, b)
+  | Not (SetCmp (op, a, b)) when negated_setcmp_is_complement op ->
+    SetCmp (negate_setcmp op, a, b)
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | _ -> e
+
+(* Recognize 'not exists' y 'in' Y . (C(y) and g(y) 'notin' x.c) and return
+   (yvar, range, c_conjuncts, g, attr). *)
+let coverage_shape x pred =
+  match pred with
+  | Not (Quant (Exists, y, range, body))
+    when Analysis.uses_base_table range && not (Analysis.is_free x range) ->
+    let cs = conjuncts (nnf body) in
+    let is_notmem = function
+      | SetCmp (NotMem, g, Field (Var v, c)) when String.equal v x && only y g ->
+        Some (g, c)
+      | _ -> None
+    in
+    let rec split before = function
+      | [] -> None
+      | conj :: after ->
+        (match is_notmem conj with
+         | Some (g, c) ->
+           let others = List.rev_append before after in
+           if List.for_all (only y) others then Some (y, range, others, g, c)
+           else None
+         | None -> split (conj :: before) after)
+    in
+    split [] cs
+  | _ -> None
+
+let division_rule =
+  Rules.rule "∀→division" (fun cat e ->
+      match e with
+      | Select { var = x; pred; src } ->
+        (match coverage_shape x pred with
+         | None -> None
+         | Some (y, range, c_conjuncts, g, c) ->
+           (match Subquery.schema_of cat src with
+            | None -> None
+            | Some sch ->
+              if not (List.mem c sch) then None
+              else
+                let fields =
+                  match Typecheck.infer cat [] src with
+                  | Vtype.TSet (Vtype.TTuple fields) -> fields
+                  | _ -> []
+                  | exception Vtype.Type_error _ -> []
+                in
+                let elem_atomic =
+                  match List.assoc_opt c fields with
+                  | Some (Vtype.TSet (Vtype.TTuple _)) -> false
+                  | Some (Vtype.TSet _) -> true
+                  | _ -> false
+                in
+                let a_attrs = List.filter (fun f -> not (String.equal f c)) sch in
+                (* The A-projection must identify rows uniquely, otherwise
+                   two X rows differing only in c would pool their elements
+                   in the dividend.  An oid attribute outside c guarantees
+                   this (extents always carry one). *)
+                let a_is_key =
+                  List.exists
+                    (fun a ->
+                      match List.assoc_opt a fields with
+                      | Some Vtype.TOid -> true
+                      | _ -> false)
+                    a_attrs
+                in
+                if not (elem_atomic && a_is_key) then None
+                else
+                  let qualifying =
+                    match c_conjuncts with
+                    | [] -> range
+                    | cs -> Select { var = y; pred = conjoin cs; src = range }
+                  in
+                  let divisor =
+                    Map { var = y; body = Tuple [ (c, g) ]; src = qualifying }
+                  in
+                  let quotient = Divide (Unnest (c, src), divisor) in
+                  let q = fresh_var "q" in
+                  let covered =
+                    Join
+                      { kind = Semi; xvar = x; yvar = q;
+                        pred = Cmp (Eq, TupleProj (Var x, a_attrs), Var q);
+                        left = src; right = quotient }
+                  in
+                  let empty_divisor_case =
+                    Select
+                      { var = x;
+                        pred = Not (Quant (Exists, y, qualifying, true_));
+                        src }
+                  in
+                  Some (Union (covered, empty_divisor_case))))
+      | _ -> None)
+
+let rules = [ division_rule ]

@@ -1,0 +1,44 @@
+(* The quantifier-exchange heuristic (Section 5.2.1, Rewriting Example 3).
+
+   Difficulties with unnesting arise when subqueries over base tables are
+   nested inside iterators over set-valued attributes.  In a (normalized)
+   quantifier chain, the goal is to move quantification over base tables to
+   the left, outside quantification over attributes, so that Rule 1 can then
+   turn the outer quantifier into a semijoin or antijoin.
+
+   After normalization all quantifiers are existential, so the only
+   commutation needed is:
+
+     'exists' z 'in' c . (A and ('exists' y 'in' Y . p))
+       =  'exists' y 'in' Y . 'exists' z 'in' c . (A and p)
+
+   provided z is not free in Y and y is not free in c or A (guaranteed by
+   alpha-renaming y).  The equivalence holds unconditionally: both sides are
+   false when either range is empty. *)
+
+open Njq_adl
+open Expr
+
+(* Pull the first base-table existential conjunct out of an attribute-ranged
+   existential. *)
+let exchange_rule =
+  Rules.rule "∃-exchange" (fun _cat e ->
+      match e with
+      | Quant (Exists, z, c, pred) when not (Analysis.uses_base_table c) ->
+        let cs = conjuncts pred in
+        let is_pullable = function
+          | Quant (Exists, _, range, _) ->
+            Analysis.uses_base_table range && not (Analysis.is_free z range)
+          | _ -> false
+        in
+        (match List.partition is_pullable cs with
+         | Quant (Exists, y, range, p) :: later, others ->
+           (* Rename y to avoid capture in c and in the other conjuncts. *)
+           let y' = fresh_var y in
+           let p = Analysis.subst1 y (Var y') p in
+           let inner = conjoin (others @ later @ [ p ]) in
+           Some (Quant (Exists, y', range, Quant (Exists, z, c, inner)))
+         | _ -> None)
+      | _ -> None)
+
+let rules = [ exchange_rule ]

@@ -1,0 +1,25 @@
+(** Unnesting by grouping (Section 5.2.2): the Kim / Ganski–Wong transform
+    [σ\[x : P(x,Y')\](X) ⇒ π(σ\[P'\](ν(X ⋈\[Q\] Y)))], which produces a flat
+    relational join query but loses dangling X-tuples — the paper's Complex
+    Object bug (Figure 2).
+
+    The guarded rule applies it only when {!Njq_adl.Emptyset} reduces
+    P(x, ∅) to false; the outer-join rule keeps dangling tuples with NULL
+    padding and an adapted nest (an all-NULL group becomes ∅); the unsafe
+    variant exists to reproduce the bug. *)
+
+open Njq_adl
+
+(** Flat-join grouping, applied only when statically safe. *)
+val safe_rule : Rules.rule
+
+(** Outer-join repair of the bug. *)
+val outerjoin_rule : Rules.rule
+
+(** The unguarded transform — deliberately incorrect on dangling tuples;
+    used by tests and the Figure 2 artifact.  Raises [Invalid_argument]
+    when the pattern does not match. *)
+val rewrite_unsafe : Catalog.t -> Expr.t -> Expr.t
+
+(** The outer-join transform as a direct function. *)
+val rewrite_outerjoin : Catalog.t -> Expr.t -> Expr.t

@@ -1,0 +1,30 @@
+(** The nestjoin rewrite (Section 6.1): unnesting nested queries that
+    require grouping without losing dangling left tuples.
+
+    - [σ\[x : P(x,Y')\](X)  ⇒  π_SCH(X)(σ\[z : P'\](X ⊣\[x,y : Q ; g\] Y))]
+    - [α\[x : F(x,Y')\](X)  ⇒  α\[z : F'\](X ⊣\[x,y : Q ; g\] Y)]
+
+    where [P' = P\[z\[SCH(X)\]/x, z.g/Y'\]] and the extended nestjoin
+    carries the subquery's map body G when not the identity. *)
+
+open Njq_adl
+
+(** Replace the subquery occurrence by [by] and the outer variable by
+    [z\[SCH(X)\]] in a parameter expression. *)
+val retarget_with :
+  x:string -> z:string -> sch_x:string list -> occurrence:Expr.t ->
+  by:Expr.t -> Expr.t -> Expr.t
+
+(** {!retarget_with} with [by = z.g]. *)
+val retarget :
+  x:string -> z:string -> g:string -> sch_x:string list ->
+  occurrence:Expr.t -> Expr.t -> Expr.t
+
+(** Build the nestjoin node for a recognized subquery. *)
+val make_nestjoin :
+  x:string -> Subquery.t -> g:string -> left:Expr.t -> Expr.t
+
+val select_rule : Rules.rule
+val nestjoin_body_rule : Rules.rule
+val map_rule : Rules.rule
+val rules : Rules.rule list

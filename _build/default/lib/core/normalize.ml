@@ -1,0 +1,272 @@
+(* Normalization of predicates: set comparisons into quantifier expressions
+   (Table 1 and Table 2 of the paper), negation pushing, and range fusion.
+
+   After normalization the only quantifier left is the existential; universal
+   quantification appears as a negated existential, the form Rule 1 unnests
+   with the antijoin.  Set comparison operators are expanded only when at
+   least one side involves a base table: expanding a comparison between two
+   stored set-valued attributes would not enable any unnesting and only
+   obscure the expression (the paper's goal is specifically to remove base
+   tables from iterator parameters). *)
+
+open Njq_adl
+open Expr
+
+(* Which set comparisons are worth expanding?  Exactly those whose quantifier
+   form quantifies over the base-table side, so that Rule 1 (possibly after
+   quantifier exchange) can unnest them — the paper's observation below
+   Table 1: "expanding operators 'in' and 'supseteq' leads to a (negated)
+   existential quantifier expression that is suited for unnesting by
+   applying Rule 1; expansion of the other operators leads to a multiple
+   subquery expression, that cannot be unnested that way".  The inclusion
+   operators are directional: A 'subseteq' B quantifies over A, so it
+   expands when A is the base-table side (the paper's Rewriting Example 2),
+   and symmetrically A 'supseteq' B expands when B is.  The non-expandable
+   cases are left intact for the grouping/nestjoin phase. *)
+let worth_expanding op a b =
+  let base = Analysis.uses_base_table in
+  match op with
+  | Expr.Mem | Expr.NotMem -> base b
+  | Expr.SubsetEq -> base a
+  | Expr.SupsetEq -> base b
+  | Expr.Ni | Expr.NotNi -> base a
+  | Expr.Subset | Expr.Supset | Expr.SetEq | Expr.SetNeq -> false
+
+(* Table 1 expansions.  Each equation introduces fresh bound variables. *)
+let expand_setcmp op a b =
+  let z = fresh_var "z" and y = fresh_var "y" in
+  match op with
+  | Mem ->
+    (* a 'in' B  =  'exists' y 'in' B . y = a *)
+    Some (Quant (Exists, y, b, Cmp (Eq, Var y, a)))
+  | NotMem -> Some (Not (Quant (Exists, y, b, Cmp (Eq, Var y, a))))
+  | SubsetEq ->
+    (* A 'subseteq' B  =  'forall' z 'in' A . z 'in' B *)
+    Some (Quant (Forall, z, a, SetCmp (Mem, Var z, b)))
+  | Subset ->
+    (* A 'subset' B  =  A 'subseteq' B  and  'exists' y 'in' B . y 'notin' A *)
+    Some
+      (And
+         ( Quant (Forall, z, a, SetCmp (Mem, Var z, b)),
+           Quant (Exists, y, b, SetCmp (NotMem, Var y, a)) ))
+  | SupsetEq ->
+    (* A 'supseteq' B  =  'forall' y 'in' B . y 'in' A *)
+    Some (Quant (Forall, y, b, SetCmp (Mem, Var y, a)))
+  | Supset ->
+    Some
+      (And
+         ( Quant (Forall, y, b, SetCmp (Mem, Var y, a)),
+           Quant (Exists, z, a, SetCmp (NotMem, Var z, b)) ))
+  | SetEq ->
+    (* A = B  =  A 'subseteq' B  and  A 'supseteq' B *)
+    Some
+      (And
+         ( Quant (Forall, z, a, SetCmp (Mem, Var z, b)),
+           Quant (Forall, y, b, SetCmp (Mem, Var y, a)) ))
+  | SetNeq ->
+    Some
+      (Not
+         (And
+            ( Quant (Forall, z, a, SetCmp (Mem, Var z, b)),
+              Quant (Forall, y, b, SetCmp (Mem, Var y, a)) )))
+  | Ni ->
+    (* A 'ni' b  =  'exists' z 'in' A . z = b.  When b is a subquery (the
+       Table 1 case: x.c 'ni' Y' with x.c a set of sets), the equality is a
+       set equality, so it is emitted as such to allow further expansion. *)
+    let equality =
+      if Analysis.uses_base_table b then SetCmp (SetEq, Var z, b)
+      else Cmp (Eq, Var z, b)
+    in
+    Some (Quant (Exists, z, a, equality))
+  | NotNi ->
+    let equality =
+      if Analysis.uses_base_table b then SetCmp (SetEq, Var z, b)
+      else Cmp (Eq, Var z, b)
+    in
+    Some (Not (Quant (Exists, z, a, equality)))
+
+let set_comparison_to_quantifier =
+  Rules.rule "setcmp→quantifier" (fun _cat e ->
+      match e with
+      | SetCmp (op, a, b) when worth_expanding op a b -> expand_setcmp op a b
+      | _ -> None)
+
+(* Universal quantification is normalized to a negated existential so that
+   unnesting needs only the two patterns of Rule 1. *)
+let forall_to_not_exists =
+  Rules.rule "∀→¬∃¬" (fun _cat e ->
+      match e with
+      | Quant (Forall, x, range, pred) ->
+        Some (Not (Quant (Exists, x, range, Not pred)))
+      | _ -> None)
+
+(* Push negations through connectives and comparisons; stop at existential
+   quantifiers (the normal form keeps 'not exists'). *)
+let push_not =
+  Rules.rule "push-¬" (fun _cat e ->
+      match e with
+      | Not (Not a) -> Some a
+      | Not (And (a, b)) -> Some (Or (Not a, Not b))
+      | Not (Or (a, b)) -> Some (And (Not a, Not b))
+      | Not (Cmp (op, a, b)) -> Some (Cmp (negate_cmp op, a, b))
+      | Not (SetCmp (op, a, b)) when negated_setcmp_is_complement op ->
+        Some (SetCmp (negate_setcmp op, a, b))
+      | Not (Const (Value.VBool b)) -> Some (Const (Value.VBool (not b)))
+      | _ -> None)
+
+(* Table 2, row 1 and 2: emptiness tests become negated existentials. *)
+let emptiness_to_quantifier =
+  Rules.rule "emptiness→¬∃" (fun _cat e ->
+      let is_zero = function Const (Value.VInt 0) -> true | _ -> false in
+      let not_exists y_src =
+        let y = fresh_var "y" in
+        Not (Quant (Exists, y, y_src, true_))
+      in
+      match e with
+      | SetCmp (SetEq, src, (Const (Value.VSet []) | SetLit []))
+        when Analysis.uses_base_table src ->
+        Some (not_exists src)
+      | SetCmp (SetEq, (Const (Value.VSet []) | SetLit []), src)
+        when Analysis.uses_base_table src ->
+        Some (not_exists src)
+      | SetCmp (SetNeq, src, (Const (Value.VSet []) | SetLit []))
+        when Analysis.uses_base_table src ->
+        Some (Not (not_exists src))
+      | SetCmp (SetNeq, (Const (Value.VSet []) | SetLit []), src)
+        when Analysis.uses_base_table src ->
+        Some (Not (not_exists src))
+      | Cmp (Eq, Agg (Count, src), z) when is_zero z && Analysis.uses_base_table src ->
+        Some (not_exists src)
+      | Cmp (Eq, z, Agg (Count, src)) when is_zero z && Analysis.uses_base_table src ->
+        Some (not_exists src)
+      | Cmp (Neq, Agg (Count, src), z) when is_zero z && Analysis.uses_base_table src ->
+        Some (Not (not_exists src))
+      | Cmp (Gt, Agg (Count, src), z) when is_zero z && Analysis.uses_base_table src ->
+        Some (Not (not_exists src))
+      | _ -> None)
+
+(* Table 2, row 3: x.c 'inter' Y' = {}  =  'not exists' y 'in' Y' . y 'in' x.c.
+   The quantifier ranges over whichever side involves base tables so that
+   Rule 1 can subsequently unnest it. *)
+let empty_intersection =
+  Rules.rule "∩=∅→¬∃" (fun _cat e ->
+      let empty = function Const (Value.VSet []) | SetLit [] -> true | _ -> false in
+      match e with
+      | SetCmp (SetEq, Inter (a, b), rhs) when empty rhs ->
+        let y = fresh_var "y" in
+        if Analysis.uses_base_table b then
+          Some (Not (Quant (Exists, y, b, SetCmp (Mem, Var y, a))))
+        else if Analysis.uses_base_table a then
+          Some (Not (Quant (Exists, y, a, SetCmp (Mem, Var y, b))))
+        else None
+      | _ -> None)
+
+(* Fuse a selection in a quantifier range into the quantifier predicate:
+   'exists' x 'in' sigma[y : q](Y) . p  =  'exists' x 'in' Y . q[x/y] and p.
+   This is the middle step of the paper's Rewriting Example 1. *)
+let fuse_range_select =
+  Rules.rule "range-σ-fusion" (fun _cat e ->
+      match e with
+      | Quant (Exists, x, Select { var; pred = q; src }, p) ->
+        Some (Quant (Exists, x, src, And (Analysis.subst1 var (Var x) q, p)))
+      | _ -> None)
+
+(* 'exists' x 'in' alpha[y : b](Y) . p  =  'exists' y 'in' Y . p[b/x]. *)
+let fuse_range_map =
+  Rules.rule "range-α-fusion" (fun _cat e ->
+      match e with
+      | Quant (Exists, x, Map { var; body; src }, p) ->
+        let y = fresh_var var in
+        let body' = Analysis.subst1 var (Var y) body in
+        Some (Quant (Exists, y, src, Analysis.subst1 x body' p))
+      | _ -> None)
+
+(* 'exists' x 'in' (A 'inter' B) . p  =  'exists' x 'in' B . x 'in' A and p,
+   quantifying over the base-table side so Rule 1 applies. *)
+let fuse_range_inter =
+  Rules.rule "range-∩-fusion" (fun _cat e ->
+      match e with
+      | Quant (Exists, x, Inter (a, b), p) ->
+        if Analysis.uses_base_table b then
+          Some (Quant (Exists, x, b, And (SetCmp (Mem, Var x, a), p)))
+        else if Analysis.uses_base_table a then
+          Some (Quant (Exists, x, a, And (SetCmp (Mem, Var x, b), p)))
+        else None
+      | _ -> None)
+
+(* 'exists' x 'in' U(S) . p  =  'exists' s 'in' S . 'exists' x 'in' s . p *)
+let fuse_range_flatten =
+  Rules.rule "range-⋃-fusion" (fun _cat e ->
+      match e with
+      | Quant (Exists, x, Flatten s, p) ->
+        let sv = fresh_var "s" in
+        Some (Quant (Exists, sv, s, Quant (Exists, x, Var sv, p)))
+      | _ -> None)
+
+(* Negated inclusions expand to plain existentials when the quantifier would
+   range over the base-table side: not (A 'supseteq' B) = 'exists' y 'in' B .
+   y 'notin' A. *)
+let negated_inclusion_to_quantifier =
+  Rules.rule "¬⊆/⊇→∃" (fun _cat e ->
+      match e with
+      | Not (SetCmp (SupsetEq, a, b)) when Analysis.uses_base_table b ->
+        let y = fresh_var "y" in
+        Some (Quant (Exists, y, b, SetCmp (NotMem, Var y, a)))
+      | Not (SetCmp (SubsetEq, a, b)) when Analysis.uses_base_table a ->
+        let z = fresh_var "z" in
+        Some (Quant (Exists, z, a, SetCmp (NotMem, Var z, b)))
+      | _ -> None)
+
+(* Hoist conjuncts that do not mention the bound variable out of an
+   existential: 'exists' z 'in' c . (A(z) and B)  =  B and 'exists' z 'in'
+   c . A(z).  When every conjunct is hoisted the quantifier degenerates to
+   the non-emptiness test 'exists' z 'in' c . true, which is kept (dropping
+   it would be wrong for empty c).  This is what lets sigma-pushdown
+   reconstruct the paper's sigma[p : p.color = "red"](PART) operand form. *)
+let hoist_independent_conjuncts =
+  Rules.rule "∃-conj-hoist" (fun _cat e ->
+      match e with
+      | Quant (Exists, z, c, pred) ->
+        let cs = conjuncts pred in
+        let hoistable, keep =
+          List.partition
+            (fun conj -> (not (Analysis.is_free z conj)) && not (is_true conj))
+            cs
+        in
+        if hoistable = [] then None
+        else
+          Some
+            (And (conjoin hoistable, Quant (Exists, z, c, conjoin keep)))
+      | _ -> None)
+
+(* Split a disjunctive selection into a union of selections when the
+   disjunction involves base tables, so each disjunct can unnest on its
+   own: sigma[x : A or B](X) = sigma[x : A](X) union sigma[x : B](X)
+   (sound under set semantics; the union deduplicates). *)
+let split_disjunctive_selection =
+  Rules.rule "σ∨-split" (fun _cat e ->
+      match e with
+      | Select { var; pred = Or (a, b); src }
+        when Analysis.uses_base_table a || Analysis.uses_base_table b ->
+        Some
+          (Union (Select { var; pred = a; src }, Select { var; pred = b; src }))
+      | _ -> None)
+
+(* All normalization rules, applied to a fixpoint by the strategy. *)
+let rules =
+  [
+    forall_to_not_exists;
+    push_not;
+    empty_intersection; (* before the generic emptiness rule: more specific *)
+    emptiness_to_quantifier;
+    set_comparison_to_quantifier;
+    negated_inclusion_to_quantifier;
+    fuse_range_select;
+    fuse_range_map;
+    fuse_range_inter;
+    fuse_range_flatten;
+    hoist_independent_conjuncts;
+    split_disjunctive_selection;
+  ]
+
+let run cat e = Rules.fixpoint_simplify cat rules e

@@ -1,0 +1,26 @@
+(** Rewriting into flat relational join queries (Section 5).
+
+    Rule 1 (unnesting quantifier expressions), applied conjunct-wise:
+    - [σ\[x : ∃y∈Y • p\](X)  =  X ⋉\[x,y : p\] Y]
+    - [σ\[x : ¬∃y∈Y • p\](X) =  X ▷\[x,y : p\] Y]
+
+    Rule 2 (nesting in the map operator):
+    - [⋃(α\[x : α\[y : x∘y\](σ\[y : p\](Y))\](X))  =  X ⋈\[x,y : p\] Y]
+
+    plus selection pushdown into join operands (right side for every kind;
+    left side only for inner and semi joins). *)
+
+val rule1 : Rules.rule
+val rule2 : Rules.rule
+
+(** Generalized Rule 2: arbitrary inner map bodies F(x,y) transfer onto the
+    join with retargeted variables — this unnests multi-binding
+    from-clauses. *)
+val rule2_general : Rules.rule
+val push_join_operand_selection : Rules.rule
+
+(** Merge σ∘σ into one selection (kept out of {!rules}; the strategy adds
+    it to the relational phase). *)
+val merge_selects : Rules.rule
+
+val rules : Rules.rule list

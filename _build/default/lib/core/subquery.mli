@@ -1,0 +1,34 @@
+(** Detection of correlated base-table subqueries inside iterator parameter
+    expressions — shared by the grouping and nestjoin rewrites.
+
+    A subquery in the paper's general two-block format is
+    [Y' = α\[y : G(x,y)\](σ\[y : Q(x,y)\](Y))] with Y a base-table
+    expression not referencing the outer variable x. *)
+
+open Njq_adl
+
+type t = {
+  occurrence : Expr.t;  (** the subquery expression as it occurs *)
+  yvar : string;
+  q : Expr.t;  (** inner predicate Q(x,y); [true] if none *)
+  body : Expr.t;  (** inner map body G(x,y); [Var yvar] if identity *)
+  range : Expr.t;  (** the base-table expression Y *)
+}
+
+(** Recognize a subquery shape rooted at the given node. *)
+val recognize : Expr.t -> t option
+
+(** Unnesting candidate relative to outer variable [x]: base-table range
+    not correlated on [x], occurrence correlated on [x]. *)
+val is_candidate : string -> t -> bool
+
+(** Outermost correlated base-table subquery of [x] within a parameter
+    expression, skipping subtrees where [x] is shadowed. *)
+val find : string -> Expr.t -> t option
+
+(** Schema (attribute names) of a closed table expression, via type
+    inference; [None] when open or untypable. *)
+val schema_of : Catalog.t -> Expr.t -> string list option
+
+(** A fresh attribute name avoiding the given names. *)
+val fresh_attr : string list -> string

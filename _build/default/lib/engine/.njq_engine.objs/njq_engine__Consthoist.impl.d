@@ -1,0 +1,1 @@
+lib/engine/consthoist.ml: Analysis Catalog Eval Expr Njq_adl

@@ -1,0 +1,1 @@
+lib/engine/consthoist.mli: Catalog Expr Njq_adl

@@ -1,0 +1,1 @@
+lib/engine/cost.ml: Catalog Expr Float List Njq_adl Plan Stats String Value

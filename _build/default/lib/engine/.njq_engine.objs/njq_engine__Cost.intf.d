@@ -1,0 +1,1 @@
+lib/engine/cost.mli: Catalog Expr Njq_adl Plan Stats

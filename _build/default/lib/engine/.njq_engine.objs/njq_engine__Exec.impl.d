@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Array Catalog Counters Eval Expr Fmt Hashtbl List Njq_adl Plan Value

@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Catalog Njq_adl Plan Value

@@ -1,0 +1,1 @@
+lib/engine/instrument.ml: Catalog Counters Exec Fmt List Njq_adl Plan Printf String Sys Value

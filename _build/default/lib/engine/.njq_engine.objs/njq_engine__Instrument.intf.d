@@ -1,0 +1,1 @@
+lib/engine/instrument.mli: Catalog Format Njq_adl Plan Value

@@ -1,0 +1,1 @@
+lib/engine/plan.ml: Expr Fmt List Njq_adl Pretty Printf String Value

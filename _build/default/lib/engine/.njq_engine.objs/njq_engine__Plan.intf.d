@@ -1,0 +1,1 @@
+lib/engine/plan.mli: Expr Format Njq_adl Value

@@ -1,0 +1,1 @@
+lib/engine/planner.ml: Analysis Catalog Consthoist Cost Exec Expr Lazy List Njq_adl Option Plan Stats String

@@ -1,0 +1,1 @@
+lib/engine/planner.mli: Catalog Expr Njq_adl Plan Value

@@ -1,0 +1,1 @@
+lib/engine/stats.ml: Catalog Fmt Hashtbl List Njq_adl Option Set Value

@@ -1,0 +1,191 @@
+(* A simple cost model over physical plans: cardinality estimation plus
+   per-operator cost formulas.  It exists to make algorithm choice
+   principled rather than syntactic — in particular the build-side choice
+   for hash joins, which the paper contrasts with PNHL ("in relational hash
+   join usually the smaller operand is chosen as build table").
+
+   Estimates use exact base-table cardinalities from the catalog and
+   textbook selectivity heuristics elsewhere; they are deliberately crude
+   (no histograms) but monotone in the input sizes, which is all the
+   planner's comparisons need. *)
+
+open Njq_adl
+
+(* Selectivity of a predicate, by syntactic shape. *)
+let rec selectivity (pred : Expr.t) : float =
+  match pred with
+  | Expr.Const (Value.VBool true) -> 1.0
+  | Expr.Const (Value.VBool false) -> 0.0
+  | Expr.Cmp (Expr.Eq, _, _) -> 0.1
+  | Expr.Cmp ((Expr.Neq), _, _) -> 0.9
+  | Expr.Cmp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) -> 0.33
+  | Expr.SetCmp ((Expr.Mem | Expr.Ni), _, _) -> 0.25
+  | Expr.SetCmp _ -> 0.5
+  | Expr.And (a, b) -> selectivity a *. selectivity b
+  | Expr.Or (a, b) ->
+    let sa = selectivity a and sb = selectivity b in
+    Float.min 1.0 (sa +. sb -. (sa *. sb))
+  | Expr.Not a -> 1.0 -. selectivity a
+  | Expr.Quant (Expr.Exists, _, _, _) -> 0.4
+  | Expr.Quant (Expr.Forall, _, _, _) -> 0.3
+  | _ -> 0.5
+
+(* Average cardinality of a set-valued attribute, assumed when it cannot be
+   known statically (matches the workload generator's default fanout). *)
+let assumed_fanout = 4.0
+
+(* Resolve a (table, attribute) pair for a key expression over a direct
+   scan, to consult statistics. *)
+let scan_column (input : Plan.t) var key =
+  match input, key with
+  | Plan.Scan table, Expr.Field (Expr.Var v, attr) when String.equal v var ->
+    Some (table, attr)
+  | _ -> None
+
+(* Estimated number of output rows of a plan.  With [stats], equality
+   selectivities over direct scans use real NDV counts. *)
+let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
+  let rows_out ?stats:s cat p =
+    rows_out ?stats:(match s with Some _ -> s | None -> stats) cat p
+  in
+  match p with
+  | Plan.Scan name ->
+    (match Catalog.find_opt cat name with
+     | Some t -> float_of_int (List.length t.rows)
+     | None -> 100.0)
+  | Plan.Filter { var; pred; input } ->
+    let base_sel = selectivity pred in
+    let sel =
+      match stats with
+      | None -> base_sel
+      | Some st ->
+        (* Refine conjuncts of the shape x.a = const over a direct scan. *)
+        let refined =
+          List.fold_left
+            (fun acc conj ->
+              match conj with
+              | Expr.Cmp (Expr.Eq, key, Expr.Const _)
+              | Expr.Cmp (Expr.Eq, Expr.Const _, key) ->
+                (match scan_column input var key with
+                 | Some (table, attr) ->
+                   (match Stats.eq_selectivity st ~table ~attr with
+                    | Some s -> acc *. s
+                    | None -> acc *. selectivity conj)
+                 | None -> acc *. selectivity conj)
+              | c -> acc *. selectivity c)
+            1.0 (Expr.conjuncts pred)
+        in
+        refined
+    in
+    sel *. rows_out cat input
+  | Plan.MapOp { input; _ } | Plan.ProjectOp (_, input) -> rows_out cat input
+  | Plan.FlattenOp input -> assumed_fanout *. rows_out cat input
+  | Plan.UnionOp (a, b) -> rows_out cat a +. rows_out cat b
+  | Plan.InterOp (a, b) -> Float.min (rows_out cat a) (rows_out cat b)
+  | Plan.DiffOp (a, _) -> rows_out cat a
+  | Plan.ProductOp (a, b) -> rows_out cat a *. rows_out cat b
+  | Plan.JoinOp { kind; xvar; yvar; keys; residual; left; right; _ } ->
+    let l = rows_out cat left and r = rows_out cat right in
+    (match kind with
+     | Expr.Inner | Expr.LeftOuter _ ->
+       let key_factor =
+         match keys with
+         | [] -> selectivity residual
+         | (kx, ky) :: _ ->
+           (match stats with
+            | Some st ->
+              (match scan_column left xvar kx, scan_column right yvar ky with
+               | Some (lt, la), Some (rt, ra) ->
+                 (match
+                    Stats.join_selectivity st ~left_table:lt ~left_attr:la
+                      ~right_table:rt ~right_attr:ra
+                  with
+                  | Some s -> s
+                  | None -> 1.0 /. Float.max l r)
+               | _ -> 1.0 /. Float.max l r)
+            | None -> 1.0 /. Float.max l r)
+       in
+       Float.max 1.0 (l *. r *. key_factor)
+     | Expr.Semi -> 0.5 *. l
+     | Expr.Anti -> 0.5 *. l)
+  | Plan.NestjoinOp { left; _ } -> rows_out cat left
+  | Plan.MemberJoin { kind; left; right; _ } ->
+    (match kind with
+     | Plan.MSemi | Plan.MAnti -> 0.5 *. rows_out cat left
+     | Plan.MInner -> assumed_fanout *. rows_out cat left +. rows_out cat right
+     | Plan.MNest _ -> rows_out cat left)
+  | Plan.GraceJoin { kind; left; right; _ } ->
+    let l = rows_out cat left and r = rows_out cat right in
+    (match kind with
+     | Expr.Inner | Expr.LeftOuter _ -> Float.max 1.0 (l *. r /. Float.max l r)
+     | Expr.Semi | Expr.Anti -> 0.5 *. l)
+  | Plan.RenameOp (_, input) -> rows_out cat input
+  | Plan.UnnestOp (_, input) -> assumed_fanout *. rows_out cat input
+  | Plan.NestOp { input; _ } -> 0.5 *. rows_out cat input
+  | Plan.DivideOp (a, _) -> Float.max 1.0 (0.1 *. rows_out cat a)
+  | Plan.Pnhl { left; _ } -> rows_out cat left
+  | Plan.Assembly { input; _ } -> rows_out cat input
+  | Plan.EvalOp _ -> 1.0
+  | Plan.Materialized rows -> float_of_int (List.length rows)
+
+(* Cost of one join by algorithm and operand cardinalities.  The executor
+   builds its hash table on the RIGHT operand; building (insert +
+   allocation) is weighted heavier than probing, which is what makes
+   choosing the smaller operand as build table pay off — the build-side
+   consideration the paper raises when contrasting PNHL with relational
+   hash join. *)
+let join_algo_cost algo l r =
+  match algo with
+  | Plan.Nested_loop -> l *. r
+  | Plan.Hash -> l +. (2.0 *. r)
+  | Plan.Sort_merge ->
+    let nlogn x = x *. Float.max 1.0 (Float.log2 (Float.max 2.0 x)) in
+    nlogn l +. nlogn r
+
+(* Estimated cost in abstract work units (comparable to the Counters
+   totals). *)
+let rec cost ?stats (cat : Catalog.t) (p : Plan.t) : float =
+  let cost ?stats:s cat p =
+    cost ?stats:(match s with Some _ -> s | None -> stats) cat p
+  in
+  let rows_out cat p = rows_out ?stats cat p in
+  let out = rows_out cat p in
+  match p with
+  | Plan.Scan _ -> out
+  | Plan.Filter { input; _ } -> cost cat input +. rows_out cat input
+  | Plan.MapOp { input; _ } | Plan.ProjectOp (_, input) ->
+    cost cat input +. rows_out cat input
+  | Plan.FlattenOp input -> cost cat input +. out
+  | Plan.UnionOp (a, b) | Plan.InterOp (a, b) | Plan.DiffOp (a, b) ->
+    cost cat a +. cost cat b +. rows_out cat a +. rows_out cat b
+  | Plan.ProductOp (a, b) -> cost cat a +. cost cat b +. out
+  | Plan.JoinOp { algo; left; right; _ } ->
+    cost cat left +. cost cat right
+    +. join_algo_cost algo (rows_out cat left) (rows_out cat right)
+    +. out
+  | Plan.NestjoinOp { algo; left; right; _ } ->
+    cost cat left +. cost cat right
+    +. join_algo_cost algo (rows_out cat left) (rows_out cat right)
+    +. out
+  | Plan.MemberJoin { left; right; _ } ->
+    cost cat left +. cost cat right +. rows_out cat right
+    +. (assumed_fanout *. rows_out cat left)
+  | Plan.GraceJoin { left; right; _ } ->
+    (* one extra pass over both inputs for partitioning *)
+    let l = rows_out cat left and r = rows_out cat right in
+    cost cat left +. cost cat right +. l +. r +. join_algo_cost Plan.Hash l r
+    +. out
+  | Plan.RenameOp (_, input) -> cost cat input +. out
+  | Plan.UnnestOp (_, input) -> cost cat input +. out
+  | Plan.NestOp { input; _ } -> cost cat input +. rows_out cat input
+  | Plan.DivideOp (a, b) ->
+    cost cat a +. cost cat b
+    +. (rows_out cat a *. Float.max 1.0 (rows_out cat b) *. 0.1)
+  | Plan.Pnhl { left; right; mem_budget; _ } ->
+    let l = rows_out cat left and r = rows_out cat right in
+    let partitions = Float.max 1.0 (r /. float_of_int (max 1 mem_budget)) in
+    cost cat left +. cost cat right +. r
+    +. (partitions *. l *. assumed_fanout)
+  | Plan.Assembly { input; _ } -> cost cat input +. (2.0 *. rows_out cat input)
+  | Plan.EvalOp _ -> 1000.0
+  | Plan.Materialized rows -> float_of_int (List.length rows)

@@ -1,0 +1,24 @@
+(** A simple cost model over physical plans: cardinality estimation from
+    exact base-table sizes plus textbook selectivity heuristics, and
+    per-operator cost formulas in abstract work units.  Used by
+    [Planner.Cost_based] for algorithm and hash-build-side choice. *)
+
+open Njq_adl
+
+(** Selectivity of a predicate, by syntactic shape; in [0, 1]. *)
+val selectivity : Expr.t -> float
+
+(** Average set-valued attribute cardinality assumed when unknown. *)
+val assumed_fanout : float
+
+(** Estimated number of output rows.  With [stats] (see {!Stats}),
+    equality selectivities over direct scans use real NDV counts. *)
+val rows_out : ?stats:Stats.t -> Catalog.t -> Plan.t -> float
+
+(** Cost of one join by algorithm and operand cardinalities (left, right);
+    the hash build side (right) is weighted heavier than the probe side. *)
+val join_algo_cost : Plan.join_algo -> float -> float -> float
+
+(** Estimated total cost (monotone in input sizes; comparable to the
+    {!Njq_adl.Counters} totals in spirit, not calibrated). *)
+val cost : ?stats:Stats.t -> Catalog.t -> Plan.t -> float

@@ -1,0 +1,512 @@
+(* Plan execution.
+
+   Parameter expressions (predicates, map bodies, join residuals) are
+   evaluated per tuple with the reference evaluator under a small
+   environment; the engine's contribution is the set-oriented organization
+   of the iteration: hash tables for equi-joins, semijoins, antijoins and
+   nestjoins, a sort-merge alternative, the PNHL algorithm for set-valued
+   attribute materialization, and assembly for pointer dereferencing.
+
+   Work counters (see [Njq_adl.Counters]): "scan_row", "filter_eval",
+   "hash_build", "hash_probe", "nl_pair", "sm_cmp", "pnhl_partition",
+   "pnhl_build", "pnhl_probe", plus "oid_lookup" from [Catalog.deref]. *)
+
+open Njq_adl
+
+exception Exec_error of string
+
+let exec_error fmt = Fmt.kstr (fun s -> raise (Exec_error s)) fmt
+
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+
+  (* Values are canonical, so structural hashing is consistent with
+     [Value.equal]. *)
+  let hash = Hashtbl.hash
+end)
+
+(* Composite key for multi-attribute equi joins. *)
+let composite vs =
+  match vs with
+  | [ v ] -> v
+  | vs -> Value.VSet vs (* positional; sets are NOT canonicalized here *)
+
+(* Evaluate the left/right sides of extracted keys. *)
+let eval_keys cat var row keys side =
+  composite
+    (List.map
+       (fun (kx, ky) ->
+         let k = match side with `Left -> kx | `Right -> ky in
+         Eval.eval cat [ (var, row) ] k)
+       keys)
+
+let residual_holds cat xvar yvar residual x y =
+  Expr.is_true residual
+  || Eval.run_pred cat [ (xvar, x); (yvar, y) ] residual
+
+let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
+  match p with
+  | Plan.Scan name ->
+    let rs = Catalog.rows cat name in
+    Counters.tick ~n:(List.length rs) "scan_row";
+    rs
+  | Plan.Filter { var; pred; input } ->
+    List.filter
+      (fun row ->
+        Counters.tick "filter_eval";
+        Eval.run_pred cat [ (var, row) ] pred)
+      (rows cat input)
+  | Plan.MapOp { var; body; input } ->
+    dedup (List.map (fun row -> Eval.eval cat [ (var, row) ] body) (rows cat input))
+  | Plan.ProjectOp (attrs, input) ->
+    dedup (List.map (fun row -> Value.project row attrs) (rows cat input))
+  | Plan.FlattenOp input ->
+    dedup (List.concat_map Value.as_set (rows cat input))
+  | Plan.UnionOp (a, b) -> dedup (rows cat a @ rows cat b)
+  | Plan.InterOp (a, b) ->
+    let tbl = VTbl.create 64 in
+    List.iter (fun v -> VTbl.replace tbl v ()) (rows cat b);
+    List.filter (VTbl.mem tbl) (rows cat a)
+  | Plan.DiffOp (a, b) ->
+    let tbl = VTbl.create 64 in
+    List.iter (fun v -> VTbl.replace tbl v ()) (rows cat b);
+    List.filter (fun v -> not (VTbl.mem tbl v)) (rows cat a)
+  | Plan.ProductOp (a, b) ->
+    let ys = rows cat b in
+    dedup
+      (List.concat_map
+         (fun x -> List.map (fun y -> Value.concat x y) ys)
+         (rows cat a))
+  | Plan.JoinOp { algo; kind; xvar; yvar; keys; residual; left; right } ->
+    exec_join cat algo kind xvar yvar keys residual left right
+  | Plan.NestjoinOp { algo; xvar; yvar; keys; residual; body; attr; left; right } ->
+    exec_nestjoin cat algo xvar yvar keys residual body attr left right
+  | Plan.MemberJoin { kind; xvar; yvar; xset; elem_var; elem_key; ykey; left; right }
+    ->
+    let xs = rows cat left and ys = rows cat right in
+    let tbl = VTbl.create (max 16 (List.length ys)) in
+    List.iter
+      (fun y ->
+        Counters.tick "hash_build";
+        VTbl.add tbl (Eval.eval cat [ (yvar, y) ] ykey) y)
+      ys;
+    let matches x =
+      let elems = Value.as_set (Eval.eval cat [ (xvar, x) ] xset) in
+      List.concat_map
+        (fun e ->
+          Counters.tick "hash_probe";
+          VTbl.find_all tbl (Eval.eval cat [ (elem_var, e); (xvar, x) ] elem_key))
+        elems
+    in
+    (match kind with
+     | Plan.MSemi -> List.filter (fun x -> matches x <> []) xs
+     | Plan.MAnti -> List.filter (fun x -> matches x = []) xs
+     | Plan.MInner ->
+       dedup (List.concat_map (fun x -> List.map (Value.concat x) (matches x)) xs)
+     | Plan.MNest { body; attr } ->
+       List.map
+         (fun x ->
+           let ms = dedup (matches x) in
+           let projected =
+             List.map (fun y -> Eval.eval cat [ (xvar, x); (yvar, y) ] body) ms
+           in
+           Value.concat x (Value.tuple [ (attr, Value.set projected) ]))
+         xs)
+  | Plan.GraceJoin { kind; xvar; yvar; keys; residual; mem_budget; left; right }
+    ->
+    if mem_budget <= 0 then exec_error "grace join: memory budget must be positive";
+    (match kind with
+     | Expr.LeftOuter _ -> exec_error "grace join does not support outer joins"
+     | _ -> ());
+    let xs = rows cat left and ys = rows cat right in
+    let partitions =
+      max 1 ((List.length ys + mem_budget - 1) / mem_budget)
+    in
+    (* Partition both inputs on the hash of the first key; rows of the same
+       key land in the same partition pair, so each pair joins
+       independently. *)
+    let kx0, ky0 =
+      match keys with
+      | k :: _ -> k
+      | [] -> exec_error "grace join without equi keys"
+    in
+    let bucket var k row =
+      Counters.tick "grace_partition_row";
+      Hashtbl.hash (Eval.eval cat [ (var, row) ] k) mod partitions
+    in
+    let xparts = Array.make partitions [] and yparts = Array.make partitions [] in
+    List.iter
+      (fun x ->
+        let b = bucket xvar kx0 x in
+        xparts.(b) <- x :: xparts.(b))
+      xs;
+    List.iter
+      (fun y ->
+        let b = bucket yvar ky0 y in
+        yparts.(b) <- y :: yparts.(b))
+      ys;
+    Counters.tick ~n:partitions "grace_partition";
+    let out = ref [] in
+    for b = 0 to partitions - 1 do
+      (* Anti joins must also emit left rows whose partition has no right
+         rows at all, so every partition pair is processed. *)
+      let joined =
+        hash_join cat kind xvar yvar keys residual (List.rev xparts.(b))
+          (List.rev yparts.(b))
+      in
+      out := List.rev_append joined !out
+    done;
+    dedup !out
+  | Plan.RenameOp (pairs, input) ->
+    List.map
+      (fun row ->
+        Value.tuple
+          (List.map
+             (fun (n, v) ->
+               match List.assoc_opt n pairs with
+               | Some n' -> (n', v)
+               | None -> (n, v))
+             (Value.as_tuple row)))
+      (rows cat input)
+  | Plan.UnnestOp (a, input) ->
+    let as_row inner =
+      match inner with
+      | Value.VTuple _ -> inner
+      | atom -> Value.tuple [ (a, atom) ]
+    in
+    dedup
+      (List.concat_map
+         (fun row ->
+           let rest = Value.project_away row [ a ] in
+           List.map
+             (fun inner -> Value.concat (as_row inner) rest)
+             (Value.as_set (Value.field row a)))
+         (rows cat input))
+  | Plan.NestOp { attrs; into; input } ->
+    (match rows cat input with
+     | [] -> []
+     | first :: _ as elems ->
+       let all_fields = Value.field_names first in
+       let group_by = List.filter (fun f -> not (List.mem f attrs)) all_fields in
+       let groups = VTbl.create 64 in
+       let order = ref [] in
+       List.iter
+         (fun row ->
+           let k = Value.project row group_by in
+           let member = Value.project row attrs in
+           match VTbl.find_opt groups k with
+           | Some members -> members := member :: !members
+           | None ->
+             VTbl.add groups k (ref [ member ]);
+             order := k :: !order)
+         elems;
+       List.rev_map
+         (fun k ->
+           Value.concat k (Value.tuple [ (into, Value.set !(VTbl.find groups k)) ]))
+         !order)
+  | Plan.DivideOp (a, b) ->
+    (* Hash-based relational division: index the dividend, test each
+       candidate quotient row against every divisor row by lookup. *)
+    let xs = dedup (rows cat a) and ys = dedup (rows cat b) in
+    (match xs, ys with
+     | [], _ -> []
+     | _, [] -> xs (* divisor schema unobservable; B = {} (cf. Eval) *)
+     | x0 :: _, y0 :: _ ->
+       let b_attrs = Value.field_names y0 in
+       let a_attrs =
+         List.filter (fun f -> not (List.mem f b_attrs)) (Value.field_names x0)
+       in
+       let pair_index = VTbl.create (max 16 (List.length xs)) in
+       List.iter
+         (fun x ->
+           Counters.tick "hash_build";
+           VTbl.replace pair_index x ())
+         xs;
+       let candidates = dedup (List.map (fun x -> Value.project x a_attrs) xs) in
+       List.filter
+         (fun q ->
+           List.for_all
+             (fun y ->
+               Counters.tick "hash_probe";
+               VTbl.mem pair_index (Value.concat q y))
+             ys)
+         candidates)
+  | Plan.Pnhl { attr; elem_key; row_key; into; mem_budget; left; right } ->
+    exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right
+  | Plan.Assembly { cls; ref_attr; into; input } ->
+    List.map
+      (fun row ->
+        let obj = Catalog.deref cat cls (Value.field row ref_attr) in
+        Value.except row [ (into, obj) ])
+      (rows cat input)
+  | Plan.EvalOp e -> Value.as_set (Eval.run cat e)
+  | Plan.Materialized rows -> rows
+
+and dedup vs = List.sort_uniq Value.compare vs
+
+and exec_join cat algo kind xvar yvar keys residual left right =
+  let xs = rows cat left and ys = rows cat right in
+  match algo, keys with
+  | Plan.Hash, _ :: _ -> hash_join cat kind xvar yvar keys residual xs ys
+  | Plan.Sort_merge, (kx, ky) :: _ ->
+    (match kind with
+     | Expr.Inner -> sort_merge_join cat xvar yvar (kx, ky) residual keys xs ys
+     | _ -> exec_error "sort-merge supports only inner joins")
+  | (Plan.Hash | Plan.Sort_merge), [] ->
+    exec_error "hash/sort-merge join without equi keys"
+  | Plan.Nested_loop, _ ->
+    nested_loop_join cat kind xvar yvar keys residual xs ys
+
+and nested_loop_join cat kind xvar yvar keys residual xs ys =
+  let full_pred x y =
+    Counters.tick "nl_pair";
+    List.for_all
+      (fun (kx, ky) ->
+        Value.equal (Eval.eval cat [ (xvar, x) ] kx) (Eval.eval cat [ (yvar, y) ] ky))
+      keys
+    && residual_holds cat xvar yvar residual x y
+  in
+  match kind with
+  | Expr.Inner ->
+    dedup
+      (List.concat_map
+         (fun x ->
+           List.filter_map
+             (fun y -> if full_pred x y then Some (Value.concat x y) else None)
+             ys)
+         xs)
+  | Expr.Semi -> List.filter (fun x -> List.exists (full_pred x) ys) xs
+  | Expr.Anti -> List.filter (fun x -> not (List.exists (full_pred x) ys)) xs
+  | Expr.LeftOuter pad ->
+    let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
+    dedup
+      (List.concat_map
+         (fun x ->
+           match List.filter (full_pred x) ys with
+           | [] -> [ Value.concat x null_row ]
+           | ms -> List.map (Value.concat x) ms)
+         xs)
+
+and hash_join cat kind xvar yvar keys residual xs ys =
+  let tbl = VTbl.create (max 16 (List.length ys)) in
+  List.iter
+    (fun y ->
+      Counters.tick "hash_build";
+      let k = eval_keys cat yvar y keys `Right in
+      VTbl.add tbl k y)
+    ys;
+  let matches x =
+    Counters.tick "hash_probe";
+    let k = eval_keys cat xvar x keys `Left in
+    List.filter (residual_holds cat xvar yvar residual x) (VTbl.find_all tbl k)
+  in
+  match kind with
+  | Expr.Inner ->
+    dedup (List.concat_map (fun x -> List.map (Value.concat x) (matches x)) xs)
+  | Expr.Semi -> List.filter (fun x -> matches x <> []) xs
+  | Expr.Anti -> List.filter (fun x -> matches x = []) xs
+  | Expr.LeftOuter pad ->
+    let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
+    dedup
+      (List.concat_map
+         (fun x ->
+           match matches x with
+           | [] -> [ Value.concat x null_row ]
+           | ms -> List.map (Value.concat x) ms)
+         xs)
+
+and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
+  (* Sort both inputs on the first key; equal-key runs are then joined,
+     checking the remaining keys and residual per pair. *)
+  let key_of var k row = (Eval.eval cat [ (var, row) ] k, row) in
+  let cmp (a, _) (b, _) =
+    Counters.tick "sm_cmp";
+    Value.compare a b
+  in
+  let xs = List.sort cmp (List.map (key_of xvar kx) xs) in
+  let ys = List.sort cmp (List.map (key_of yvar ky) ys) in
+  let rest_keys = List.tl all_keys in
+  let pair_ok x y =
+    List.for_all
+      (fun (kx', ky') ->
+        Value.equal
+          (Eval.eval cat [ (xvar, x) ] kx')
+          (Eval.eval cat [ (yvar, y) ] ky'))
+      rest_keys
+    && residual_holds cat xvar yvar residual x y
+  in
+  let rec run_of key acc = function
+    | (k, v) :: rest when Value.equal k key -> run_of key (v :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let rec merge xs ys acc =
+    match xs, ys with
+    | [], _ | _, [] -> acc
+    | (kx0, _) :: _, (ky0, _) :: _ ->
+      Counters.tick "sm_cmp";
+      let c = Value.compare kx0 ky0 in
+      if c < 0 then merge (snd (run_of kx0 [] xs)) ys acc
+      else if c > 0 then merge xs (snd (run_of ky0 [] ys)) acc
+      else
+        let xrun, xs' = run_of kx0 [] xs in
+        let yrun, ys' = run_of ky0 [] ys in
+        let acc =
+          List.fold_left
+            (fun acc x ->
+              List.fold_left
+                (fun acc y ->
+                  if pair_ok x y then Value.concat x y :: acc else acc)
+                acc yrun)
+            acc xrun
+        in
+        merge xs' ys' acc
+  in
+  dedup (merge xs ys [])
+
+and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
+  let xs = rows cat left and ys = rows cat right in
+  let attach x ms =
+    let projected =
+      List.map (fun y -> Eval.eval cat [ (xvar, x); (yvar, y) ] body) ms
+    in
+    Value.concat x (Value.tuple [ (attr, Value.set projected) ])
+  in
+  match algo, keys with
+  | Plan.Sort_merge, (kx, ky) :: rest_keys ->
+    (* Adapted sort-merge join (Section 6.1): sort both inputs on the first
+       key and pair each left run with the matching right run; dangling
+       left tuples get the empty group. *)
+    let key_of var k row = (Eval.eval cat [ (var, row) ] k, row) in
+    let cmp (a, _) (b, _) =
+      Counters.tick "sm_cmp";
+      Value.compare a b
+    in
+    let xs = List.sort cmp (List.map (key_of xvar kx) xs) in
+    let ys = List.sort cmp (List.map (key_of yvar ky) ys) in
+    let pair_ok x y =
+      List.for_all
+        (fun (kx', ky') ->
+          Value.equal
+            (Eval.eval cat [ (xvar, x) ] kx')
+            (Eval.eval cat [ (yvar, y) ] ky'))
+        rest_keys
+      && residual_holds cat xvar yvar residual x y
+    in
+    let rec run_of key acc = function
+      | (k, v) :: rest when Value.equal k key -> run_of key (v :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let rec merge xs ys acc =
+      match xs, ys with
+      | [], _ -> List.rev acc
+      | (_, x) :: xs', [] -> merge xs' [] (attach x [] :: acc)
+      | (kx0, _) :: _, (ky0, _) :: _ ->
+        Counters.tick "sm_cmp";
+        let c = Value.compare kx0 ky0 in
+        if c < 0 then
+          let xrun, xs' = run_of kx0 [] xs in
+          merge xs' ys (List.rev_append (List.map (fun x -> attach x []) xrun) acc)
+        else if c > 0 then
+          let _, ys' = run_of ky0 [] ys in
+          merge xs ys' acc
+        else
+          let xrun, xs' = run_of kx0 [] xs in
+          let yrun, ys' = run_of ky0 [] ys in
+          let acc =
+            List.fold_left
+              (fun acc x -> attach x (List.filter (pair_ok x) yrun) :: acc)
+              acc xrun
+          in
+          merge xs' ys' acc
+    in
+    merge xs ys []
+  | Plan.Sort_merge, [] -> exec_error "sort-merge nestjoin without equi keys"
+  | Plan.Hash, _ :: _ ->
+    let tbl = VTbl.create (max 16 (List.length ys)) in
+    List.iter
+      (fun y ->
+        Counters.tick "hash_build";
+        VTbl.add tbl (eval_keys cat yvar y keys `Right) y)
+      ys;
+    List.map
+      (fun x ->
+        Counters.tick "hash_probe";
+        let ms =
+          List.filter
+            (residual_holds cat xvar yvar residual x)
+            (VTbl.find_all tbl (eval_keys cat xvar x keys `Left))
+        in
+        attach x ms)
+      xs
+  | _ ->
+    List.map
+      (fun x ->
+        let ms =
+          List.filter
+            (fun y ->
+              Counters.tick "nl_pair";
+              List.for_all
+                (fun (kx, ky) ->
+                  Value.equal
+                    (Eval.eval cat [ (xvar, x) ] kx)
+                    (Eval.eval cat [ (yvar, y) ] ky))
+                keys
+              && residual_holds cat xvar yvar residual x y)
+            ys
+        in
+        attach x ms)
+      xs
+
+(* The Partitioned Nested-Hashed-Loops algorithm of [DeLa92]: the flat base
+   table (right operand) is the build table; it is split into partitions of
+   at most [mem_budget] rows (simulating the segments that fit in main
+   memory).  For each partition, a hash table on the row key is built and
+   every left row's set-valued attribute elements are probed against it,
+   accumulating partial result sets per left row, which are merged across
+   partitions.  Left rows with empty attribute sets survive with an empty
+   result — unlike the unnest-join-nest pipeline, which loses them. *)
+and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
+  if mem_budget <= 0 then exec_error "pnhl: memory budget must be positive";
+  let xs = rows cat left and ys = rows cat right in
+  let xs = Array.of_list xs in
+  let partial = Array.make (Array.length xs) [] in
+  let rec partitions = function
+    | [] -> []
+    | ys ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | y :: rest -> take (n - 1) (y :: acc) rest
+      in
+      let seg, rest = take mem_budget [] ys in
+      seg :: partitions rest
+  in
+  List.iter
+    (fun segment ->
+      Counters.tick "pnhl_partition";
+      let tbl = VTbl.create (max 16 (List.length segment)) in
+      List.iter
+        (fun y ->
+          Counters.tick "pnhl_build";
+          VTbl.add tbl (Eval.eval cat [ ("row", y) ] row_key) y)
+        segment;
+      Array.iteri
+        (fun i x ->
+          let elems = Value.as_set (Value.field x attr) in
+          List.iter
+            (fun e ->
+              Counters.tick "pnhl_probe";
+              let k = Eval.eval cat [ ("elem", e) ] elem_key in
+              partial.(i) <- VTbl.find_all tbl k @ partial.(i))
+            elems)
+        xs)
+    (partitions ys);
+  Array.to_list
+    (Array.mapi
+       (fun i x -> Value.except x [ (into, Value.set partial.(i)) ])
+       xs)
+
+(* Execute a plan, returning its result as a canonical set value. *)
+let run cat p = Value.set (rows cat p)

@@ -1,0 +1,21 @@
+(** Plan execution.
+
+    Parameter expressions are evaluated per tuple with the reference
+    evaluator; the engine organizes the iteration set-oriented: hash tables
+    for equi/member/nest joins, a sort-merge alternative, PNHL with
+    memory-budget partitioning, and assembly for pointer dereferencing.
+
+    Counters ticked (see {!Njq_adl.Counters}): ["scan_row"],
+    ["filter_eval"], ["hash_build"], ["hash_probe"], ["nl_pair"],
+    ["sm_cmp"], ["pnhl_partition"], ["pnhl_build"], ["pnhl_probe"], plus
+    ["oid_lookup"] from catalog dereferencing. *)
+
+open Njq_adl
+
+exception Exec_error of string
+
+(** Execute a plan, returning its rows (not canonicalized). *)
+val rows : Catalog.t -> Plan.t -> Value.t list
+
+(** Execute a plan, returning the result as a canonical set value. *)
+val run : Catalog.t -> Plan.t -> Value.t

@@ -1,0 +1,65 @@
+(* Instrumented plan execution ("explain analyze"): run the plan bottom-up,
+   materializing each node's result and recording per-node statistics —
+   output rows, the work counters the node ticked, and CPU time.
+
+   Children are materialized first and spliced back as [Plan.Materialized]
+   leaves, so each node's measurement covers exactly its own work. *)
+
+open Njq_adl
+
+type node_report = {
+  depth : int; (* nesting depth in the plan tree, root = 0 *)
+  label : string; (* operator name, e.g. "hash_semijoin" *)
+  rows : int; (* output cardinality *)
+  work : (string * int) list; (* counters ticked by this node alone *)
+  seconds : float; (* CPU time for this node alone *)
+}
+
+(* Counter snapshot difference. *)
+let diff_snapshots before after =
+  List.filter_map
+    (fun (k, v) ->
+      let v0 = try List.assoc k before with Not_found -> 0 in
+      if v - v0 > 0 then Some (k, v - v0) else None)
+    after
+
+(* Execute [p], returning its rows and the reports of the subtree in
+   pre-order (this node first). *)
+let rec exec cat depth (p : Plan.t) : Value.t list * node_report list =
+  let child_pairs = List.map (exec cat (depth + 1)) (Plan.children p) in
+  let child_rows = List.map fst child_pairs in
+  let child_reports = List.concat_map snd child_pairs in
+  let shallow =
+    Plan.with_children p (List.map (fun r -> Plan.Materialized r) child_rows)
+  in
+  let before_counters = Counters.snapshot () in
+  let before_time = Sys.time () in
+  let result = Exec.rows cat shallow in
+  let seconds = Sys.time () -. before_time in
+  let work = diff_snapshots before_counters (Counters.snapshot ()) in
+  let report =
+    { depth; label = Plan.node_label p; rows = List.length result; work; seconds }
+  in
+  (result, report :: child_reports)
+
+let run (cat : Catalog.t) (plan : Plan.t) : Value.t * node_report list =
+  let result, reports = exec cat 0 plan in
+  (Value.set result, reports)
+
+let pp_report ppf (reports : node_report list) =
+  let pp_work ppf work =
+    Fmt.string ppf
+      (String.concat ", "
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) work))
+  in
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%s%-28s %8d rows  %6.2f ms  %a@."
+        (String.make (2 * r.depth) ' ')
+        r.label r.rows (r.seconds *. 1000.0) pp_work r.work)
+    reports
+
+(* Convenience: run instrumented and return the rendered report. *)
+let run_verbose cat plan =
+  let v, reports = run cat plan in
+  (v, Fmt.str "%a" pp_report reports)

@@ -1,0 +1,23 @@
+(** Instrumented plan execution ("explain analyze"): materialize each node's
+    result bottom-up and record per-node statistics — output cardinality,
+    the work counters the node ticked, and CPU time. *)
+
+open Njq_adl
+
+type node_report = {
+  depth : int;  (** nesting depth in the plan tree, root = 0 *)
+  label : string;  (** operator name, e.g. "hash_semijoin" *)
+  rows : int;  (** output cardinality *)
+  work : (string * int) list;  (** counters ticked by this node alone *)
+  seconds : float;  (** CPU time for this node alone *)
+}
+
+(** Execute a plan, returning the result and one report per node in
+    pre-order (root first). *)
+val run : Catalog.t -> Plan.t -> Value.t * node_report list
+
+(** Indented textual rendering of the reports. *)
+val pp_report : Format.formatter -> node_report list -> unit
+
+(** {!run} plus the rendered report. *)
+val run_verbose : Catalog.t -> Plan.t -> Value.t * string

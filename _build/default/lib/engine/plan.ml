@@ -1,0 +1,246 @@
+(* Physical query plans.
+
+   A plan mirrors the top-level iterator structure of an ADL expression but
+   fixes an algorithm for each join-family operator: nested loop, hash (on
+   extracted equi-join keys), or sort-merge.  Parameter expressions inside
+   operators (predicates, map bodies) are ADL expressions evaluated per
+   tuple with the reference evaluator; what the engine changes is how the
+   *iteration* is organized — which is exactly the paper's point: the same
+   logical join admits many set-oriented implementations, while a nested
+   subquery forces nested loops.
+
+   Two operators implement Section 6.2:
+   - [Pnhl]: the Partitioned Nested-Hashed-Loops algorithm of [DeLa92] for
+     joining a set-valued attribute with a base table under a memory budget;
+   - [Assembly]: the pointer-based implementation of the materialize
+     operator of [BlMG93], dereferencing oid attributes through the extent's
+     oid index. *)
+
+open Njq_adl
+
+type join_algo = Nested_loop | Hash | Sort_merge
+
+(* Output discipline of a membership join: keep the left tuple (semi/anti),
+   concatenate matching right tuples (inner), or group them under a new
+   attribute (nest, with the function parameter applied to each match). *)
+type member_kind =
+  | MSemi
+  | MAnti
+  | MInner
+  | MNest of { body : Expr.t; attr : string }
+
+(* Equi-join keys extracted from a predicate: pairs (f(x), g(y)) such that
+   the conjunct f(x) = g(y) appeared in the predicate. *)
+type keys = (Expr.t * Expr.t) list
+
+type t =
+  | Scan of string
+  | Filter of { var : string; pred : Expr.t; input : t }
+  | MapOp of { var : string; body : Expr.t; input : t }
+  | ProjectOp of string list * t
+  | FlattenOp of t
+  | UnionOp of t * t
+  | InterOp of t * t
+  | DiffOp of t * t
+  | ProductOp of t * t
+  | JoinOp of {
+      algo : join_algo;
+      kind : Expr.join_kind;
+      xvar : string;
+      yvar : string;
+      keys : keys;
+      residual : Expr.t; (* conjuncts not covered by the keys *)
+      left : t;
+      right : t;
+    }
+  | NestjoinOp of {
+      algo : join_algo;
+      xvar : string;
+      yvar : string;
+      keys : keys;
+      residual : Expr.t;
+      body : Expr.t;
+      attr : string;
+      left : t;
+      right : t;
+    }
+  | MemberJoin of {
+      kind : member_kind;
+      xvar : string;
+      yvar : string;
+      xset : Expr.t; (* set-valued expression over the left variable *)
+      elem_var : string; (* binder for one element of [xset] *)
+      elem_key : Expr.t; (* key of an element, over [elem_var] *)
+      ykey : Expr.t; (* key of a right row, over [yvar] *)
+      left : t;
+      right : t;
+    }
+      (* Hash implementation of membership-style join predicates
+         ('exists' z 'in' x.c . key(z) = key(y), or key(y) 'in' x.c): the
+         right operand is hashed on its key and each left tuple probes with
+         the keys of its set-valued attribute's elements — the probing
+         pattern of the PNHL algorithm applied to join operators. *)
+  | GraceJoin of {
+      kind : Expr.join_kind;
+      xvar : string;
+      yvar : string;
+      keys : keys; (* at least one; partitioning hashes the first key *)
+      residual : Expr.t;
+      mem_budget : int; (* max right rows hashed at once *)
+      left : t;
+      right : t;
+    }
+      (* Grace-style partitioned hash join: both operands are partitioned
+         by the hash of the first key so that each right partition fits the
+         memory budget, then each partition pair is hash-joined — the
+         regular-join counterpart of PNHL's memory-constrained build. *)
+  | RenameOp of (string * string) list * t
+  | UnnestOp of string * t
+  | NestOp of { attrs : string list; into : string; input : t }
+  | DivideOp of t * t
+  | Pnhl of {
+      attr : string; (* set-valued attribute of the left rows *)
+      elem_key : Expr.t; (* key of one element, free var "elem" *)
+      row_key : Expr.t; (* key of a right row, free var "row" *)
+      into : string; (* result attribute receiving the matched rows *)
+      mem_budget : int; (* max right rows hashed at once (partitioning) *)
+      left : t;
+      right : t;
+    }
+  | Assembly of {
+      cls : string; (* extent the references point into *)
+      ref_attr : string; (* oid-valued attribute to dereference *)
+      into : string; (* attribute receiving the referenced object *)
+      input : t;
+    }
+  | EvalOp of Expr.t (* fallback: reference (nested-loop) evaluation *)
+  | Materialized of Value.t list
+      (* an already-computed intermediate result; produced by the
+         instrumented executor, never by the planner *)
+
+let algo_name = function
+  | Nested_loop -> "nl"
+  | Hash -> "hash"
+  | Sort_merge -> "sortmerge"
+
+let kind_name = function
+  | Expr.Inner -> "join"
+  | Expr.Semi -> "semijoin"
+  | Expr.Anti -> "antijoin"
+  | Expr.LeftOuter _ -> "outerjoin"
+
+let rec pp ppf = function
+  | Scan t -> Fmt.pf ppf "scan(%s)" t
+  | Filter { var; pred; input } ->
+    Fmt.pf ppf "@[<2>filter[%s: %a](@,%a)@]" var Pretty.pp pred pp input
+  | MapOp { var; body; input } ->
+    Fmt.pf ppf "@[<2>map[%s: %a](@,%a)@]" var Pretty.pp body pp input
+  | ProjectOp (attrs, input) ->
+    Fmt.pf ppf "@[<2>project[%s](@,%a)@]" (String.concat "," attrs) pp input
+  | FlattenOp input -> Fmt.pf ppf "@[<2>flatten(@,%a)@]" pp input
+  | UnionOp (a, b) -> Fmt.pf ppf "@[<2>union(@,%a,@ %a)@]" pp a pp b
+  | InterOp (a, b) -> Fmt.pf ppf "@[<2>inter(@,%a,@ %a)@]" pp a pp b
+  | DiffOp (a, b) -> Fmt.pf ppf "@[<2>diff(@,%a,@ %a)@]" pp a pp b
+  | ProductOp (a, b) -> Fmt.pf ppf "@[<2>product(@,%a,@ %a)@]" pp a pp b
+  | JoinOp { algo; kind; keys; residual; left; right; _ } ->
+    Fmt.pf ppf "@[<2>%s_%s[%d keys%s](@,%a,@ %a)@]" (algo_name algo)
+      (kind_name kind) (List.length keys)
+      (if Expr.is_true residual then "" else "+residual")
+      pp left pp right
+  | NestjoinOp { algo; keys; attr; left; right; _ } ->
+    Fmt.pf ppf "@[<2>%s_nestjoin[%d keys → %s](@,%a,@ %a)@]" (algo_name algo)
+      (List.length keys) attr pp left pp right
+  | MemberJoin { kind; xset; left; right; _ } ->
+    let kname =
+      match kind with
+      | MSemi -> "semijoin"
+      | MAnti -> "antijoin"
+      | MInner -> "join"
+      | MNest { attr; _ } -> "nestjoin→" ^ attr
+    in
+    Fmt.pf ppf "@[<2>member_%s[%a](@,%a,@ %a)@]" kname Pretty.pp xset pp left
+      pp right
+  | RenameOp (pairs, input) ->
+    Fmt.pf ppf "@[<2>rename[%s](@,%a)@]"
+      (String.concat ","
+         (List.map (fun (o, n) -> Printf.sprintf "%s->%s" o n) pairs))
+      pp input
+  | GraceJoin { kind; keys; mem_budget; left; right; _ } ->
+    Fmt.pf ppf "@[<2>grace_%s[%d keys, mem=%d](@,%a,@ %a)@]" (kind_name kind)
+      (List.length keys) mem_budget pp left pp right
+  | UnnestOp (a, input) -> Fmt.pf ppf "@[<2>unnest[%s](@,%a)@]" a pp input
+  | NestOp { attrs; into; input } ->
+    Fmt.pf ppf "@[<2>nest[%s→%s](@,%a)@]" (String.concat "," attrs) into pp input
+  | DivideOp (a, b) -> Fmt.pf ppf "@[<2>divide(@,%a,@ %a)@]" pp a pp b
+  | Pnhl { attr; into; mem_budget; left; right; _ } ->
+    Fmt.pf ppf "@[<2>pnhl[%s→%s, mem=%d](@,%a,@ %a)@]" attr into mem_budget pp
+      left pp right
+  | Assembly { cls; ref_attr; into; input } ->
+    Fmt.pf ppf "@[<2>assembly[%s.%s→%s](@,%a)@]" cls ref_attr into pp input
+  | EvalOp e -> Fmt.pf ppf "@[<2>eval(@,%a)@]" Pretty.pp e
+  | Materialized rows -> Fmt.pf ppf "materialized(%d rows)" (List.length rows)
+
+let to_string p = Fmt.str "@[%a@]" pp p
+
+(* Short operator label for instrumented reports. *)
+let node_label = function
+  | Scan t -> "scan " ^ t
+  | Filter _ -> "filter"
+  | MapOp _ -> "map"
+  | ProjectOp _ -> "project"
+  | FlattenOp _ -> "flatten"
+  | UnionOp _ -> "union"
+  | InterOp _ -> "inter"
+  | DiffOp _ -> "diff"
+  | ProductOp _ -> "product"
+  | JoinOp { algo; kind; _ } -> algo_name algo ^ "_" ^ kind_name kind
+  | NestjoinOp { algo; _ } -> algo_name algo ^ "_nestjoin"
+  | MemberJoin { kind = MSemi; _ } -> "member_semijoin"
+  | MemberJoin { kind = MAnti; _ } -> "member_antijoin"
+  | MemberJoin { kind = MInner; _ } -> "member_join"
+  | MemberJoin { kind = MNest _; _ } -> "member_nestjoin"
+  | RenameOp _ -> "rename"
+  | GraceJoin { kind; _ } -> "grace_" ^ kind_name kind
+  | UnnestOp (a, _) -> "unnest " ^ a
+  | NestOp { into; _ } -> "nest →" ^ into
+  | DivideOp _ -> "divide"
+  | Pnhl _ -> "pnhl"
+  | Assembly { cls; _ } -> "assembly " ^ cls
+  | EvalOp _ -> "eval"
+  | Materialized _ -> "materialized"
+
+(* Immediate sub-plans, left to right. *)
+let children = function
+  | Scan _ | EvalOp _ | Materialized _ -> []
+  | Filter { input; _ } | MapOp { input; _ } | ProjectOp (_, input)
+  | FlattenOp input | RenameOp (_, input) | UnnestOp (_, input)
+  | NestOp { input; _ } | Assembly { input; _ } -> [ input ]
+  | UnionOp (a, b) | InterOp (a, b) | DiffOp (a, b) | ProductOp (a, b)
+  | DivideOp (a, b) -> [ a; b ]
+  | JoinOp { left; right; _ } | NestjoinOp { left; right; _ }
+  | MemberJoin { left; right; _ } | Pnhl { left; right; _ }
+  | GraceJoin { left; right; _ } -> [ left; right ]
+
+(* Rebuild a node with new children (same arity as [children]). *)
+let with_children p cs =
+  match p, cs with
+  | (Scan _ | EvalOp _ | Materialized _), [] -> p
+  | Filter f, [ c ] -> Filter { f with input = c }
+  | MapOp m, [ c ] -> MapOp { m with input = c }
+  | ProjectOp (attrs, _), [ c ] -> ProjectOp (attrs, c)
+  | FlattenOp _, [ c ] -> FlattenOp c
+  | RenameOp (pairs, _), [ c ] -> RenameOp (pairs, c)
+  | UnnestOp (a, _), [ c ] -> UnnestOp (a, c)
+  | NestOp n, [ c ] -> NestOp { n with input = c }
+  | Assembly a, [ c ] -> Assembly { a with input = c }
+  | UnionOp _, [ a; b ] -> UnionOp (a, b)
+  | InterOp _, [ a; b ] -> InterOp (a, b)
+  | DiffOp _, [ a; b ] -> DiffOp (a, b)
+  | ProductOp _, [ a; b ] -> ProductOp (a, b)
+  | DivideOp _, [ a; b ] -> DivideOp (a, b)
+  | JoinOp j, [ a; b ] -> JoinOp { j with left = a; right = b }
+  | NestjoinOp j, [ a; b ] -> NestjoinOp { j with left = a; right = b }
+  | MemberJoin j, [ a; b ] -> MemberJoin { j with left = a; right = b }
+  | Pnhl j, [ a; b ] -> Pnhl { j with left = a; right = b }
+  | GraceJoin j, [ a; b ] -> GraceJoin { j with left = a; right = b }
+  | _ -> invalid_arg "Plan.with_children: arity mismatch"

@@ -1,0 +1,124 @@
+(** Physical query plans.
+
+    A plan mirrors the iterator structure of an ADL expression but fixes an
+    algorithm per join-family operator.  Parameter expressions (predicates,
+    map bodies) stay as ADL, evaluated per tuple; the engine's contribution
+    is the organization of the iteration — the paper's point that a logical
+    join admits many set-oriented implementations while a nested subquery
+    forces nested loops.  [Pnhl] and [Assembly] implement Section 6.2. *)
+
+open Njq_adl
+
+type join_algo = Nested_loop | Hash | Sort_merge
+
+(** Output discipline of a membership join. *)
+type member_kind =
+  | MSemi
+  | MAnti
+  | MInner
+  | MNest of { body : Expr.t; attr : string }
+
+(** Equi-join keys: pairs (f(x), g(y)) from conjuncts [f(x) = g(y)]. *)
+type keys = (Expr.t * Expr.t) list
+
+type t =
+  | Scan of string
+  | Filter of { var : string; pred : Expr.t; input : t }
+  | MapOp of { var : string; body : Expr.t; input : t }
+  | ProjectOp of string list * t
+  | FlattenOp of t
+  | UnionOp of t * t
+  | InterOp of t * t
+  | DiffOp of t * t
+  | ProductOp of t * t
+  | JoinOp of {
+      algo : join_algo;
+      kind : Expr.join_kind;
+      xvar : string;
+      yvar : string;
+      keys : keys;
+      residual : Expr.t;  (** conjuncts not covered by the keys *)
+      left : t;
+      right : t;
+    }
+  | NestjoinOp of {
+      algo : join_algo;
+      xvar : string;
+      yvar : string;
+      keys : keys;
+      residual : Expr.t;
+      body : Expr.t;
+      attr : string;
+      left : t;
+      right : t;
+    }
+  | MemberJoin of {
+      kind : member_kind;
+      xvar : string;
+      yvar : string;
+      xset : Expr.t;  (** set-valued expression over the left variable *)
+      elem_var : string;
+      elem_key : Expr.t;  (** key of one element, over [elem_var] *)
+      ykey : Expr.t;  (** key of a right row, over [yvar] *)
+      left : t;
+      right : t;
+    }
+      (** Hash implementation of membership predicates
+          ([∃z∈x.c • key(z) = key(y)] or [key(y) ∈ x.c]): hash the right
+          operand on its key and probe with the elements of each left
+          tuple's set — the probing pattern of PNHL applied to joins. *)
+  | GraceJoin of {
+      kind : Expr.join_kind;
+      xvar : string;
+      yvar : string;
+      keys : keys;  (** at least one; partitioning hashes the first key *)
+      residual : Expr.t;
+      mem_budget : int;  (** max right rows hashed at once *)
+      left : t;
+      right : t;
+    }
+      (** Grace-style partitioned hash join: both operands are partitioned
+          by the hash of the first key so that each right partition fits
+          the memory budget, then each partition pair is hash-joined — the
+          regular-join counterpart of PNHL's memory-constrained build. *)
+  | RenameOp of (string * string) list * t
+  | UnnestOp of string * t
+  | NestOp of { attrs : string list; into : string; input : t }
+  | DivideOp of t * t
+  | Pnhl of {
+      attr : string;  (** set-valued attribute of the left rows *)
+      elem_key : Expr.t;  (** key of one element, free variable ["elem"] *)
+      row_key : Expr.t;  (** key of a right row, free variable ["row"] *)
+      into : string;  (** attribute receiving the matched rows *)
+      mem_budget : int;  (** max right rows hashed at once *)
+      left : t;
+      right : t;
+    }
+      (** Partitioned Nested-Hashed-Loops (Section 6.2, [DeLa92]). *)
+  | Assembly of {
+      cls : string;
+      ref_attr : string;  (** oid-valued attribute to dereference *)
+      into : string;  (** attribute receiving the referenced object *)
+      input : t;
+    }
+      (** Pointer-based materialize (Section 6.2, [BlMG93]/[ShCa90]). *)
+  | EvalOp of Expr.t  (** fallback: reference (nested-loop) evaluation *)
+  | Materialized of Value.t list
+      (** an already-computed intermediate result; produced by the
+          instrumented executor ({!Njq_engine.Instrument}), never by the
+          planner *)
+
+val algo_name : join_algo -> string
+val kind_name : Expr.join_kind -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Short operator label for instrumented reports. *)
+val node_label : t -> string
+
+(** Immediate sub-plans, left to right. *)
+val children : t -> t list
+
+(** Rebuild a node with new children; raises [Invalid_argument] on arity
+    mismatch. *)
+val with_children : t -> t list -> t

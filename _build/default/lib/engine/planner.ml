@@ -1,0 +1,255 @@
+(* Translation of (rewritten) ADL expressions into physical plans.
+
+   The planner maps each top-level set-producing operator to a plan node and
+   chooses join algorithms: it scans the join predicate's conjuncts for
+   equi-key pairs f(x) = g(y) (f referencing only the left variable, g only
+   the right) and picks a hash implementation when at least one pair exists,
+   falling back to nested loops otherwise.  Scalar expressions and iterator
+   parameter expressions stay as ADL and are evaluated per tuple.
+
+   [plan ~force_algo] overrides the choice, which the benches use to compare
+   algorithms on identical logical plans. *)
+
+open Njq_adl
+open Expr
+
+(* Split a join predicate into equi-key pairs and a residual.  A conjunct
+   qualifies as a key pair when it is an equality whose sides partition over
+   the two join variables and reference nothing else (outer variables would
+   make the key non-constant across the build). *)
+let extract_keys xvar yvar pred =
+  let cs = conjuncts pred in
+  let only v e =
+    let fv = Analysis.free_vars e in
+    Analysis.S.subset fv (Analysis.S.singleton v)
+    && not (Analysis.S.is_empty fv)
+  in
+  let classify = function
+    | Cmp (Eq, a, b) when only xvar a && only yvar b -> `Key (a, b)
+    | Cmp (Eq, a, b) when only yvar a && only xvar b -> `Key (b, a)
+    | c -> `Residual c
+  in
+  let keys, residuals =
+    List.fold_left
+      (fun (ks, rs) c ->
+        match classify c with
+        | `Key kv -> (kv :: ks, rs)
+        | `Residual r -> (ks, r :: rs))
+      ([], []) cs
+  in
+  (List.rev keys, conjoin (List.rev residuals))
+
+(* Recognize membership-style join predicates over a set-valued attribute of
+   the left operand:
+
+     'exists' z 'in' xset(x) . ekey(z) = ykey(y)        (quantifier form)
+     ykey(y) 'in' xset(x)                               (membership form)
+
+   Returns the pieces needed for a [Plan.MemberJoin]. *)
+let member_shape xvar yvar pred =
+  let only v e =
+    let fv = Analysis.free_vars e in
+    Analysis.S.subset fv (Analysis.S.singleton v)
+  in
+  match pred with
+  | Quant (Exists, z, xset, Cmp (Eq, a, b)) when only xvar xset ->
+    if only z a && only yvar b then Some (xset, z, a, b)
+    else if only z b && only yvar a then Some (xset, z, b, a)
+    else None
+  | SetCmp (Mem, g, xset) when only yvar g && only xvar xset ->
+    let z = Expr.fresh_var "elem" in
+    Some (xset, z, Var z, g)
+  | _ -> None
+
+type algo_choice =
+  | Auto
+  | Force of Plan.join_algo
+  | Cost_based of Catalog.t
+      (* pick the cheapest algorithm per join under the {!Cost} model, and
+         swap inner-join operands so that the smaller side is the hash
+         build side *)
+
+let choose choice keys =
+  match choice with
+  | Force a -> a
+  | Auto | Cost_based _ ->
+    (match keys with [] -> Plan.Nested_loop | _ -> Plan.Hash)
+
+(* Recognize the Section 6.2 materialization pattern — each row's set-valued
+   attribute joined with a base table:
+
+     map[s : s except (into = map[p : p](select[p : g(p) 'in' s.attr](@T)))](src)
+
+   and return (attr, into, row variable, row key g, table) for a PNHL plan. *)
+let pnhl_shape (e : Expr.t) =
+  match e with
+  | Map { var = s;
+          body = Except (Var s2, [ (into, inner) ]);
+          src }
+    when String.equal s s2 ->
+    let stripped =
+      match inner with
+      | Map { var = p; body = Var p2; src = inner_sel } when String.equal p p2 ->
+        Some inner_sel
+      | Select _ -> Some inner
+      | _ -> None
+    in
+    (match stripped with
+     | Some (Select { var = p; pred = SetCmp (Mem, g, Field (Var sv, attr));
+                      src = Table t })
+       when String.equal sv s
+            && (let fv = Analysis.free_vars g in
+                Analysis.S.subset fv (Analysis.S.singleton p)) ->
+       Some (src, attr, into, p, g, t)
+     | _ -> None)
+  | _ -> None
+
+(* Statistics for cost-based choices, computed lazily once per plan call. *)
+type cost_ctx = { cat : Catalog.t; stats : Stats.t Lazy.t }
+
+let plan_cost ctx p = Cost.cost ~stats:(Lazy.force ctx.stats) ctx.cat p
+
+(* Is this expression a set-producing operator we can plan, or a scalar /
+   parameter expression that must stay in ADL? *)
+let rec plan_with ?ctx (choice : algo_choice) (e : Expr.t) : Plan.t =
+  let plan = plan_with ?ctx choice in
+  match e with
+  | Table name -> Plan.Scan name
+  | Select { var; pred; src } -> Plan.Filter { var; pred; input = plan src }
+  | Map _ when pnhl_shape e <> None ->
+    (* Section 6.2: materialize a set-valued attribute against a base table
+       with the PNHL algorithm rather than per-tuple nested evaluation. *)
+    let src, attr, into, p, g, t = Option.get (pnhl_shape e) in
+    Plan.Pnhl
+      { attr;
+        elem_key = Var "elem";
+        row_key = Analysis.subst1 p (Var "row") g;
+        into;
+        mem_budget = max_int;
+        left = plan src;
+        right = Plan.Scan t }
+  | Map { var; body; src } -> Plan.MapOp { var; body; input = plan src }
+  | Project (attrs, src) -> Plan.ProjectOp (attrs, plan src)
+  | Flatten src -> Plan.FlattenOp (plan src)
+  | Union (a, b) -> Plan.UnionOp (plan a, plan b)
+  | Inter (a, b) -> Plan.InterOp (plan a, plan b)
+  | Diff (a, b) -> Plan.DiffOp (plan a, plan b)
+  | Product (a, b) -> Plan.ProductOp (plan a, plan b)
+  | Join { kind; xvar; yvar; pred; left; right } ->
+    let keys, residual = extract_keys xvar yvar pred in
+    let member =
+      (* Membership joins apply when the whole predicate is the membership
+         test and an algorithm choice is not forced to nested loop. *)
+      if keys = [] && choice <> Force Plan.Nested_loop then
+        member_shape xvar yvar pred
+      else None
+    in
+    (match member, kind with
+     | Some (xset, elem_var, elem_key, ykey), (Semi | Anti | Inner) ->
+       let mkind =
+         match kind with
+         | Semi -> Plan.MSemi
+         | Anti -> Plan.MAnti
+         | _ -> Plan.MInner
+       in
+       Plan.MemberJoin
+         { kind = mkind; xvar; yvar; xset; elem_var; elem_key; ykey;
+           left = plan left; right = plan right }
+     | _ ->
+       let lp = plan left and rp = plan right in
+       (match choice with
+        | Cost_based cat when keys <> [] ->
+          let mk algo ~swap =
+            if swap then
+              (* X join Y = Y join X: swap operands, variables and key
+                 sides; the predicate's variables keep binding the same
+                 logical rows.  Only valid for the symmetric inner join. *)
+              Plan.JoinOp
+                { algo; kind; xvar = yvar; yvar = xvar;
+                  keys = List.map (fun (kx, ky) -> (ky, kx)) keys;
+                  residual; left = rp; right = lp }
+            else
+              Plan.JoinOp
+                { algo; kind; xvar; yvar; keys; residual; left = lp; right = rp }
+          in
+          let candidates =
+            mk Plan.Nested_loop ~swap:false
+            :: mk Plan.Hash ~swap:false
+            ::
+            (match kind with
+             | Expr.Inner ->
+               [ mk Plan.Hash ~swap:true; mk Plan.Sort_merge ~swap:false ]
+             | _ -> [])
+          in
+          let cctx =
+            match ctx with
+            | Some c -> c
+            | None -> { cat; stats = lazy (Stats.analyze cat) }
+          in
+          List.fold_left
+            (fun best cand ->
+              if plan_cost cctx cand < plan_cost cctx best then cand else best)
+            (List.hd candidates) (List.tl candidates)
+        | _ ->
+          let algo = choose choice keys in
+          (* A hash join without keys cannot run; degrade to nested loop. *)
+          let algo = if keys = [] then Plan.Nested_loop else algo in
+          Plan.JoinOp
+            { algo; kind; xvar; yvar; keys; residual; left = lp; right = rp }))
+  | Nestjoin { xvar; yvar; pred; body; attr; left; right } ->
+    let keys, residual = extract_keys xvar yvar pred in
+    let member =
+      if keys = [] && choice <> Force Plan.Nested_loop then
+        member_shape xvar yvar pred
+      else None
+    in
+    (match member with
+     | Some (xset, elem_var, elem_key, ykey) ->
+       Plan.MemberJoin
+         { kind = Plan.MNest { body; attr }; xvar; yvar; xset; elem_var;
+           elem_key; ykey; left = plan left; right = plan right }
+     | None ->
+       let lp = plan left and rp = plan right in
+       (match choice with
+        | Cost_based cat when keys <> [] ->
+          let mk algo =
+            Plan.NestjoinOp
+              { algo; xvar; yvar; keys; residual; body; attr;
+                left = lp; right = rp }
+          in
+          let candidates = [ mk Plan.Nested_loop; mk Plan.Hash; mk Plan.Sort_merge ] in
+          let cctx =
+            match ctx with
+            | Some c -> c
+            | None -> { cat; stats = lazy (Stats.analyze cat) }
+          in
+          List.fold_left
+            (fun best cand ->
+              if plan_cost cctx cand < plan_cost cctx best then cand else best)
+            (List.hd candidates) (List.tl candidates)
+        | _ ->
+          let algo = choose choice keys in
+          let algo = if keys = [] then Plan.Nested_loop else algo in
+          Plan.NestjoinOp
+            { algo; xvar; yvar; keys; residual; body; attr;
+              left = lp; right = rp }))
+  | Rename (pairs, src) -> Plan.RenameOp (pairs, plan src)
+  | Unnest (a, src) -> Plan.UnnestOp (a, plan src)
+  | Nest { attrs; into; src } -> Plan.NestOp { attrs; into; input = plan src }
+  | Divide (a, b) -> Plan.DivideOp (plan a, plan b)
+  | Const _ | Var _ | Tuple _ | Field _ | TupleProj _ | Except _ | Concat _
+  | SetLit _ | Arith _ | Cmp _ | SetCmp _ | And _ | Or _ | Not _ | If _
+  | Quant _ | Agg _ | Deref _ ->
+    (* Scalar or parameter-level expression: evaluate as-is. *)
+    Plan.EvalOp e
+
+let plan ?(algo = Auto) e =
+  let ctx =
+    match algo with
+    | Cost_based cat -> Some { cat; stats = lazy (Stats.analyze cat) }
+    | Auto | Force _ -> None
+  in
+  plan_with ?ctx algo e
+
+(* End-to-end convenience: hoist uncorrelated subqueries, plan, execute. *)
+let run ?algo cat e = Exec.run cat (plan ?algo (Consthoist.hoist cat e))

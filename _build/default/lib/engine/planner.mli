@@ -1,0 +1,35 @@
+(** Translation of (rewritten) ADL expressions into physical plans.
+
+    Joins are planned by scanning predicate conjuncts for equi-key pairs
+    f(x) = g(y) (hash when at least one exists, nested loop otherwise) and
+    by detecting membership shapes over set-valued attributes, which become
+    {!Plan.MemberJoin}.  Scalar and parameter-level expressions fall back
+    to reference evaluation. *)
+
+open Njq_adl
+
+(** Split a join predicate into oriented equi-key pairs and the residual
+    conjunction. *)
+val extract_keys :
+  string -> string -> Expr.t -> (Expr.t * Expr.t) list * Expr.t
+
+(** Recognize a membership-style join predicate; returns
+    (xset, element variable, element key, y key). *)
+val member_shape :
+  string -> string -> Expr.t -> (Expr.t * string * Expr.t * Expr.t) option
+
+type algo_choice =
+  | Auto  (** hash when equi keys exist, nested loop otherwise *)
+  | Force of Plan.join_algo  (** the same algorithm everywhere (ablations) *)
+  | Cost_based of Catalog.t
+      (** pick the cheapest algorithm per join under the {!Cost} model and
+          swap inner-join operands so the smaller side is the hash build
+          side *)
+
+(** Plan an expression.  [algo] forces a join algorithm everywhere (used by
+    the benchmarks to compare algorithms on identical logical plans);
+    forcing hash/sort-merge degrades to nested loop where no keys exist. *)
+val plan : ?algo:algo_choice -> Expr.t -> Plan.t
+
+(** Hoist uncorrelated subqueries ({!Consthoist}), plan, and execute. *)
+val run : ?algo:algo_choice -> Catalog.t -> Expr.t -> Value.t

@@ -1,0 +1,94 @@
+(* Table statistics: per-attribute number of distinct values (NDV) and, for
+   integer-like attributes, value bounds, computed by a full scan of each
+   extent.  The cost model uses them to estimate equality selectivities
+   instead of falling back to fixed constants. *)
+
+open Njq_adl
+
+type column_stats = {
+  ndv : int; (* number of distinct values *)
+  lo : int option; (* min, for int/date/oid-valued attributes *)
+  hi : int option;
+}
+
+type t = {
+  columns : (string * string, column_stats) Hashtbl.t;
+      (* (table, attribute) -> stats *)
+  cardinalities : (string, int) Hashtbl.t;
+}
+
+module VSet = Set.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let int_of_value = function
+  | Value.VInt n | Value.VDate n | Value.VOid n -> Some n
+  | _ -> None
+
+let analyze_table (t : t) name rows =
+  Hashtbl.replace t.cardinalities name (List.length rows);
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+    List.iter
+      (fun attr ->
+        let values = List.map (fun row -> Value.field row attr) rows in
+        let distinct = VSet.of_list values in
+        let ints = List.filter_map int_of_value values in
+        let lo, hi =
+          match ints with
+          | [] -> (None, None)
+          | x :: rest ->
+            ( Some (List.fold_left min x rest),
+              Some (List.fold_left max x rest) )
+        in
+        Hashtbl.replace t.columns (name, attr)
+          { ndv = VSet.cardinal distinct; lo; hi })
+      (Value.field_names first)
+
+(* Scan every extent once and collect statistics. *)
+let analyze (cat : Catalog.t) : t =
+  let t = { columns = Hashtbl.create 64; cardinalities = Hashtbl.create 16 } in
+  List.iter (fun name -> analyze_table t name (Catalog.rows cat name))
+    (Catalog.table_names cat);
+  t
+
+let column t ~table ~attr = Hashtbl.find_opt t.columns (table, attr)
+
+let ndv t ~table ~attr =
+  Option.map (fun c -> c.ndv) (column t ~table ~attr)
+
+let cardinality t table = Hashtbl.find_opt t.cardinalities table
+
+(* Selectivity of an equality with a constant on the named column: 1/NDV
+   when known. *)
+let eq_selectivity t ~table ~attr =
+  match ndv t ~table ~attr with
+  | Some n when n > 0 -> Some (1.0 /. float_of_int n)
+  | _ -> None
+
+(* Join-key selectivity for an equi key between two columns: the textbook
+   1 / max(NDV_left, NDV_right). *)
+let join_selectivity t ~left_table ~left_attr ~right_table ~right_attr =
+  match
+    (ndv t ~table:left_table ~attr:left_attr,
+     ndv t ~table:right_table ~attr:right_attr)
+  with
+  | Some a, Some b when a > 0 && b > 0 -> Some (1.0 /. float_of_int (max a b))
+  | _ -> None
+
+let pp ppf (t : t) =
+  let entries =
+    Hashtbl.fold (fun (tbl, attr) c acc -> ((tbl, attr), c) :: acc) t.columns []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((tbl, attr), c) ->
+      Fmt.pf ppf "%s.%s: ndv=%d%a@." tbl attr c.ndv
+        (fun ppf -> function
+          | Some lo, Some hi -> Fmt.pf ppf " range=[%d,%d]" lo hi
+          | _ -> ())
+        (c.lo, c.hi))
+    entries

@@ -1,0 +1,30 @@
+(** Table statistics: per-attribute distinct counts (NDV) and integer value
+    bounds, computed by scanning each extent once.  Consumed by the cost
+    model ({!Cost}) for equality and join-key selectivities. *)
+
+open Njq_adl
+
+type column_stats = {
+  ndv : int;  (** number of distinct values *)
+  lo : int option;  (** minimum, for int/date/oid-valued attributes *)
+  hi : int option;
+}
+
+type t
+
+(** Scan every extent of the catalog and collect statistics. *)
+val analyze : Catalog.t -> t
+
+val column : t -> table:string -> attr:string -> column_stats option
+val ndv : t -> table:string -> attr:string -> int option
+val cardinality : t -> string -> int option
+
+(** 1/NDV for an equality with a constant, when known. *)
+val eq_selectivity : t -> table:string -> attr:string -> float option
+
+(** The textbook [1 / max(NDV_l, NDV_r)] for an equi key. *)
+val join_selectivity :
+  t -> left_table:string -> left_attr:string -> right_table:string ->
+  right_attr:string -> float option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/oosql/ast.mli:

@@ -1,0 +1,1 @@
+lib/oosql/lexer.ml: Array Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/oosql/parser.ml: Array Ast Lexer List Printf

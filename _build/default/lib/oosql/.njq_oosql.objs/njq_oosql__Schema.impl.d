@@ -1,0 +1,1 @@
+lib/oosql/schema.ml: Ast Fmt List Njq_adl Parser String

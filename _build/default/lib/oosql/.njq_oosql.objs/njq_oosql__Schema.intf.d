@@ -1,0 +1,1 @@
+lib/oosql/schema.mli: Ast Njq_adl

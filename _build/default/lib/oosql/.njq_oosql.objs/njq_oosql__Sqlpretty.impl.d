@@ -1,0 +1,1 @@
+lib/oosql/sqlpretty.ml: Ast Float Fmt

@@ -1,0 +1,1 @@
+lib/oosql/sqlpretty.mli: Ast Format

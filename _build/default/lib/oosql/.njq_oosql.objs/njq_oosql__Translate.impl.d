@@ -1,0 +1,1 @@
+lib/oosql/translate.ml: Ast Expr Fmt List Njq_adl Parser Schema String Value Vtype

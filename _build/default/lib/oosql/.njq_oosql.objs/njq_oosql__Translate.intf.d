@@ -1,0 +1,1 @@
+lib/oosql/translate.mli: Ast Expr Njq_adl Vtype

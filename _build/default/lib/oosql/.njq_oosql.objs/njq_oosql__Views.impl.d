@@ -1,0 +1,1 @@
+lib/oosql/views.ml: Ast List Option String

@@ -1,0 +1,1 @@
+lib/oosql/views.mli: Ast

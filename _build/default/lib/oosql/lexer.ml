@@ -1,0 +1,172 @@
+(* Hand-written lexer for OOSQL.  Produces a token array with positions;
+   the parser indexes into it with one-token lookahead. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* punctuation *)
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | COMMA | COLON | SEMI | DOT
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  (* keywords *)
+  | KW_SELECT | KW_FROM | KW_WHERE | KW_IN | KW_NOT
+  | KW_AND | KW_OR | KW_EXISTS | KW_FORALL
+  | KW_UNION | KW_INTERSECT | KW_EXCEPT
+  | KW_SUBSET | KW_SUBSETEQ | KW_SUPSET | KW_SUPSETEQ | KW_CONTAINS
+  | KW_COUNT | KW_SUM | KW_MIN | KW_MAX | KW_AVG
+  | KW_TRUE | KW_FALSE
+  | KW_CLASS | KW_WITH | KW_EXTENSION | KW_ATTRIBUTES | KW_END
+  | KW_DEFINE | KW_AS
+  | KW_INT | KW_FLOAT | KW_STRING | KW_BOOL | KW_DATE
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keyword_table =
+  [ ("select", KW_SELECT); ("from", KW_FROM); ("where", KW_WHERE);
+    ("in", KW_IN); ("not", KW_NOT); ("and", KW_AND); ("or", KW_OR);
+    ("exists", KW_EXISTS); ("forall", KW_FORALL); ("union", KW_UNION);
+    ("intersect", KW_INTERSECT); ("except", KW_EXCEPT);
+    ("subset", KW_SUBSET); ("subseteq", KW_SUBSETEQ);
+    ("supset", KW_SUPSET); ("supseteq", KW_SUPSETEQ);
+    ("contains", KW_CONTAINS); ("count", KW_COUNT); ("sum", KW_SUM);
+    ("min", KW_MIN); ("max", KW_MAX); ("avg", KW_AVG); ("true", KW_TRUE);
+    ("false", KW_FALSE); ("class", KW_CLASS); ("with", KW_WITH);
+    ("extension", KW_EXTENSION); ("attributes", KW_ATTRIBUTES);
+    ("end", KW_END); ("define", KW_DEFINE); ("as", KW_AS);
+    ("int", KW_INT); ("float", KW_FLOAT);
+    ("string", KW_STRING); ("bool", KW_BOOL); ("date", KW_DATE) ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : located array =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let emit tok p = tokens := { tok; pos = p } :: !tokens in
+  let rec go i =
+    if i >= n then emit EOF (pos i)
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '\n' ->
+        incr line;
+        bol := i + 1;
+        go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        (* line comment *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2))
+      | '(' -> emit LPAREN (pos i); go (i + 1)
+      | ')' -> emit RPAREN (pos i); go (i + 1)
+      | '{' -> emit LBRACE (pos i); go (i + 1)
+      | '}' -> emit RBRACE (pos i); go (i + 1)
+      | ',' -> emit COMMA (pos i); go (i + 1)
+      | ':' -> emit COLON (pos i); go (i + 1)
+      | ';' -> emit SEMI (pos i); go (i + 1)
+      | '.' -> emit DOT (pos i); go (i + 1)
+      | '+' -> emit PLUS (pos i); go (i + 1)
+      | '*' -> emit STAR (pos i); go (i + 1)
+      | '/' -> emit SLASH (pos i); go (i + 1)
+      | '%' -> emit PERCENT (pos i); go (i + 1)
+      | '-' -> emit MINUS (pos i); go (i + 1)
+      | '=' -> emit EQ (pos i); go (i + 1)
+      | '<' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit LE (pos i); go (i + 2))
+        else if i + 1 < n && src.[i + 1] = '>' then (emit NEQ (pos i); go (i + 2))
+        else (emit LT (pos i); go (i + 1))
+      | '>' ->
+        if i + 1 < n && src.[i + 1] = '=' then (emit GE (pos i); go (i + 2))
+        else (emit GT (pos i); go (i + 1))
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ (pos i); go (i + 2)
+      | '"' ->
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string", pos i))
+          else
+            match src.[j] with
+            | '"' -> j + 1
+            | '\\' when j + 1 < n ->
+              let e =
+                match src.[j + 1] with
+                | 'n' -> '\n'
+                | 't' -> '\t'
+                | c -> c
+              in
+              Buffer.add_char buf e;
+              str (j + 2)
+            | c ->
+              Buffer.add_char buf c;
+              str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf)) (pos i);
+        go j
+      | c when is_digit c ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let j = num i in
+        if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then begin
+          let k = num (j + 1) in
+          emit (FLOAT (float_of_string (String.sub src i (k - i)))) (pos i);
+          go k
+        end
+        else begin
+          emit (INT (int_of_string (String.sub src i (j - i)))) (pos i);
+          go j
+        end
+      | c when is_ident_start c ->
+        let rec ident j = if j < n && is_ident_char src.[j] then ident (j + 1) else j in
+        let j = ident i in
+        let word = String.sub src i (j - i) in
+        let tok =
+          match List.assoc_opt (String.lowercase_ascii word) keyword_table with
+          | Some kw -> kw
+          | None -> IDENT word
+        in
+        emit tok (pos i);
+        go j
+      | c -> raise (Lex_error (Printf.sprintf "unexpected character %C" c, pos i))
+  in
+  go 0;
+  Array.of_list (List.rev !tokens)
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | STRING s -> Printf.sprintf "string %S" s
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | COMMA -> "','" | COLON -> "':'" | SEMI -> "';'" | DOT -> "'.'"
+  | EQ -> "'='" | NEQ -> "'<>'" | LT -> "'<'" | LE -> "'<='"
+  | GT -> "'>'" | GE -> "'>='"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | KW_SELECT -> "'select'" | KW_FROM -> "'from'" | KW_WHERE -> "'where'"
+  | KW_IN -> "'in'" | KW_NOT -> "'not'" | KW_AND -> "'and'" | KW_OR -> "'or'"
+  | KW_EXISTS -> "'exists'" | KW_FORALL -> "'forall'"
+  | KW_UNION -> "'union'" | KW_INTERSECT -> "'intersect'"
+  | KW_EXCEPT -> "'except'"
+  | KW_SUBSET -> "'subset'" | KW_SUBSETEQ -> "'subseteq'"
+  | KW_SUPSET -> "'supset'" | KW_SUPSETEQ -> "'supseteq'"
+  | KW_CONTAINS -> "'contains'"
+  | KW_COUNT -> "'count'" | KW_SUM -> "'sum'" | KW_MIN -> "'min'"
+  | KW_MAX -> "'max'" | KW_AVG -> "'avg'"
+  | KW_TRUE -> "'true'" | KW_FALSE -> "'false'"
+  | KW_CLASS -> "'class'" | KW_WITH -> "'with'"
+  | KW_EXTENSION -> "'extension'" | KW_ATTRIBUTES -> "'attributes'"
+  | KW_END -> "'end'"
+  | KW_DEFINE -> "'define'" | KW_AS -> "'as'"
+  | KW_INT -> "'int'" | KW_FLOAT -> "'float'" | KW_STRING -> "'string'"
+  | KW_BOOL -> "'bool'" | KW_DATE -> "'date'"
+  | EOF -> "end of input"

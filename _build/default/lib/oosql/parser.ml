@@ -1,0 +1,374 @@
+(* Recursive-descent parser for OOSQL (schema definitions and queries).
+
+   Operator precedence, loosest first:
+     or < and < not < comparison/set-comparison < union/except < intersect
+        < additive < multiplicative < unary minus < path < primary
+
+   A select-from-where block is a primary expression and extends as far
+   right as possible (parenthesize to delimit).  Tuple constructors are
+   written (a = e, b = e, ...) and disambiguated from grouping parentheses
+   by one extra token of lookahead. *)
+
+open Lexer
+
+exception Parse_error of string * Ast.pos
+
+type state = { toks : located array; mutable i : int }
+
+let peek st = st.toks.(st.i).tok
+let peek2 st = if st.i + 1 < Array.length st.toks then st.toks.(st.i + 1).tok else EOF
+let pos st = st.toks.(st.i).pos
+
+let advance st = st.i <- st.i + 1
+
+let error st msg =
+  raise (Parse_error (Printf.sprintf "%s (found %s)" msg (token_name (peek st)), pos st))
+
+let expect st tok msg =
+  if peek st = tok then advance st else error st msg
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  (* Type keywords double as ordinary attribute names (e.g. the paper's
+     Delivery.date); they are only special in type position. *)
+  | KW_INT -> advance st; "int"
+  | KW_FLOAT -> advance st; "float"
+  | KW_STRING -> advance st; "string"
+  | KW_BOOL -> advance st; "bool"
+  | KW_DATE -> advance st; "date"
+  | _ -> error st "expected an identifier"
+
+(* ------------------------------------------------------------------ *)
+(* Types (schema declarations)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_type st : Ast.sqltype =
+  match peek st with
+  | KW_INT -> advance st; Ast.SInt
+  | KW_FLOAT -> advance st; Ast.SFloat
+  | KW_STRING -> advance st; Ast.SString
+  | KW_BOOL -> advance st; Ast.SBool
+  | KW_DATE -> advance st; Ast.SDate
+  | IDENT c -> advance st; Ast.SClass c
+  | LBRACE ->
+    advance st;
+    let t = parse_type st in
+    expect st RBRACE "expected '}' closing set type";
+    Ast.SSet t
+  | LPAREN ->
+    advance st;
+    let rec fields acc =
+      let name = ident st in
+      expect st COLON "expected ':' in tuple type field";
+      let t = parse_type st in
+      let acc = (name, t) :: acc in
+      if peek st = COMMA then (advance st; fields acc) else List.rev acc
+    in
+    let fs = fields [] in
+    expect st RPAREN "expected ')' closing tuple type";
+    Ast.STuple fs
+  | _ -> error st "expected a type"
+
+let parse_class st : Ast.class_def =
+  expect st KW_CLASS "expected 'class'";
+  let class_name = ident st in
+  expect st KW_WITH "expected 'with'";
+  expect st KW_EXTENSION "expected 'extension'";
+  let extent = ident st in
+  expect st KW_ATTRIBUTES "expected 'attributes'";
+  let rec attrs acc =
+    let name = ident st in
+    expect st COLON "expected ':' after attribute name";
+    let t = parse_type st in
+    let acc = (name, t) :: acc in
+    if peek st = COMMA then (advance st; attrs acc) else List.rev acc
+  in
+  let attributes = attrs [] in
+  expect st KW_END "expected 'end' closing class definition";
+  { Ast.class_name; extent; attributes }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st : Ast.expr = parse_or st
+
+and parse_or st =
+  let p = pos st in
+  let rec loop lhs =
+    if peek st = KW_OR then begin
+      advance st;
+      loop (Ast.EBin (Ast.Or, lhs, parse_and st, p))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let p = pos st in
+  let rec loop lhs =
+    if peek st = KW_AND then begin
+      advance st;
+      loop (Ast.EBin (Ast.And, lhs, parse_not st, p))
+    end
+    else lhs
+  in
+  loop (parse_not st)
+
+and parse_not st =
+  let p = pos st in
+  if peek st = KW_NOT && peek2 st <> KW_IN then begin
+    advance st;
+    Ast.ENot (parse_not st, p)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let p = pos st in
+  let lhs = parse_set st in
+  let bin op =
+    advance st;
+    let rhs = parse_set st in
+    Ast.EBin (op, lhs, rhs, p)
+  in
+  match peek st with
+  | EQ -> bin Ast.Eq
+  | NEQ -> bin Ast.Neq
+  | LT -> bin Ast.Lt
+  | LE -> bin Ast.Le
+  | GT -> bin Ast.Gt
+  | GE -> bin Ast.Ge
+  | KW_IN -> bin Ast.In
+  | KW_NOT when peek2 st = KW_IN ->
+    advance st;
+    advance st;
+    let rhs = parse_set st in
+    Ast.EBin (Ast.NotIn, lhs, rhs, p)
+  | KW_SUBSETEQ -> bin Ast.SubsetEq
+  | KW_SUBSET -> bin Ast.SubsetOp
+  | KW_SUPSETEQ -> bin Ast.SupsetEq
+  | KW_SUPSET -> bin Ast.SupsetOp
+  | KW_CONTAINS -> bin Ast.Contains
+  | _ -> lhs
+
+and parse_set st =
+  let rec loop lhs =
+    let p = pos st in
+    match peek st with
+    | KW_UNION ->
+      advance st;
+      loop (Ast.EBin (Ast.Union, lhs, parse_intersect st, p))
+    | KW_EXCEPT ->
+      advance st;
+      loop (Ast.EBin (Ast.Except, lhs, parse_intersect st, p))
+    | _ -> lhs
+  in
+  loop (parse_intersect st)
+
+and parse_intersect st =
+  let rec loop lhs =
+    let p = pos st in
+    if peek st = KW_INTERSECT then begin
+      advance st;
+      loop (Ast.EBin (Ast.Intersect, lhs, parse_add st, p))
+    end
+    else lhs
+  in
+  loop (parse_add st)
+
+and parse_add st =
+  let rec loop lhs =
+    let p = pos st in
+    match peek st with
+    | PLUS ->
+      advance st;
+      loop (Ast.EBin (Ast.Add, lhs, parse_mul st, p))
+    | MINUS ->
+      advance st;
+      loop (Ast.EBin (Ast.Sub, lhs, parse_mul st, p))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    let p = pos st in
+    match peek st with
+    | STAR ->
+      advance st;
+      loop (Ast.EBin (Ast.Mul, lhs, parse_unary st, p))
+    | SLASH ->
+      advance st;
+      loop (Ast.EBin (Ast.Div, lhs, parse_unary st, p))
+    | PERCENT ->
+      advance st;
+      loop (Ast.EBin (Ast.Mod, lhs, parse_unary st, p))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  let p = pos st in
+  if peek st = MINUS then begin
+    advance st;
+    Ast.EBin (Ast.Sub, Ast.ELit (Ast.LInt 0, p), parse_unary st, p)
+  end
+  else parse_postfix st
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec paths e =
+    if peek st = DOT then begin
+      let p = pos st in
+      advance st;
+      let a = ident st in
+      paths (Ast.EPath (e, a, p))
+    end
+    else e
+  in
+  paths e
+
+and parse_primary st =
+  let p = pos st in
+  match peek st with
+  | INT n -> advance st; Ast.ELit (Ast.LInt n, p)
+  | FLOAT f -> advance st; Ast.ELit (Ast.LFloat f, p)
+  | STRING s -> advance st; Ast.ELit (Ast.LString s, p)
+  | KW_TRUE -> advance st; Ast.ELit (Ast.LBool true, p)
+  | KW_FALSE -> advance st; Ast.ELit (Ast.LBool false, p)
+  | IDENT x -> advance st; Ast.EVar (x, p)
+  | KW_SELECT -> parse_sfw st
+  | KW_EXISTS | KW_FORALL ->
+    let q = if peek st = KW_EXISTS then Ast.QExists else Ast.QForall in
+    advance st;
+    let x = ident st in
+    expect st KW_IN "expected 'in' after quantifier variable";
+    let range = parse_set st in
+    let pred =
+      if peek st = COLON then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    Ast.EQuant (q, x, range, pred, p)
+  | KW_COUNT | KW_SUM | KW_MIN | KW_MAX | KW_AVG ->
+    let agg =
+      match peek st with
+      | KW_COUNT -> Ast.ACount
+      | KW_SUM -> Ast.ASum
+      | KW_MIN -> Ast.AMin
+      | KW_MAX -> Ast.AMax
+      | _ -> Ast.AAvg
+    in
+    advance st;
+    expect st LPAREN "expected '(' after aggregate";
+    let e = parse_expr st in
+    expect st RPAREN "expected ')' closing aggregate";
+    Ast.EAgg (agg, e, p)
+  | LBRACE ->
+    advance st;
+    if peek st = RBRACE then begin
+      advance st;
+      Ast.ESet ([], p)
+    end
+    else begin
+      let rec elems acc =
+        let e = parse_expr st in
+        let acc = e :: acc in
+        if peek st = COMMA then (advance st; elems acc) else List.rev acc
+      in
+      let es = elems [] in
+      expect st RBRACE "expected '}' closing set literal";
+      Ast.ESet (es, p)
+    end
+  | LPAREN ->
+    advance st;
+    (* Tuple constructor (a = e, ...) vs grouping (e). *)
+    (match peek st, peek2 st with
+     | IDENT _, EQ ->
+       let rec fields acc =
+         let name = ident st in
+         expect st EQ "expected '=' in tuple field";
+         let e = parse_expr st in
+         let acc = (name, e) :: acc in
+         if peek st = COMMA then (advance st; fields acc) else List.rev acc
+       in
+       let fs = fields [] in
+       expect st RPAREN "expected ')' closing tuple constructor";
+       Ast.ETuple (fs, p)
+     | _ ->
+       let e = parse_expr st in
+       expect st RPAREN "expected ')'";
+       e)
+  | _ -> error st "expected an expression"
+
+and parse_sfw st =
+  let p = pos st in
+  expect st KW_SELECT "expected 'select'";
+  let proj = parse_expr st in
+  expect st KW_FROM "expected 'from'";
+  let rec froms acc =
+    let x = ident st in
+    expect st KW_IN "expected 'in' in from-clause";
+    let src = parse_set st in
+    let acc = (x, src) :: acc in
+    if peek st = COMMA then (advance st; froms acc) else List.rev acc
+  in
+  let fs = froms [] in
+  let where =
+    if peek st = KW_WHERE then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  Ast.ESfw ({ proj; froms = fs; where }, p)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_define st =
+  expect st KW_DEFINE "expected 'define'";
+  let name = ident st in
+  expect st KW_AS "expected 'as' after view name";
+  let body = parse_expr st in
+  expect st SEMI "expected ';' terminating the view definition";
+  (name, body)
+
+let parse_program (src : string) : Ast.program =
+  let st = { toks = Lexer.tokenize src; i = 0 } in
+  let rec classes acc =
+    if peek st = KW_CLASS then classes (parse_class st :: acc) else List.rev acc
+  in
+  let cs = classes [] in
+  let rec defines acc =
+    if peek st = KW_DEFINE then defines (parse_define st :: acc) else List.rev acc
+  in
+  let ds = defines [] in
+  let query =
+    if peek st = EOF then None
+    else begin
+      let q = parse_expr st in
+      if peek st = SEMI then advance st;
+      Some q
+    end
+  in
+  expect st EOF "expected end of input";
+  { Ast.classes = cs; defines = ds; query }
+
+let parse_query (src : string) : Ast.expr =
+  match parse_program src with
+  | { query = Some q; classes = []; defines = [] } -> q
+  | { query = None; _ } -> raise (Parse_error ("no query in input", Ast.dummy_pos))
+  | _ ->
+    raise (Parse_error ("unexpected class or view definitions", Ast.dummy_pos))
+
+let parse_schema (src : string) : Ast.schema =
+  match parse_program src with
+  | { classes; query = None; defines = [] } -> classes
+  | _ -> raise (Parse_error ("expected only class definitions", Ast.dummy_pos))

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for OOSQL.
+
+    Precedence, loosest first: or < and < not < comparison/set-comparison
+    < union/except < intersect < additive < multiplicative < unary minus
+    < path < primary.  A select-from-where block is a primary and extends
+    as far right as possible; tuple constructors [(a = e, ...)] are
+    disambiguated from grouping parentheses by lookahead. *)
+
+exception Parse_error of string * Ast.pos
+
+(** Parse class definitions followed by an optional query. *)
+val parse_program : string -> Ast.program
+
+(** Parse a single query (no class definitions allowed). *)
+val parse_query : string -> Ast.expr
+
+(** Parse class definitions only. *)
+val parse_schema : string -> Ast.schema

@@ -1,0 +1,102 @@
+(* Pretty-printer for OOSQL abstract syntax.  Output re-parses to the same
+   AST (modulo positions); the round-trip is property-tested. *)
+
+let binop_str = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Eq -> "=" | Ast.Neq -> "<>" | Ast.Lt -> "<" | Ast.Le -> "<="
+  | Ast.Gt -> ">" | Ast.Ge -> ">="
+  | Ast.And -> "and" | Ast.Or -> "or"
+  | Ast.Union -> "union" | Ast.Intersect -> "intersect" | Ast.Except -> "except"
+  | Ast.In -> "in" | Ast.NotIn -> "not in"
+  | Ast.SubsetEq -> "subseteq" | Ast.SubsetOp -> "subset"
+  | Ast.SupsetEq -> "supseteq" | Ast.SupsetOp -> "supset"
+  | Ast.Contains -> "contains"
+
+let agg_str = function
+  | Ast.ACount -> "count" | Ast.ASum -> "sum" | Ast.AMin -> "min"
+  | Ast.AMax -> "max" | Ast.AAvg -> "avg"
+
+(* Binding strength mirroring the parser's precedence levels. *)
+let prec_of_binop = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge
+  | Ast.In | Ast.NotIn | Ast.SubsetEq | Ast.SubsetOp | Ast.SupsetEq
+  | Ast.SupsetOp | Ast.Contains -> 4
+  | Ast.Union | Ast.Except -> 5
+  | Ast.Intersect -> 6
+  | Ast.Add | Ast.Sub -> 7
+  | Ast.Mul | Ast.Div | Ast.Mod -> 8
+
+let rec pp ?(ctx = 0) ppf (e : Ast.expr) =
+  let level =
+    match e with
+    | Ast.EBin (op, _, _, _) -> prec_of_binop op
+    | Ast.ENot _ -> 3
+    | Ast.EQuant _ -> 1
+    | Ast.ESfw _ -> 1
+    | _ -> 10
+  in
+  if level < ctx then Fmt.pf ppf "(%a)" (fun ppf -> node level ppf) e
+  else node level ppf e
+
+and node level ppf (e : Ast.expr) =
+  match e with
+  | Ast.ELit (Ast.LBool b, _) -> Fmt.bool ppf b
+  | Ast.ELit (Ast.LInt n, _) -> Fmt.int ppf n
+  | Ast.ELit (Ast.LFloat f, _) ->
+    (* Keep a decimal point so the literal re-parses as a float. *)
+    if Float.is_integer f then Fmt.pf ppf "%.1f" f else Fmt.pf ppf "%.12g" f
+  | Ast.ELit (Ast.LString s, _) -> Fmt.pf ppf "%S" s
+  | Ast.EVar (x, _) -> Fmt.string ppf x
+  | Ast.EPath (b, a, _) -> Fmt.pf ppf "%a.%s" (pp ~ctx:10) b a
+  | Ast.ETuple (fields, _) ->
+    Fmt.pf ppf "(@[%a@])"
+      (Fmt.list ~sep:Fmt.comma (fun ppf (n, fe) -> Fmt.pf ppf "%s = %a" n (pp ~ctx:0) fe))
+      fields
+  | Ast.ESet (elems, _) ->
+    Fmt.pf ppf "{@[%a@]}" (Fmt.list ~sep:Fmt.comma (pp ~ctx:0)) elems
+  | Ast.EBin (op, a, b, _) ->
+    Fmt.pf ppf "%a %s %a" (pp ~ctx:level) a (binop_str op) (pp ~ctx:(level + 1)) b
+  | Ast.ENot (a, _) -> Fmt.pf ppf "not %a" (pp ~ctx:(level + 1)) a
+  | Ast.EQuant (q, x, range, pred, _) ->
+    let qs = match q with Ast.QExists -> "exists" | Ast.QForall -> "forall" in
+    (match pred with
+     | None -> Fmt.pf ppf "%s %s in %a" qs x (pp ~ctx:5) range
+     | Some p -> Fmt.pf ppf "%s %s in %a : %a" qs x (pp ~ctx:5) range (pp ~ctx:1) p)
+  | Ast.EAgg (agg, src, _) -> Fmt.pf ppf "%s(%a)" (agg_str agg) (pp ~ctx:0) src
+  | Ast.ESfw ({ proj; froms; where }, _) ->
+    Fmt.pf ppf "@[<v>select %a@ from %a" (pp ~ctx:2) proj
+      (Fmt.list ~sep:Fmt.comma (fun ppf (x, src) -> Fmt.pf ppf "%s in %a" x (pp ~ctx:5) src))
+      froms;
+    (match where with
+     | None -> ()
+     | Some w -> Fmt.pf ppf "@ where %a" (pp ~ctx:1) w);
+    Fmt.pf ppf "@]"
+
+let to_string (e : Ast.expr) = Fmt.str "@[%a@]" (pp ~ctx:0) e
+
+let pp_sqltype_rec =
+  let rec go ppf = function
+    | Ast.SBool -> Fmt.string ppf "bool"
+    | Ast.SInt -> Fmt.string ppf "int"
+    | Ast.SFloat -> Fmt.string ppf "float"
+    | Ast.SString -> Fmt.string ppf "string"
+    | Ast.SDate -> Fmt.string ppf "date"
+    | Ast.SClass c -> Fmt.string ppf c
+    | Ast.STuple fields ->
+      Fmt.pf ppf "(@[%a@])"
+        (Fmt.list ~sep:Fmt.comma (fun ppf (n, t) -> Fmt.pf ppf "%s : %a" n go t))
+        fields
+    | Ast.SSet t -> Fmt.pf ppf "{ %a }" go t
+  in
+  go
+
+let pp_class ppf (c : Ast.class_def) =
+  Fmt.pf ppf "@[<v>class %s with extension %s attributes@   @[<v>%a@]@ end@]"
+    c.Ast.class_name c.Ast.extent
+    (Fmt.list ~sep:Fmt.comma (fun ppf (n, t) -> Fmt.pf ppf "%s : %a" n pp_sqltype_rec t))
+    c.Ast.attributes
+
+let pp_schema ppf (s : Ast.schema) = Fmt.(list ~sep:(any "@.@.") pp_class) ppf s

@@ -1,0 +1,58 @@
+(* Expansion of named view definitions ("named intermediate tables",
+   Section 2: nesting in the from-clause "may occur as the result of
+   expanding views or named intermediate tables").
+
+   Views are closed OOSQL expressions; expansion splices the definition at
+   every use of the view's name that is not shadowed by a from-binding or
+   quantifier variable.  Views may reference previously defined views. *)
+
+exception View_error of string * Ast.pos
+
+(* Replace free occurrences of [name] by [body], respecting binders. *)
+let rec splice name body (e : Ast.expr) : Ast.expr =
+  let go = splice name body in
+  match e with
+  | Ast.EVar (x, _) when String.equal x name -> body
+  | Ast.ELit _ | Ast.EVar _ -> e
+  | Ast.EPath (b, a, p) -> Ast.EPath (go b, a, p)
+  | Ast.ETuple (fields, p) ->
+    Ast.ETuple (List.map (fun (n, fe) -> (n, go fe)) fields, p)
+  | Ast.ESet (elems, p) -> Ast.ESet (List.map go elems, p)
+  | Ast.EBin (op, a, b, p) -> Ast.EBin (op, go a, go b, p)
+  | Ast.ENot (a, p) -> Ast.ENot (go a, p)
+  | Ast.EQuant (q, x, range, pred, p) ->
+    let pred' =
+      if String.equal x name then pred else Option.map go pred
+    in
+    Ast.EQuant (q, x, go range, pred', p)
+  | Ast.EAgg (agg, src, p) -> Ast.EAgg (agg, go src, p)
+  | Ast.ESfw ({ proj; froms; where }, p) ->
+    (* from-bindings scope over the select- and where-clauses and over
+       later from-bindings; ranges are expanded until the name is bound. *)
+    let rec expand_froms bound acc = function
+      | [] -> (List.rev acc, bound)
+      | (x, src) :: rest ->
+        let src' = if bound then src else go src in
+        expand_froms (bound || String.equal x name) ((x, src') :: acc) rest
+    in
+    let froms', bound = expand_froms false [] froms in
+    if bound then Ast.ESfw ({ proj; froms = froms'; where }, p)
+    else Ast.ESfw ({ proj = go proj; froms = froms'; where = Option.map go where }, p)
+
+(* Expand all definitions (in order) inside an expression. *)
+let expand (defines : (string * Ast.expr) list) (e : Ast.expr) : Ast.expr =
+  (* Later definitions may use earlier ones: resolve each body first. *)
+  let resolved =
+    List.fold_left
+      (fun acc (name, body) ->
+        let body' =
+          List.fold_left (fun b (n, def) -> splice n def b) body acc
+        in
+        (name, body') :: acc)
+      [] defines
+  in
+  List.fold_left (fun q (name, body) -> splice name body q) e (List.rev resolved)
+
+(* Expand a program's query against its view definitions. *)
+let expand_program (p : Ast.program) : Ast.expr option =
+  Option.map (expand p.defines) p.query

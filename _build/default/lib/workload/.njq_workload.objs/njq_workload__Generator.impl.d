@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Catalog List Njq_adl Printf Rng Value Vtype

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Catalog Njq_adl Vtype

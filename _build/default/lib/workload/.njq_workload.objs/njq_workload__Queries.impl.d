@@ -1,0 +1,1 @@
+lib/workload/queries.ml: Catalog Dsl Expr List Njq_adl Njq_oosql Printf String Value Vtype

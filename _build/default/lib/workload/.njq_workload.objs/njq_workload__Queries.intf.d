@@ -1,0 +1,1 @@
+lib/workload/queries.mli: Catalog Expr Njq_adl Njq_oosql

@@ -1,0 +1,192 @@
+(* Scalable, deterministic generator for the paper's supplier-part-delivery
+   database (Section 2).
+
+   The ADL shapes follow the paper's logical design: every extent row gets
+   an oid; SUPPLIER stores parts_supplied as a set of Part references;
+   DELIVERY references its supplier and stores supply as a set of
+   (part, quantity) tuples.
+
+   Knobs (all deterministic given the seed):
+   - [parts], [suppliers], [deliveries]: extent cardinalities;
+   - [fanout]: average size of a supplier's parts_supplied set;
+   - [supply_fanout]: average size of a delivery's supply set;
+   - [dangling_rate]: fraction of part references pointing to no existing
+     part (drives the referential-integrity experiment, Example Query 4);
+   - [empty_rate]: fraction of suppliers with an empty parts_supplied set
+     (drives the Complex Object bug and PNF-loss experiments). *)
+
+open Njq_adl
+
+type config = {
+  seed : int;
+  parts : int;
+  suppliers : int;
+  deliveries : int;
+  fanout : int;
+  supply_fanout : int;
+  dangling_rate : float;
+  empty_rate : float;
+}
+
+let default_config =
+  { seed = 42;
+    parts = 64;
+    suppliers = 32;
+    deliveries = 48;
+    fanout = 4;
+    supply_fanout = 3;
+    dangling_rate = 0.05;
+    empty_rate = 0.1 }
+
+(* A configuration scaled to roughly [n] rows per extent; used by the
+   benchmark sweeps. *)
+let scaled ?(seed = 42) n =
+  { default_config with
+    seed;
+    parts = n;
+    suppliers = n;
+    deliveries = n;
+    fanout = max 2 (n / 16) }
+
+let colors = [| "red"; "green"; "blue"; "yellow"; "black" |]
+
+let part_names =
+  [| "bolt"; "nut"; "screw"; "cam"; "cog"; "gear"; "axle"; "washer" |]
+
+(* Row types, matching [Njq_oosql.Schema.supplier_part]'s logical design. *)
+let part_row_type =
+  Vtype.tuple
+    [ ("oid", Vtype.TOid); ("pname", Vtype.TString); ("price", Vtype.TInt);
+      ("color", Vtype.TString) ]
+
+let supplier_row_type =
+  Vtype.tuple
+    [ ("oid", Vtype.TOid); ("sname", Vtype.TString);
+      ("parts_supplied", Vtype.TSet (Vtype.TRef "PART")) ]
+
+let delivery_row_type =
+  Vtype.tuple
+    [ ("oid", Vtype.TOid);
+      ("supplier", Vtype.TRef "SUPPLIER");
+      ("supply",
+       Vtype.TSet
+         (Vtype.tuple [ ("part", Vtype.TRef "PART"); ("quantity", Vtype.TInt) ]));
+      ("date", Vtype.TDate) ]
+
+type db = {
+  catalog : Catalog.t;
+  part_oids : int array;
+  supplier_oids : int array;
+}
+
+let generate (cfg : config) : db =
+  let rng = Rng.create cfg.seed in
+  let cat = Catalog.create () in
+  (* Parts *)
+  let part_oids =
+    Array.init cfg.parts (fun _ -> Catalog.fresh_oid cat)
+  in
+  let parts =
+    Array.to_list
+      (Array.mapi
+         (fun i oid ->
+           Value.tuple
+             [ ("oid", Value.oid oid);
+               ("pname",
+                Value.string
+                  (Printf.sprintf "%s-%d" (Rng.pick_array rng part_names) i));
+               ("price", Value.int (Rng.int_in_range rng ~lo:1 ~hi:500));
+               ("color", Value.string (Rng.pick_array rng colors)) ])
+         part_oids)
+  in
+  Catalog.add_table cat ~name:"PART" ~row_type:part_row_type parts;
+  (* Suppliers: a set of part references, possibly empty, possibly with a
+     dangling reference injected. *)
+  let dangling_oid () = 1_000_000 + Rng.int rng 1_000_000 in
+  let supplier_oids =
+    Array.init cfg.suppliers (fun _ -> Catalog.fresh_oid cat)
+  in
+  let suppliers =
+    Array.to_list
+      (Array.mapi
+         (fun i oid ->
+           let refs =
+             if cfg.parts = 0 || Rng.chance rng cfg.empty_rate then []
+             else begin
+               let k = 1 + Rng.int rng (max 1 (2 * cfg.fanout)) in
+               List.init k (fun _ ->
+                   if Rng.chance rng cfg.dangling_rate then
+                     Value.oid (dangling_oid ())
+                   else Value.oid (Rng.pick_array rng part_oids))
+             end
+           in
+           Value.tuple
+             [ ("oid", Value.oid oid);
+               ("sname", Value.string (Printf.sprintf "s%d" i));
+               ("parts_supplied", Value.set refs) ])
+         supplier_oids)
+  in
+  Catalog.add_table cat ~name:"SUPPLIER" ~row_type:supplier_row_type suppliers;
+  (* Deliveries *)
+  let deliveries =
+    List.init cfg.deliveries (fun i ->
+        let oid = Catalog.fresh_oid cat in
+        let supplier =
+          if cfg.suppliers = 0 then Value.oid 0
+          else Value.oid (Rng.pick_array rng supplier_oids)
+        in
+        let supply =
+          if cfg.parts = 0 then []
+          else
+            List.init
+              (1 + Rng.int rng (max 1 (2 * cfg.supply_fanout)))
+              (fun _ ->
+                Value.tuple
+                  [ ("part", Value.oid (Rng.pick_array rng part_oids));
+                    ("quantity", Value.int (Rng.int_in_range rng ~lo:1 ~hi:100)) ])
+        in
+        let date = 940101 + (i mod 28) in
+        Value.tuple
+          [ ("oid", Value.oid oid);
+            ("supplier", supplier);
+            ("supply", Value.set supply);
+            ("date", Value.date date) ])
+  in
+  Catalog.add_table cat ~name:"DELIVERY" ~row_type:delivery_row_type deliveries;
+  { catalog = cat; part_oids; supplier_oids }
+
+(* Convenience: catalog only. *)
+let catalog cfg = (generate cfg).catalog
+
+(* Abstract X(a, c:{int}) / Y(d, e) tables in the shape of the paper's
+   Figures 1-2, scaled: [n] rows per table, correlation attribute values in
+   [0, n), element sets of average size [fanout], and [empty_rate] of the X
+   rows carrying an empty set.  Used by the grouping and exchange
+   benchmarks. *)
+let xy_catalog ?(seed = 42) ?(fanout = 4) ?(empty_rate = 0.1) n : Catalog.t =
+  let rng = Rng.create seed in
+  let cat = Catalog.create () in
+  let xs =
+    List.init n (fun i ->
+        let c =
+          if Rng.chance rng empty_rate then []
+          else
+            List.init
+              (1 + Rng.int rng (max 1 (2 * fanout)))
+              (fun _ -> Value.int (Rng.int rng (max 1 n)))
+        in
+        Value.tuple [ ("a", Value.int i); ("c", Value.set c) ])
+  in
+  Catalog.add_table cat ~name:"X"
+    ~row_type:(Vtype.tuple [ ("a", Vtype.TInt); ("c", Vtype.TSet Vtype.TInt) ])
+    xs;
+  let ys =
+    List.init n (fun i ->
+        Value.tuple
+          [ ("d", Value.int (Rng.int rng (max 1 n)));
+            ("e", Value.int (i mod max 1 n)) ])
+  in
+  Catalog.add_table cat ~name:"Y"
+    ~row_type:(Vtype.tuple [ ("d", Vtype.TInt); ("e", Vtype.TInt) ])
+    ys;
+  cat

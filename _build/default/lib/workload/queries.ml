@@ -1,0 +1,204 @@
+(* The paper's query corpus: Example Queries 1-6 (Sections 2 and 4) in OOSQL
+   source form against the supplier-part-delivery schema, plus the abstract
+   tables of Figures 1-3.
+
+   Notes on fidelity:
+   - Example Query 3.1 as printed in the paper compares s.parts_supplied
+     (a set of parts) with a subquery returning a set of *sets* of parts;
+     we use the evidently intended flattened form (all parts supplied by
+     supplier s1), expressed with a multi-binding from-clause.
+   - The referential-integrity query (Example Query 4) compares references
+     with oids directly and therefore never dereferences a dangling pointer;
+     queries that do dereference (1, 2, 3.2, 6) should run against data
+     generated with [dangling_rate = 0]. *)
+
+open Njq_adl
+
+let schema = Njq_oosql.Schema.supplier_part ()
+
+type query = {
+  id : string; (* experiment id, e.g. "EQ4" *)
+  title : string;
+  oosql : string;
+  needs_integrity : bool; (* dereferences part/supplier pointers *)
+}
+
+let q1 =
+  { id = "EQ1";
+    title = "Nesting in the select-clause: supplier names with their red parts";
+    oosql =
+      {|select (sname = s.sname,
+         pnames = select p.pname from p in s.parts_supplied where p.color = "red")
+  from s in SUPPLIER|};
+    needs_integrity = true }
+
+let q2 =
+  { id = "EQ2";
+    title = "Nesting in the from-clause: deliveries of supplier s1 on Jan 1, 1994";
+    oosql =
+      {|select d
+  from d in (select e from e in DELIVERY where e.supplier.sname = "s1")
+  where d.date = 940101|};
+    needs_integrity = true }
+
+let q3_1 =
+  { id = "EQ3.1";
+    title = "Nesting in the where-clause over a base table: suppliers covering s1";
+    oosql =
+      {|select s.sname
+  from s in SUPPLIER
+  where s.parts_supplied supseteq
+        (select p from t in SUPPLIER, p in t.parts_supplied where t.sname = "s0")|};
+    needs_integrity = false }
+
+let q3_2 =
+  { id = "EQ3.2";
+    title = "Nesting in the where-clause over a set-valued attribute: deliveries with red parts";
+    oosql =
+      {|select d
+  from d in DELIVERY
+  where exists x in (select s from s in d.supply where s.part.color = "red")|};
+    needs_integrity = true }
+
+let q4 =
+  { id = "EQ4";
+    title = "Referential integrity: suppliers with non-existing parts (mu + antijoin)";
+    oosql =
+      {|select (sid = s.oid)
+  from s in SUPPLIER
+  where exists z in s.parts_supplied : not exists p in PART : z = p.oid|};
+    needs_integrity = false }
+
+let q5 =
+  { id = "EQ5";
+    title = "Suppliers supplying red parts (semijoin)";
+    oosql =
+      {|select s
+  from s in SUPPLIER
+  where exists z in s.parts_supplied : exists p in PART : z = p.oid and p.color = "red"|};
+    needs_integrity = false }
+
+let q6 =
+  { id = "EQ6";
+    title = "Supplier names with all parts supplied (nestjoin)";
+    oosql =
+      {|select (sname = s.sname,
+         parts_suppl = select p from p in PART where p.oid in s.parts_supplied)
+  from s in SUPPLIER|};
+    needs_integrity = false }
+
+let all = [ q1; q2; q3_1; q3_2; q4; q5; q6 ]
+
+(* Extended corpus beyond the paper's examples, exercising the "future
+   work" directions of Section 7: multiple nesting levels and multiple
+   subqueries per predicate. *)
+
+let q7 =
+  { id = "EQ7";
+    title = "Three nesting levels: suppliers of red parts delivered in bulk";
+    oosql =
+      {|select s.sname
+  from s in SUPPLIER
+  where exists z in s.parts_supplied : exists p in PART :
+        z = p.oid and p.color = "red" and
+        (exists d in DELIVERY : exists u in d.supply : u.part = p.oid and u.quantity > 50)|};
+    needs_integrity = false }
+
+let q8 =
+  { id = "EQ8";
+    title = "Two subqueries in one predicate: red-supplying, blue-avoiding suppliers";
+    oosql =
+      {|select s.sname
+  from s in SUPPLIER
+  where (exists p in PART : p.oid in s.parts_supplied and p.color = "red")
+        and not exists q in PART : q.oid in s.parts_supplied and q.color = "blue"|};
+    needs_integrity = false }
+
+let q9 =
+  { id = "EQ9";
+    title = "Nested grouping: per supplier, red parts with their deliveries";
+    oosql =
+      {|select (sname = s.sname,
+         reds = select (pname = p.pname,
+                        dels = select d.oid from d in DELIVERY
+                               where exists u in d.supply : u.part = p.oid)
+                from p in PART
+                where p.oid in s.parts_supplied and p.color = "red")
+  from s in SUPPLIER|};
+    needs_integrity = false }
+
+let extended = [ q7; q8; q9 ]
+
+let find id =
+  match List.find_opt (fun q -> String.equal q.id id) (all @ extended) with
+  | Some q -> q
+  | None -> invalid_arg (Printf.sprintf "Queries.find: unknown query %s" id)
+
+(* Parse and translate a corpus query to ADL. *)
+let to_adl (q : query) : Expr.t =
+  fst (Njq_oosql.Translate.query_string schema q.oosql)
+
+(* ------------------------------------------------------------------ *)
+(* The abstract example tables of the paper's figures                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 1 / Figure 2: X(a, c:{int}), Y(d, e).  The tuple (a=2, c={}) is
+   the dangling tuple that the flat-join grouping rewrite loses: its
+   subquery result is empty and {} 'subseteq' {} holds, so it belongs in
+   the answer. *)
+let fig2_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~name:"X"
+    ~row_type:(Vtype.tuple [ ("a", Vtype.TInt); ("c", Vtype.TSet Vtype.TInt) ])
+    [ Value.tuple [ ("a", Value.int 1); ("c", Value.set [ Value.int 1; Value.int 2 ]) ];
+      Value.tuple [ ("a", Value.int 2); ("c", Value.set []) ] ];
+  Catalog.add_table cat ~name:"Y"
+    ~row_type:(Vtype.tuple [ ("d", Vtype.TInt); ("e", Vtype.TInt) ])
+    [ Value.tuple [ ("d", Value.int 1); ("e", Value.int 1) ];
+      Value.tuple [ ("d", Value.int 1); ("e", Value.int 2) ];
+      Value.tuple [ ("d", Value.int 1); ("e", Value.int 3) ];
+      Value.tuple [ ("d", Value.int 3); ("e", Value.int 3) ] ];
+  cat
+
+(* The Figure 1/2 query: sigma[x : x.c 'subseteq' alpha[y : y.e](sigma[y :
+   x.a = y.d](Y))](X). *)
+let fig2_query : Expr.t =
+  let open Dsl in
+  select "x" (table "X")
+    (subseteq (var "x" $. "c")
+       (map_ "y" (select "y" (table "Y") (eq (var "x" $. "a") (var "y" $. "d")))
+          (var "y" $. "e")))
+
+(* Figure 3: the nestjoin example.  X(a, b) nestjoin Y(d, e) on b = d. *)
+let fig3_catalog () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~name:"X3"
+    ~row_type:(Vtype.tuple [ ("a", Vtype.TInt); ("b", Vtype.TInt) ])
+    [ Value.tuple [ ("a", Value.int 1); ("b", Value.int 1) ];
+      Value.tuple [ ("a", Value.int 2); ("b", Value.int 1) ];
+      Value.tuple [ ("a", Value.int 3); ("b", Value.int 3) ] ];
+  Catalog.add_table cat ~name:"Y3"
+    ~row_type:(Vtype.tuple [ ("d", Vtype.TInt); ("e", Vtype.TInt) ])
+    [ Value.tuple [ ("d", Value.int 1); ("e", Value.int 10) ];
+      Value.tuple [ ("d", Value.int 1); ("e", Value.int 20) ];
+      Value.tuple [ ("d", Value.int 2); ("e", Value.int 30) ] ];
+  cat
+
+let fig3_query : Expr.t =
+  let open Dsl in
+  nestjoin ~x:"x" ~y:"y" ~attr:"m"
+    (eq (var "x" $. "b") (var "y" $. "d"))
+    (table "X3") (table "Y3")
+
+(* The Section 6.2 materialization query: replace each supplier's part
+   references by the referenced part objects (a nested natural join of a
+   set-valued attribute with a base table), processed either naively, via
+   unnest-join-nest, or with the PNHL algorithm. *)
+let materialize_parts_query : Expr.t =
+  let open Dsl in
+  map_ "s" (table "SUPPLIER")
+    (except (var "s")
+       [ ( "parts_supplied",
+           map_ "p"
+             (select "p" (table "PART") (mem (var "p" $. "oid") (var "s" $. "parts_supplied")))
+             (var "p") ) ])

@@ -1,0 +1,1 @@
+test/test_adlsyntax.ml: Adlsyntax Alcotest Dsl Expr List Njq_adl Njq_core Util Value

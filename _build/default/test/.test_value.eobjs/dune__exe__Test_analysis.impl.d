@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Catalog Dsl Expr List Njq_adl String Util Value Vtype

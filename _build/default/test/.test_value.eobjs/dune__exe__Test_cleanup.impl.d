@@ -1,0 +1,1 @@
+test/test_cleanup.ml: Alcotest Dsl Eval Expr Njq_adl Njq_core Pretty Util Value

@@ -1,0 +1,1 @@
+test/test_consthoist.ml: Alcotest Counters Dsl Eval Expr Njq_adl Njq_engine Njq_workload Pretty Printf Util Value

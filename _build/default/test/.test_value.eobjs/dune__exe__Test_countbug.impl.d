@@ -1,0 +1,1 @@
+test/test_countbug.ml: Alcotest Catalog Dsl Emptyset Eval Expr List Njq_adl Njq_core Njq_engine Pretty Util Value Vtype

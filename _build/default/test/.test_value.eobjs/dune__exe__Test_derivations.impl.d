@@ -1,0 +1,1 @@
+test/test_derivations.ml: Alcotest List Njq_adl Njq_core Njq_workload Util

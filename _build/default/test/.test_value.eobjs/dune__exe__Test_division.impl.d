@@ -1,0 +1,1 @@
+test/test_division.ml: Alcotest Catalog Dsl Eval Expr Fmt List Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload Printf QCheck Util Value

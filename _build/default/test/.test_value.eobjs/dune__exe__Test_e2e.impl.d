@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Counters Eval List Njq_adl Njq_core Njq_engine Njq_workload Printf Util

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Analysis Catalog Counters Dsl Eval Expr List Njq_adl Njq_engine Njq_workload Printf Util Value

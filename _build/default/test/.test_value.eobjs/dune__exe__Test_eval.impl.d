@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Catalog Dsl Eval Expr Njq_adl Njq_workload Util Value

@@ -1,0 +1,1 @@
+test/test_fold.ml: Alcotest Catalog Dsl Emptyset Eval Expr Fmt Fold Njq_adl Util Value

@@ -1,0 +1,1 @@
+test/test_grace.ml: Alcotest Catalog Counters Dsl Eval Expr List Njq_adl Njq_engine Njq_workload Printf Util Value Vtype

@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Catalog Counters Dsl Expr List Njq_adl Njq_core Njq_engine Pretty String Util Value Vtype

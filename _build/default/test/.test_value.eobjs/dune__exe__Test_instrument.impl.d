@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Dsl List Njq_adl Njq_core Njq_engine Njq_workload Util Value

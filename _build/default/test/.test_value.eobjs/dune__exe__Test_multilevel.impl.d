@@ -1,0 +1,1 @@
+test/test_multilevel.ml: Alcotest Analysis Dsl Eval Expr List Njq_adl Njq_core Njq_engine Njq_workload Util

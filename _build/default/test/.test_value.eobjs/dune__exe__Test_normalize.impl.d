@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Analysis Catalog Dsl Eval Expr Fold List Njq_adl Njq_core Pretty QCheck Util Value

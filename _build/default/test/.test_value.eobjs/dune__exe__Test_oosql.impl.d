@@ -1,0 +1,1 @@
+test/test_oosql.ml: Alcotest Array Ast Catalog Expr Lexer List Njq_adl Njq_oosql Njq_workload Parser Pretty Schema Sqlpretty Translate Typecheck Util Value Vtype

@@ -1,0 +1,1 @@
+test/test_oosql_gen.ml: Alcotest Eval List Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload QCheck String Typecheck Util Value Vtype

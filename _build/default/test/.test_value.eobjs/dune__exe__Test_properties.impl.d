@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Analysis Dsl Eval Expr Fold Njq_adl Njq_core Util Value

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Analysis Catalog Counters Dsl Eval Expr List Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload Printf Typecheck Util Value Vtype

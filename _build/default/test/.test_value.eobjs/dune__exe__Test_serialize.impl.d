@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Catalog Eval Filename Fun List Njq_adl Njq_workload Serialize Sys Util Value Vtype

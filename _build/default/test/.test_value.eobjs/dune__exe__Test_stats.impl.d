@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Catalog Dsl Eval Expr Njq_adl Njq_core Njq_engine Njq_workload Util Value Vtype

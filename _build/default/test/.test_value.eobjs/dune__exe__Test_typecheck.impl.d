@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Dsl Eval Expr List Njq_adl Typecheck Util Value Vtype

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest List Njq_adl QCheck Util Value

@@ -1,0 +1,1 @@
+test/test_views.ml: Alcotest Eval Expr List Njq_adl Njq_core Njq_engine Njq_oosql Njq_workload Util

@@ -1,0 +1,1 @@
+test/test_vtype.ml: Alcotest Njq_adl Util Value Vtype

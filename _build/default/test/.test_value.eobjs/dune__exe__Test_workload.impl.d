@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Catalog List Njq_adl Njq_workload Rng Util Value Vtype

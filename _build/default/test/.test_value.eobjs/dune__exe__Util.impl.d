@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Catalog Dsl Expr Fmt List Njq_adl Njq_workload Pretty Printf QCheck QCheck_alcotest Value Vtype

@@ -1,0 +1,118 @@
+(* Round-trip tests for the textual ADL syntax: every constructor, plus
+   property tests over random predicates and over the strategy's outputs
+   (whose shapes include everything the rewriter can produce). *)
+
+open Njq_adl
+open Dsl
+module A = Adlsyntax
+
+let roundtrip e = A.of_string (A.to_string e)
+
+(* Round trip is exact modulo the literal canonicalization. *)
+let check e =
+  Alcotest.check Util.expr (A.to_string e) (A.canon e) (roundtrip e)
+
+let test_constructors () =
+  List.iter check
+    [ int 42; str "a\"b"; bool true; Expr.Const Value.VNull; oid 7; date 940101;
+      Expr.Const (Value.float 2.5);
+      var "x"; table "SUPPLIER";
+      tuple [ ("a", int 1); ("b", str "s") ];
+      tuple [];
+      set_lit [ int 1; int 2 ];
+      set_lit [];
+      var "x" $. "a" $. "b";
+      proj (var "x") [ "a"; "b" ];
+      except (var "x") [ ("a", int 1); ("b", int 2) ];
+      var "x" ^^ var "y";
+      add (int 1) (mul (int 2) (int 3));
+      sub (var "a") (int 1);
+      eq (var "a") (int 1); neq (var "a") (int 1); lt (var "a") (int 1);
+      le (var "a") (int 1); gt (var "a") (int 1); ge (var "a") (int 1);
+      mem (var "a") (var "s"); not_mem (var "a") (var "s");
+      subseteq (var "s") (var "t"); subset (var "s") (var "t");
+      supseteq (var "s") (var "t"); supset (var "s") (var "t");
+      set_eq (var "s") (var "t"); set_neq (var "s") (var "t");
+      ni (var "s") (var "a"); Expr.SetCmp (Expr.NotNi, var "s", var "a");
+      (var "p" ||| var "q") &&& not_ (var "r");
+      if_ (var "p") (int 1) (int 2);
+      exists "x" (table "T") (eq (var "x" $. "a") (int 1));
+      forall "x" (var "s") (mem (var "x") (var "t"));
+      map_ "x" (table "T") (var "x" $. "a");
+      select "x" (table "T") (gt (var "x" $. "a") (int 0));
+      project [ "a"; "b" ] (table "T");
+      flatten (map_ "x" (table "T") (var "x" $. "c"));
+      union (table "T") (table "U"); inter (table "T") (table "U");
+      diff (table "T") (table "U"); product (table "T") (table "U");
+      divide (table "T") (table "U");
+      join ~x:"a" ~y:"b" (eq (var "a" $. "k") (var "b" $. "k")) (table "T") (table "U");
+      semijoin (bool true) (table "T") (table "U");
+      antijoin (bool false) (table "T") (table "U");
+      outerjoin ~pad:[ "d"; "e" ] (eq (var "x" $. "a") (var "y" $. "d"))
+        (table "T") (table "U");
+      nestjoin ~attr:"g" (bool true) (table "T") (table "U");
+      nestjoin ~attr:"g" ~body:(var "y" $. "e") (bool true) (table "T") (table "U");
+      unnest "c" (table "T");
+      Expr.Rename ([ ("a", "x"); ("b", "y") ], table "T");
+      nest ~attrs:[ "d"; "e" ] ~into:"g" (table "T");
+      count (table "T"); sum (var "s"); min_ (var "s"); max_ (var "s"); avg (var "s");
+      deref "PART" (var "r") ]
+
+let test_precedence_examples () =
+  (* parse without writer: precedence and associativity *)
+  Alcotest.check Util.expr "arith precedence"
+    (add (var "a") (mul (var "b") (var "c")))
+    (A.of_string "a + b * c");
+  Alcotest.check Util.expr "comparison under and"
+    (eq (var "a") (int 1) &&& gt (var "b") (int 2))
+    (A.of_string "a = 1 and b > 2");
+  Alcotest.check Util.expr "not binds tighter than and"
+    (not_ (var "p") &&& var "q")
+    (A.of_string "not p and q");
+  Alcotest.check Util.expr "nest arrow is not minus"
+    (nest ~attrs:[ "a" ] ~into:"g" (table "T"))
+    (A.of_string "nest[a -> g](@T)");
+  Alcotest.check Util.expr "grouping parens"
+    ((var "p" ||| var "q") &&& var "r")
+    (A.of_string "(p or q) and r")
+
+let test_parse_errors () =
+  let bad s =
+    match A.of_string s with
+    | e -> Alcotest.failf "accepted %S as %s" s (A.to_string e)
+    | exception A.Parse_error _ -> ()
+  in
+  bad "";
+  bad "select[x](T)";
+  bad "join[x : p](a, b)";
+  bad "nestjoin[x,y : p](a, b)";
+  bad "1 +";
+  bad "@";
+  bad "exists x in T";
+  bad "a = 1 trailing"
+
+(* Round trip over random predicates wrapped in selections. *)
+let prop_roundtrip_predicates =
+  Util.qcheck ~count:400 "round trip on random predicates"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, _) ->
+      let e = select "x" (table "X") pred in
+      Expr.equal (A.canon e) (roundtrip e))
+
+(* Round trip over everything the strategy can produce. *)
+let prop_roundtrip_strategy_outputs =
+  Util.qcheck ~count:200 "round trip on strategy outputs"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let out = Njq_core.Strategy.optimize cat (select "x" (table "X") pred) in
+      Expr.equal (A.canon out) (roundtrip out))
+
+let () =
+  Alcotest.run "adlsyntax"
+    [ ( "round trip",
+        [ Alcotest.test_case "all constructors" `Quick test_constructors;
+          Alcotest.test_case "precedence" `Quick test_precedence_examples;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "properties",
+        [ prop_roundtrip_predicates; prop_roundtrip_strategy_outputs ] ) ]

@@ -1,0 +1,100 @@
+(* Tests for free variables, substitution and structural search. *)
+
+open Njq_adl
+open Dsl
+
+let fv e = Analysis.S.elements (Analysis.free_vars e)
+
+let test_free_vars () =
+  Alcotest.(check (list string)) "var" [ "x" ] (fv (var "x"));
+  Alcotest.(check (list string)) "quantifier binds in pred"
+    [ "y" ]
+    (fv (exists "x" (var "y") (eq (var "x") (int 1))));
+  Alcotest.(check (list string)) "range is not in scope"
+    [ "x" ]
+    (fv (exists "x" (var "x") (bool true)));
+  Alcotest.(check (list string)) "select binds"
+    []
+    (fv (select "x" (table "T") (eq (var "x" $. "a") (int 1))));
+  Alcotest.(check (list string)) "join binds both"
+    [ "z" ]
+    (fv
+       (semijoin ~x:"a" ~y:"b"
+          (eq (var "a" $. "k") (var "b" $. "k") &&& eq (var "z") (int 1))
+          (table "T") (table "U")));
+  Alcotest.(check (list string)) "nestjoin body binds"
+    []
+    (fv (nestjoin ~x:"a" ~y:"b" ~attr:"g" ~body:(var "b" $. "e") (bool true)
+           (table "T") (table "U")))
+
+let test_subst_basic () =
+  Alcotest.check Util.expr "replaces free occurrence" (int 5)
+    (Analysis.subst1 "x" (int 5) (var "x"));
+  Alcotest.check Util.expr "respects shadowing"
+    (exists "x" (int 5) (eq (var "x") (int 1)))
+    (Analysis.subst1 "x" (int 5) (exists "x" (var "x") (eq (var "x") (int 1))))
+
+let test_subst_capture_avoidance () =
+  (* Substituting y := x under a binder for x must rename the binder. *)
+  let e = exists "x" (table "T") (eq (var "x") (var "y")) in
+  let result = Analysis.subst1 "y" (var "x") e in
+  (match result with
+   | Expr.Quant (Expr.Exists, x', _, Expr.Cmp (Expr.Eq, Expr.Var inner, Expr.Var replaced)) ->
+     Alcotest.(check bool) "binder renamed" false (String.equal x' "x");
+     Alcotest.(check string) "binder use follows" x' inner;
+     Alcotest.(check string) "free var inserted" "x" replaced
+   | _ -> Alcotest.fail "unexpected shape");
+  (* And the result must evaluate correctly. *)
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~name:"T" ~row_type:(Vtype.tuple [ ("a", Vtype.TInt) ])
+    [ Value.tuple [ ("a", Value.int 1) ] ];
+  ignore cat
+
+let test_uses_base_table () =
+  Alcotest.(check bool) "direct" true (Analysis.uses_base_table (table "T"));
+  Alcotest.(check bool) "nested in predicate" true
+    (Analysis.uses_base_table
+       (select "x" (var "c") (exists "y" (table "T") (bool true))));
+  Alcotest.(check bool) "attribute only" false
+    (Analysis.uses_base_table (select "x" (var "c") (bool true)));
+  Alcotest.(check bool) "deref is not a base-table iteration" false
+    (Analysis.uses_base_table (deref "PART" (var "r")))
+
+let test_base_tables () =
+  Alcotest.(check (list string)) "collects"
+    [ "T"; "U" ]
+    (Analysis.S.elements
+       (Analysis.base_tables (product (table "T") (select "x" (table "U") (bool true)))))
+
+let test_is_base_table_expr () =
+  Alcotest.(check bool) "table" true (Analysis.is_base_table_expr (table "T"));
+  Alcotest.(check bool) "selection over table" true
+    (Analysis.is_base_table_expr (select "x" (table "T") (bool true)));
+  Alcotest.(check bool) "attribute" false
+    (Analysis.is_base_table_expr (var "s" $. "parts"))
+
+let test_replace_subexpr () =
+  let needle = select "y" (table "Y") (eq (var "x" $. "a") (var "y" $. "d")) in
+  let host = subseteq (var "x" $. "c") needle in
+  Alcotest.check Util.expr "replaced"
+    (subseteq (var "x" $. "c") (var "G"))
+    (Analysis.replace_subexpr ~old_e:needle ~by:(var "G") host);
+  Alcotest.(check int) "count" 1 (Analysis.count_subexpr ~needle host)
+
+let test_size_and_find () =
+  let e = select "x" (table "T") (exists "y" (table "U") (bool true)) in
+  Alcotest.(check bool) "size positive" true (Analysis.size e > 4);
+  let tables = Analysis.find_all (function Expr.Table _ -> true | _ -> false) e in
+  Alcotest.(check int) "find_all finds both tables" 2 (List.length tables)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "analysis",
+        [ Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "substitution" `Quick test_subst_basic;
+          Alcotest.test_case "capture avoidance" `Quick test_subst_capture_avoidance;
+          Alcotest.test_case "uses_base_table" `Quick test_uses_base_table;
+          Alcotest.test_case "base_tables" `Quick test_base_tables;
+          Alcotest.test_case "is_base_table_expr" `Quick test_is_base_table_expr;
+          Alcotest.test_case "replace_subexpr" `Quick test_replace_subexpr;
+          Alcotest.test_case "size/find" `Quick test_size_and_find ] ) ]

@@ -1,0 +1,114 @@
+(* Tests for the final cleanup phase: projection-join reduction and
+   union pushdowns, each checked for shape and for semantics. *)
+
+open Njq_adl
+open Dsl
+module Rules = Njq_core.Rules
+module Cleanup = Njq_core.Cleanup
+
+let cat () = Util.small_catalog ()
+
+let run_rules cat e = fst (Rules.fixpoint_simplify cat Cleanup.rules e)
+
+let check_semantics name cat e =
+  let e' = run_rules cat e in
+  Alcotest.check Util.value name (Eval.run cat e) (Eval.run cat e')
+
+let rec contains p e =
+  p e || Expr.fold_children (fun acc c -> acc || contains p c) false e
+
+let test_project_join_to_semijoin () =
+  let cat = cat () in
+  (* part names of supplied parts: the join's right side only witnesses *)
+  let e =
+    project [ "sname" ]
+      (join ~x:"s" ~y:"p"
+         (ni (var "s" $. "parts_supplied") (var "p" $. "pid"))
+         (table "SUPPLIER")
+         (map_ "p" (table "PART") (tuple [ ("pid", var "p" $. "oid") ])))
+  in
+  let e' = run_rules cat e in
+  Alcotest.(check bool) "inner join becomes semijoin" true
+    (contains (function Expr.Join { kind = Expr.Semi; _ } -> true | _ -> false) e');
+  Alcotest.(check bool) "no inner join left" false
+    (contains (function Expr.Join { kind = Expr.Inner; _ } -> true | _ -> false) e');
+  check_semantics "semantics preserved" cat e
+
+let test_project_merging () =
+  let cat = cat () in
+  let e = project [ "sname" ] (project [ "sname"; "oid" ] (table "SUPPLIER")) in
+  let e' = run_rules cat e in
+  (match e' with
+   | Expr.Project ([ "sname" ], Expr.Table "SUPPLIER") -> ()
+   | _ -> Alcotest.failf "expected merged projection, got %a" Pretty.pp e');
+  check_semantics "semantics preserved" cat e
+
+let test_project_identity () =
+  let cat = cat () in
+  let e = project [ "oid"; "parts_supplied"; "sname" ] (table "SUPPLIER") in
+  Alcotest.check Util.expr "identity projection removed" (table "SUPPLIER")
+    (run_rules cat e)
+
+let test_union_distribution () =
+  let cat = cat () in
+  let reds = select "p" (table "PART") (eq (var "p" $. "color") (str "red")) in
+  let blues = select "p" (table "PART") (eq (var "p" $. "color") (str "blue")) in
+  let e =
+    select "q" (union reds blues) (gt (var "q" $. "price") (int 8))
+  in
+  let e' = run_rules cat e in
+  (match e' with
+   | Expr.Union (Expr.Select _, Expr.Select _) -> ()
+   | _ -> Alcotest.failf "expected distributed selection, got %a" Pretty.pp e');
+  check_semantics "selection over union" cat e;
+  check_semantics "map over union" cat
+    (map_ "q" (union reds blues) (var "q" $. "pname"));
+  check_semantics "projection over union" cat
+    (project [ "pname" ] (union reds blues))
+
+let test_project_into_semijoin () =
+  let cat = cat () in
+  let e =
+    project [ "oid"; "parts_supplied" ]
+      (semijoin ~x:"s" ~y:"p"
+         (ni (var "s" $. "parts_supplied") (var "p" $. "oid"))
+         (table "SUPPLIER") (table "PART"))
+  in
+  let e' = run_rules cat e in
+  (match e' with
+   | Expr.Join { kind = Expr.Semi; left = Expr.Project _; _ } -> ()
+   | _ -> Alcotest.failf "expected pushed projection, got %a" Pretty.pp e');
+  check_semantics "semantics preserved" cat e;
+  (* Not pushed when the predicate needs a dropped attribute. *)
+  let blocked =
+    project [ "oid" ]
+      (semijoin ~x:"s" ~y:"p"
+         (ni (var "s" $. "parts_supplied") (var "p" $. "oid"))
+         (table "SUPPLIER") (table "PART"))
+  in
+  let b' = run_rules cat blocked in
+  (match b' with
+   | Expr.Project ([ "oid" ], Expr.Join _) -> ()
+   | _ -> Alcotest.failf "projection must stay outside, got %a" Pretty.pp b');
+  check_semantics "blocked case semantics" cat blocked
+
+(* Cleanup must never change semantics on random nested predicates (it runs
+   inside the strategy, which is already property-tested; this pins the
+   rules in isolation). *)
+let prop_cleanup_sound =
+  Util.qcheck ~count:200 "cleanup rules preserve semantics"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let e = project [ "a" ] (select "x" (table "X") pred) in
+      Value.equal (Eval.run cat e) (Eval.run cat (run_rules cat e)))
+
+let () =
+  Alcotest.run "cleanup"
+    [ ( "rules",
+        [ Alcotest.test_case "π∘⋈→⋉" `Quick test_project_join_to_semijoin;
+          Alcotest.test_case "π merging" `Quick test_project_merging;
+          Alcotest.test_case "π identity" `Quick test_project_identity;
+          Alcotest.test_case "union distribution" `Quick test_union_distribution;
+          Alcotest.test_case "π into semijoin" `Quick test_project_into_semijoin ] );
+      ("properties", [ prop_cleanup_sound ]) ]

@@ -1,0 +1,129 @@
+(* The relational COUNT bug (Kim 1982 / Ganski-Wong 1987), of which the
+   paper shows the Complex Object bug is the complex-object generalization:
+   nested queries with aggregate functions between blocks lose dangling
+   outer tuples under the naive grouping transform whenever P(x, {}) is not
+   statically false. *)
+
+open Njq_adl
+open Dsl
+module Strategy = Njq_core.Strategy
+module Grouping = Njq_core.Grouping
+
+(* X(a, c) with c an int; the classic query: tuples whose a equals the
+   NUMBER of Y-partners.  A dangling tuple with a = 0 must be in the
+   result (count over the empty set is 0) but vanishes under the flat
+   join. *)
+let catalog () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~name:"XC"
+    ~row_type:(Vtype.tuple [ ("a", Vtype.TInt); ("k", Vtype.TInt) ])
+    [ Value.tuple [ ("a", Value.int 1); ("k", Value.int 2) ];
+      Value.tuple [ ("a", Value.int 2); ("k", Value.int 0) ] ];
+  Catalog.add_table cat ~name:"YC"
+    ~row_type:(Vtype.tuple [ ("d", Vtype.TInt); ("e", Vtype.TInt) ])
+    [ Value.tuple [ ("d", Value.int 1); ("e", Value.int 1) ];
+      Value.tuple [ ("d", Value.int 1); ("e", Value.int 2) ] ];
+  cat
+
+let count_query =
+  select "x" (table "XC")
+    (eq
+       (count (select "y" (table "YC") (eq (var "x" $. "a") (var "y" $. "d"))))
+       (var "x" $. "k"))
+
+let expected_correct =
+  Value.set
+    [ Value.tuple [ ("a", Value.int 1); ("k", Value.int 2) ];
+      Value.tuple [ ("a", Value.int 2); ("k", Value.int 0) ] ]
+
+let test_count_bug () =
+  let cat = catalog () in
+  Alcotest.check Util.value "nested-loop answer keeps the k = 0 tuple"
+    expected_correct (Eval.run cat count_query);
+  (* The unsafe transform loses it. *)
+  let buggy = Grouping.rewrite_unsafe cat count_query in
+  Alcotest.check Util.value "flat join loses the dangling tuple"
+    (Value.set [ Value.tuple [ ("a", Value.int 1); ("k", Value.int 2) ] ])
+    (Eval.run cat buggy)
+
+let test_emptyset_analysis () =
+  (* P(x, {}) = (count({}) = x.k) = (0 = x.k): run-time dependent, so the
+     guarded grouping must refuse. *)
+  let sub = select "y" (table "YC") (eq (var "x" $. "a") (var "y" $. "d")) in
+  match Emptyset.reduce ~subquery:sub (eq (count sub) (var "x" $. "k")) with
+  | Emptyset.Runtime residual ->
+    (* the residual is exactly the predicate Kim's method would need to
+       apply to dangling tuples *)
+    (match residual with
+     | Expr.Cmp (Expr.Eq, Expr.Const (Value.VInt 0), _) -> ()
+     | e -> Alcotest.failf "unexpected residual %a" Pretty.pp e)
+  | o -> Alcotest.failf "expected Runtime, got %a" Emptyset.pp_outcome o
+
+let test_strategy_is_correct () =
+  let cat = catalog () in
+  List.iter
+    (fun (name, mode) ->
+      let options = { Strategy.default_options with Strategy.grouping_mode = mode } in
+      let out = Strategy.optimize ~options cat count_query in
+      Alcotest.check Util.value (name ^ " correct") expected_correct
+        (Eval.run cat out);
+      Alcotest.check Util.value (name ^ " engine correct") expected_correct
+        (Njq_engine.Planner.run cat out))
+    [ ("nestjoin", Strategy.Nestjoin_always);
+      ("guarded flat join", Strategy.Flat_join_when_safe);
+      ("outer join", Strategy.Outerjoin) ]
+
+(* A COUNT query that IS safe: count(Y') > 0 reduces to false on the empty
+   set (it is rewritten to an existence test first and unnests to a
+   semijoin, never needing grouping at all). *)
+let test_count_positive () =
+  let cat = catalog () in
+  let q =
+    select "x" (table "XC")
+      (gt (count (select "y" (table "YC") (eq (var "x" $. "a") (var "y" $. "d"))))
+         (int 0))
+  in
+  let out = Strategy.optimize cat q in
+  let rec contains p e =
+    p e || Expr.fold_children (fun acc c -> acc || contains p c) false e
+  in
+  Alcotest.(check bool) "count>0 becomes a semijoin" true
+    (contains
+       (function Expr.Join { kind = Expr.Semi; _ } -> true | _ -> false)
+       out);
+  Alcotest.check Util.value "equivalent" (Eval.run cat q) (Eval.run cat out)
+
+(* Aggregate comparisons between blocks under random data: all grouping
+   modes agree with the reference. *)
+let prop_aggregates_between_blocks =
+  Util.qcheck ~count:120 "aggregate-between-blocks soundness" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let sub = select "y" (table "Y") (eq (var "x" $. "a") (var "y" $. "d")) in
+      let queries =
+        [ select "x" (table "X") (eq (count sub) (count (var "x" $. "c")));
+          select "x" (table "X") (le (count sub) (int 1));
+          select "x" (table "X")
+            (eq (count (map_ "y" sub (var "y" $. "e"))) (count (var "x" $. "c"))) ]
+      in
+      List.for_all
+        (fun q ->
+          List.for_all
+            (fun mode ->
+              let options =
+                { Strategy.default_options with Strategy.grouping_mode = mode }
+              in
+              Value.equal (Eval.run cat q)
+                (Eval.run cat (Strategy.optimize ~options cat q)))
+            [ Strategy.Nestjoin_always; Strategy.Flat_join_when_safe;
+              Strategy.Outerjoin ])
+        queries)
+
+let () =
+  Alcotest.run "countbug"
+    [ ( "count bug",
+        [ Alcotest.test_case "the classic COUNT bug" `Quick test_count_bug;
+          Alcotest.test_case "P(x,∅) analysis" `Quick test_emptyset_analysis;
+          Alcotest.test_case "strategy correctness" `Quick test_strategy_is_correct;
+          Alcotest.test_case "count>0 is a semijoin" `Quick test_count_positive ] );
+      ("properties", [ prop_aggregates_between_blocks ]) ]

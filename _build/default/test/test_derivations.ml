@@ -1,0 +1,75 @@
+(* Derivation-pinning tests: the exact sequence of rewrite rules the
+   strategy fires on each corpus query.  These are regression tripwires —
+   when a strategy or rule change alters a derivation, the diff here shows
+   exactly which query's optimization path moved and how. *)
+
+module Strategy = Njq_core.Strategy
+module Queries = Njq_workload.Queries
+
+let cat () =
+  Njq_workload.Generator.catalog
+    { Njq_workload.Generator.default_config with dangling_rate = 0.0 }
+
+let rule_names (r : Strategy.report) =
+  List.concat_map
+    (fun p -> List.map (fun (s : Njq_core.Rules.step) -> s.rule_name) p.Strategy.steps)
+    r.Strategy.phases
+
+let check_sequence id expected =
+  let r = Strategy.rewrite (cat ()) (Queries.to_adl (Queries.find id)) in
+  Alcotest.(check (list string)) id expected (rule_names r)
+
+let test_paper_queries () =
+  (* EQ1 nests only over a set-valued attribute: nothing to do. *)
+  check_sequence "EQ1" [];
+  (* EQ2's from-clause nesting collapses into one selection. *)
+  check_sequence "EQ2" [ "σ∘σ-merge" ];
+  (* EQ3.1: ⊇ expands, ∀ normalizes, Rule 1 gives the antijoin. *)
+  check_sequence "EQ3.1" [ "setcmp→quantifier"; "∀→¬∃¬"; "Rule1 σ∃→⋉/▷" ];
+  (* EQ3.2 keeps its attribute iteration; only the range selection fuses. *)
+  check_sequence "EQ3.2" [ "range-σ-fusion" ];
+  (* EQ4: attribute unnesting exposes the antijoin. *)
+  check_sequence "EQ4" [ "μ-attr-unnest α"; "Rule1 σ∃→⋉/▷" ];
+  (* EQ5: the paper's semijoin chain — exchange, Rule 1, hoist, pushdown. *)
+  check_sequence "EQ5" [ "∃-exchange"; "Rule1 σ∃→⋉/▷"; "∃-conj-hoist"; "σ-pushdown" ];
+  (* EQ6: one nestjoin for the select-clause grouping. *)
+  check_sequence "EQ6" [ "nestjoin α" ]
+
+let test_extended_queries () =
+  (* EQ7: the EQ5 chain plus a second Rule 1 for the inner level. *)
+  check_sequence "EQ7"
+    [ "∃-exchange"; "Rule1 σ∃→⋉/▷"; "∃-conj-hoist"; "σ-pushdown";
+      "Rule1 σ∃→⋉/▷" ];
+  (* EQ8: two subqueries peel off one join each. *)
+  check_sequence "EQ8"
+    [ "Rule1 σ∃→⋉/▷"; "σ-pushdown"; "Rule1 σ∃→⋉/▷"; "σ-pushdown" ];
+  (* EQ9: attribute unnest inside, chained nestjoins, then the color
+     restriction pushed into the nestjoin's right operand. *)
+  check_sequence "EQ9"
+    [ "μ-attr-unnest α"; "nestjoin α"; "nestjoin body ⊣"; "σ-pushdown" ]
+
+(* The strategy records phases in execution order and the output equals the
+   last step's result. *)
+let test_report_invariants () =
+  let cat = cat () in
+  List.iter
+    (fun (q : Queries.query) ->
+      let r = Strategy.rewrite cat (Queries.to_adl q) in
+      (match List.rev (List.concat_map (fun p -> p.Strategy.steps) r.Strategy.phases) with
+       | [] -> ()
+       | last :: _ ->
+         (* The output is the final step's result modulo final folding. *)
+         Alcotest.check Util.expr (q.id ^ " output is folded last step")
+           (Njq_adl.Fold.simplify last.Njq_core.Rules.result)
+           r.Strategy.output);
+      Alcotest.(check bool) (q.id ^ " step count consistent") true
+        (Strategy.step_count r
+         = List.length (rule_names r)))
+    (Queries.all @ Queries.extended)
+
+let () =
+  Alcotest.run "derivations"
+    [ ( "pinned sequences",
+        [ Alcotest.test_case "paper queries" `Quick test_paper_queries;
+          Alcotest.test_case "extended queries" `Quick test_extended_queries;
+          Alcotest.test_case "report invariants" `Quick test_report_invariants ] ) ]

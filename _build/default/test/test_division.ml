@@ -1,0 +1,144 @@
+(* Tests for the division-based unnesting of universal quantification
+   (Section 5.2.1 / Codd's division), the ablation alternative to the
+   antijoin of Rule 1. *)
+
+open Njq_adl
+module Strategy = Njq_core.Strategy
+module Gen = Njq_workload.Generator
+
+let division_options =
+  { Strategy.default_options with Strategy.enable_division = true }
+
+(* "Suppliers supplying all <color> parts" in OOSQL. *)
+let coverage_query color =
+  Fmt.str
+    {| select s.sname from s in SUPPLIER
+       where forall p in PART : not (p.color = %S) or p.oid in s.parts_supplied |}
+    color
+
+let translate q = fst (Njq_oosql.Translate.query_string Njq_workload.Queries.schema q)
+
+let rec contains p e =
+  p e || Expr.fold_children (fun acc c -> acc || contains p c) false e
+
+let has_division e = contains (function Expr.Divide _ -> true | _ -> false) e
+
+let test_rule_fires () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:3 32) with Gen.dangling_rate = 0.0 } in
+  let q = translate (coverage_query "red") in
+  let out = Strategy.optimize ~options:division_options cat q in
+  Alcotest.(check bool) "division operator introduced" true (has_division out);
+  (* The default strategy produces the antijoin instead. *)
+  let anti = Strategy.optimize cat q in
+  Alcotest.(check bool) "default avoids division" false (has_division anti)
+
+let test_equivalence_across_scales () =
+  List.iter
+    (fun (seed, n) ->
+      let cat =
+        Gen.catalog
+          { (Gen.scaled ~seed n) with Gen.dangling_rate = 0.0; Gen.empty_rate = 0.3 }
+      in
+      List.iter
+        (fun color ->
+          let q = translate (coverage_query color) in
+          let expected = Eval.run cat q in
+          let div = Strategy.optimize ~options:division_options cat q in
+          Alcotest.check Util.value
+            (Printf.sprintf "seed %d n %d color %s (eval)" seed n color)
+            expected (Eval.run cat div);
+          Alcotest.check Util.value
+            (Printf.sprintf "seed %d n %d color %s (engine)" seed n color)
+            expected
+            (Njq_engine.Planner.run cat div))
+        [ "red"; "green" ])
+    [ (1, 8); (2, 16); (3, 32); (4, 64) ]
+
+(* The empty-divisor corner: a color no part has.  Every supplier —
+   including those with an empty parts set — vacuously qualifies. *)
+let test_empty_divisor () =
+  let cat =
+    Gen.catalog
+      { (Gen.scaled ~seed:5 16) with Gen.dangling_rate = 0.0; Gen.empty_rate = 0.5 }
+  in
+  let q = translate (coverage_query "no-such-color") in
+  let div = Strategy.optimize ~options:division_options cat q in
+  let expected = Eval.run cat q in
+  Alcotest.(check int) "all suppliers qualify vacuously"
+    (Catalog.cardinality cat "SUPPLIER")
+    (Value.set_size expected);
+  Alcotest.check Util.value "division result" expected (Eval.run cat div);
+  Alcotest.check Util.value "engine result" expected (Njq_engine.Planner.run cat div)
+
+(* A supplier whose set-valued attribute is empty must not qualify when the
+   divisor is non-empty — μ drops it and the union term is empty. *)
+let test_empty_attribute () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~name:"PART" ~row_type:Gen.part_row_type
+    [ Util.part ~oid:1 ~pname:"bolt" ~price:1 ~color:"red" ];
+  Catalog.add_table cat ~name:"SUPPLIER" ~row_type:Gen.supplier_row_type
+    [ Util.supplier ~oid:10 ~sname:"has" ~parts:[ 1 ];
+      Util.supplier ~oid:11 ~sname:"empty" ~parts:[] ];
+  let q = translate (coverage_query "red") in
+  let div = Strategy.optimize ~options:division_options cat q in
+  let expected = Value.set [ Value.string "has" ] in
+  Alcotest.check Util.value "reference" expected (Eval.run cat q);
+  Alcotest.check Util.value "division" expected (Eval.run cat div)
+
+(* Two suppliers differing only in their parts set: the oid guard keeps the
+   rewrite applicable (oids differ), and no element pooling occurs. *)
+let test_no_pooling () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat ~name:"PART" ~row_type:Gen.part_row_type
+    [ Util.part ~oid:1 ~pname:"a" ~price:1 ~color:"red";
+      Util.part ~oid:2 ~pname:"b" ~price:1 ~color:"red" ];
+  Catalog.add_table cat ~name:"SUPPLIER" ~row_type:Gen.supplier_row_type
+    [ Util.supplier ~oid:10 ~sname:"half1" ~parts:[ 1 ];
+      Util.supplier ~oid:11 ~sname:"half2" ~parts:[ 2 ];
+      Util.supplier ~oid:12 ~sname:"full" ~parts:[ 1; 2 ] ];
+  let q = translate (coverage_query "red") in
+  let div = Strategy.optimize ~options:division_options cat q in
+  let expected = Value.set [ Value.string "full" ] in
+  Alcotest.check Util.value "only the full supplier" expected (Eval.run cat q);
+  Alcotest.check Util.value "division agrees" expected (Eval.run cat div)
+
+(* Property: antijoin and division strategies agree on random databases. *)
+let prop_division_vs_antijoin =
+  Util.qcheck ~count:60 "division ≡ antijoin on random databases"
+    QCheck.(pair (int_range 1 1000) (int_range 4 32))
+    (fun (seed, n) ->
+      let cat =
+        Gen.catalog
+          { (Gen.scaled ~seed n) with Gen.dangling_rate = 0.0; Gen.empty_rate = 0.25 }
+      in
+      let q = translate (coverage_query "red") in
+      let anti = Strategy.optimize cat q in
+      let div = Strategy.optimize ~options:division_options cat q in
+      Value.equal (Eval.run cat anti) (Eval.run cat div)
+      && Value.equal
+           (Njq_engine.Planner.run cat anti)
+           (Njq_engine.Planner.run cat div))
+
+(* The engine's hash division agrees with the reference division operator. *)
+let prop_engine_division =
+  Util.qcheck ~count:150 "hash division matches reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let open Dsl in
+      let dividend =
+        map_ "y" (table "Y") (tuple [ ("d", var "y" $. "d"); ("e", var "y" $. "e") ])
+      in
+      let divisor = project [ "e" ] (table "Y") in
+      let e = divide dividend divisor in
+      Value.equal (Eval.run cat e) (Njq_engine.Planner.run cat e))
+
+let () =
+  Alcotest.run "division"
+    [ ( "rewrite",
+        [ Alcotest.test_case "rule fires under the option" `Quick test_rule_fires;
+          Alcotest.test_case "equivalence across scales" `Quick test_equivalence_across_scales;
+          Alcotest.test_case "empty divisor corner" `Quick test_empty_divisor;
+          Alcotest.test_case "empty attribute corner" `Quick test_empty_attribute;
+          Alcotest.test_case "no element pooling" `Quick test_no_pooling ] );
+      ( "properties",
+        [ prop_division_vs_antijoin; prop_engine_division ] ) ]

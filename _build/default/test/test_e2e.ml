@@ -1,0 +1,141 @@
+(* End-to-end pipeline tests: OOSQL text -> parse -> typed translation ->
+   strategy rewrite -> physical plan -> execution, validated against the
+   reference (nested-loop) evaluation of the un-rewritten query, across
+   database configurations and grouping modes. *)
+
+open Njq_adl
+module Strategy = Njq_core.Strategy
+module Planner = Njq_engine.Planner
+module Gen = Njq_workload.Generator
+module Queries = Njq_workload.Queries
+
+let configs =
+  [ ("default", Gen.default_config);
+    ("tiny", { Gen.default_config with parts = 3; suppliers = 2; deliveries = 2 });
+    ("empty-heavy", { Gen.default_config with empty_rate = 0.8 });
+    ("empty-tables", { Gen.default_config with parts = 0; suppliers = 0; deliveries = 0 });
+    ("big-fanout", { Gen.default_config with fanout = 16; supply_fanout = 8 }) ]
+
+let clean cfg = { cfg with Gen.dangling_rate = 0.0 }
+
+let run_pipeline ?options cat adl =
+  let report = Strategy.rewrite ?options cat adl in
+  Njq_engine.Exec.run cat (Planner.plan report.Strategy.output)
+
+let test_full_pipeline () =
+  List.iter
+    (fun (cfg_name, cfg) ->
+      List.iter
+        (fun (q : Queries.query) ->
+          let cfg = if q.needs_integrity then clean cfg else cfg in
+          let cat = Gen.catalog cfg in
+          let adl = Queries.to_adl q in
+          let expected = Eval.run cat adl in
+          let got = run_pipeline cat adl in
+          Alcotest.check Util.value
+            (Printf.sprintf "%s on %s" q.id cfg_name)
+            expected got)
+        Queries.all)
+    configs
+
+let test_all_grouping_modes () =
+  let cat = Gen.catalog (clean Gen.default_config) in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (q : Queries.query) ->
+          let adl = Queries.to_adl q in
+          let options = { Strategy.default_options with Strategy.grouping_mode = mode } in
+          Alcotest.check Util.value (q.id ^ " under mode")
+            (Eval.run cat adl)
+            (run_pipeline ~options cat adl))
+        Queries.all)
+    [ Strategy.Nestjoin_always; Strategy.Flat_join_when_safe; Strategy.Outerjoin ]
+
+(* The cost-based planner with constant hoisting (the Planner.run path)
+   agrees with the reference on the whole corpus. *)
+let test_cost_based_hoisted () =
+  let cat = Gen.catalog (clean Gen.default_config) in
+  List.iter
+    (fun (q : Queries.query) ->
+      let adl = Queries.to_adl q in
+      let out = Strategy.optimize cat adl in
+      Alcotest.check Util.value (q.id ^ " cost-based + hoisted")
+        (Eval.run cat adl)
+        (Planner.run ~algo:(Planner.Cost_based cat) cat out))
+    (Queries.all @ Queries.extended)
+
+(* Disabling every optimization must still produce correct plans (pure
+   nested-loop execution through the planner fallback). *)
+let test_no_optimization () =
+  let cat = Gen.catalog (clean Gen.default_config) in
+  let options =
+    { Strategy.enable_relational = false;
+      Strategy.enable_attr_unnest = false;
+      Strategy.enable_grouping = false;
+      Strategy.enable_division = false;
+      Strategy.grouping_mode = Strategy.Nestjoin_always }
+  in
+  List.iter
+    (fun (q : Queries.query) ->
+      let adl = Queries.to_adl q in
+      Alcotest.check Util.value (q.id ^ " unoptimized")
+        (Eval.run cat adl)
+        (run_pipeline ~options cat adl))
+    Queries.all
+
+(* Rewriting is idempotent: optimizing an already-optimized query changes
+   nothing. *)
+let test_idempotence () =
+  let cat = Gen.catalog (clean Gen.default_config) in
+  List.iter
+    (fun (q : Queries.query) ->
+      let once = Strategy.optimize cat (Queries.to_adl q) in
+      let twice = Strategy.optimize cat once in
+      Alcotest.check Util.expr (q.id ^ " idempotent") once twice)
+    Queries.all
+
+(* The rewritten pipeline reduces measured work on a larger database. *)
+let test_scaled_work_reduction () =
+  let cat = Gen.catalog (clean (Gen.scaled ~seed:11 128)) in
+  let q = Queries.to_adl (Queries.find "EQ5") in
+  let nested_work =
+    Counters.reset ();
+    ignore (Eval.run cat q);
+    Counters.get "nl_pred_eval"
+  in
+  let rewritten = Strategy.optimize cat q in
+  let set_oriented_work =
+    Counters.reset ();
+    ignore (Njq_engine.Exec.run cat (Planner.plan rewritten));
+    Counters.get "nl_pred_eval" + Counters.get "hash_probe"
+    + Counters.get "hash_build" + Counters.get "filter_eval"
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "set-oriented %d << nested %d" set_oriented_work nested_work)
+    true
+    (set_oriented_work * 4 < nested_work)
+
+(* Query results over the paper's schema stay stable across runs (catalog
+   determinism + canonical values make results reproducible). *)
+let test_reproducibility () =
+  let run_once () =
+    let cat = Gen.catalog (clean Gen.default_config) in
+    List.map
+      (fun (q : Queries.query) -> run_pipeline cat (Queries.to_adl q))
+      Queries.all
+  in
+  List.iter2
+    (fun a b -> Alcotest.check Util.value "stable" a b)
+    (run_once ()) (run_once ())
+
+let () =
+  Alcotest.run "e2e"
+    [ ( "pipeline",
+        [ Alcotest.test_case "all queries x all configs" `Slow test_full_pipeline;
+          Alcotest.test_case "all grouping modes" `Quick test_all_grouping_modes;
+          Alcotest.test_case "cost-based + hoisted" `Quick test_cost_based_hoisted;
+          Alcotest.test_case "no optimization" `Quick test_no_optimization;
+          Alcotest.test_case "idempotence" `Quick test_idempotence;
+          Alcotest.test_case "work reduction at scale" `Quick test_scaled_work_reduction;
+          Alcotest.test_case "reproducibility" `Quick test_reproducibility ] ) ]

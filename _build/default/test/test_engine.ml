@@ -1,0 +1,290 @@
+(* Tests for the physical engine: every algorithm must agree with the
+   reference evaluator (differential testing on random tables), plus
+   dedicated tests for the member join, PNHL and assembly operators. *)
+
+open Njq_adl
+open Dsl
+module Plan = Njq_engine.Plan
+module Exec = Njq_engine.Exec
+module Planner = Njq_engine.Planner
+
+let join_pred = eq (var "x" $. "a") (var "y" $. "d")
+
+let join_expr kind =
+  Expr.Join
+    { kind; xvar = "x"; yvar = "y"; pred = join_pred; left = Expr.Table "X";
+      right = Expr.Table "Y" }
+
+let all_kinds =
+  [ ("inner", Expr.Inner); ("semi", Expr.Semi); ("anti", Expr.Anti);
+    ("outer", Expr.LeftOuter [ "d"; "e" ]) ]
+
+(* Differential: hash and nested-loop joins equal the reference evaluator. *)
+let prop_join_algos =
+  Util.qcheck ~count:150 "join algorithms match reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      List.for_all
+        (fun (_, kind) ->
+          let e = join_expr kind in
+          let expected = Eval.run cat e in
+          let nl = Exec.run cat (Planner.plan ~algo:(Planner.Force Plan.Nested_loop) e) in
+          let hash = Exec.run cat (Planner.plan ~algo:(Planner.Force Plan.Hash) e) in
+          Value.equal expected nl && Value.equal expected hash)
+        all_kinds)
+
+let prop_sort_merge =
+  Util.qcheck ~count:150 "sort-merge inner join matches reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let e = join_expr Expr.Inner in
+      let sm = Exec.run cat (Planner.plan ~algo:(Planner.Force Plan.Sort_merge) e) in
+      Value.equal (Eval.run cat e) sm)
+
+let prop_nestjoin_algos =
+  Util.qcheck ~count:150 "nestjoin algorithms match reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let e =
+        nestjoin ~x:"x" ~y:"y" ~attr:"g" ~body:(var "y" $. "e") join_pred
+          (table "X") (table "Y")
+      in
+      let expected = Eval.run cat e in
+      let nl = Exec.run cat (Planner.plan ~algo:(Planner.Force Plan.Nested_loop) e) in
+      let hash = Exec.run cat (Planner.plan ~algo:(Planner.Force Plan.Hash) e) in
+      let sm = Exec.run cat (Planner.plan ~algo:(Planner.Force Plan.Sort_merge) e) in
+      Value.equal expected nl && Value.equal expected hash
+      && Value.equal expected sm)
+
+let prop_member_join =
+  Util.qcheck ~count:150 "member joins match reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let shapes kind =
+        [ (* quantifier form *)
+          Expr.Join
+            { kind; xvar = "x"; yvar = "y";
+              pred = exists "z" (var "x" $. "c") (eq (var "z") (var "y" $. "e"));
+              left = Expr.Table "X"; right = Expr.Table "Y" };
+          (* membership form *)
+          Expr.Join
+            { kind; xvar = "x"; yvar = "y";
+              pred = mem (var "y" $. "e") (var "x" $. "c");
+              left = Expr.Table "X"; right = Expr.Table "Y" } ]
+      in
+      List.for_all
+        (fun kind ->
+          List.for_all
+            (fun e ->
+              let planned = Planner.plan e in
+              (* the planner must pick the member join *)
+              let is_member =
+                match planned with Plan.MemberJoin _ -> true | _ -> false
+              in
+              is_member && Value.equal (Eval.run cat e) (Exec.run cat planned))
+            (shapes kind))
+        [ Expr.Semi; Expr.Anti ])
+
+let prop_member_nestjoin =
+  Util.qcheck ~count:150 "member nestjoin matches reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let e =
+        nestjoin ~x:"x" ~y:"y" ~attr:"g"
+          (mem (var "y" $. "e") (var "x" $. "c"))
+          (table "X") (table "Y")
+      in
+      let planned = Planner.plan e in
+      (match planned with Plan.MemberJoin { kind = Plan.MNest _; _ } -> true | _ -> false)
+      && Value.equal (Eval.run cat e) (Exec.run cat planned))
+
+(* Other operators through the planner. *)
+let prop_structural_ops =
+  Util.qcheck ~count:150 "structural operators match reference" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let exprs =
+        [ project [ "a" ] (table "X");
+          map_ "x" (table "X") (count (var "x" $. "c"));
+          select "y" (table "Y") (gt (var "y" $. "e") (int 2));
+          union (project [ "a" ] (table "X")) (project [ "a" ] (table "X"));
+          inter (table "Y") (select "y" (table "Y") (gt (var "y" $. "d") (int 1)));
+          diff (table "Y") (select "y" (table "Y") (gt (var "y" $. "d") (int 1)));
+          flatten (map_ "x" (table "X") (var "x" $. "c"));
+          nest ~attrs:[ "e" ] ~into:"es" (table "Y");
+          unnest "c" (table "X") ]
+      in
+      List.for_all
+        (fun e -> Value.equal (Eval.run cat e) (Exec.run cat (Planner.plan e)))
+        exprs)
+
+(* Key extraction *)
+let test_key_extraction () =
+  let pred =
+    eq (var "x" $. "a") (var "y" $. "d")
+    &&& gt (var "y" $. "e") (int 1)
+    &&& eq (var "y" $. "e") (var "x" $. "a")
+  in
+  let keys, residual = Planner.extract_keys "x" "y" pred in
+  Alcotest.(check int) "two keys" 2 (List.length keys);
+  Alcotest.(check bool) "residual keeps the filter" true
+    (match residual with Expr.Cmp (Expr.Gt, _, _) -> true | _ -> false);
+  (* keys are oriented left-to-right *)
+  List.iter
+    (fun (kx, ky) ->
+      Alcotest.(check bool) "kx over x" true
+        (Analysis.S.subset (Analysis.free_vars kx) (Analysis.S.singleton "x"));
+      Alcotest.(check bool) "ky over y" true
+        (Analysis.S.subset (Analysis.free_vars ky) (Analysis.S.singleton "y")))
+    keys
+
+(* ---------------- PNHL ---------------- *)
+
+(* Reference result for materializing each supplier's parts. *)
+let pnhl_plan ~budget =
+  Plan.Pnhl
+    { attr = "parts_supplied";
+      elem_key = var "elem";
+      row_key = var "row" $. "oid";
+      into = "parts_supplied";
+      mem_budget = budget;
+      left = Plan.Scan "SUPPLIER";
+      right = Plan.Scan "PART" }
+
+let unnest_join_nest_plan () =
+  (* The pipeline PNHL is compared against: unnest the attribute, hash-join
+     with PART, re-nest.  Loses suppliers with an empty attribute. *)
+  Planner.plan
+    (nest
+       ~attrs:[ "parts_supplied"; "oid_p"; "pname"; "price"; "color" ]
+       ~into:"parts"
+       (join ~x:"u" ~y:"p"
+          (eq (var "u" $. "parts_supplied") (var "p" $. "oid_p"))
+          (unnest "parts_supplied" (table "SUPPLIER"))
+          (map_ "p" (table "PART")
+             (tuple
+                [ ("oid_p", var "p" $. "oid"); ("pname", var "p" $. "pname");
+                  ("price", var "p" $. "price"); ("color", var "p" $. "color") ]))))
+
+let test_pnhl_correct () =
+  let cfg = { Njq_workload.Generator.default_config with dangling_rate = 0.0 } in
+  let cat = Njq_workload.Generator.catalog cfg in
+  let expected = Eval.run cat Njq_workload.Queries.materialize_parts_query in
+  let got = Exec.run cat (pnhl_plan ~budget:1000) in
+  Alcotest.check Util.value "pnhl = reference materialization" expected got
+
+let test_pnhl_partitioning_invariant () =
+  let cfg = { Njq_workload.Generator.default_config with dangling_rate = 0.0 } in
+  let cat = Njq_workload.Generator.catalog cfg in
+  let full = Exec.run cat (pnhl_plan ~budget:100000) in
+  List.iter
+    (fun budget ->
+      Counters.reset ();
+      let partitioned = Exec.run cat (pnhl_plan ~budget) in
+      Alcotest.check Util.value
+        (Printf.sprintf "budget %d gives same result" budget)
+        full partitioned;
+      let parts = Counters.get "pnhl_partition" in
+      let expected_parts =
+        (Catalog.cardinality cat "PART" + budget - 1) / budget
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "partition count at budget %d" budget)
+        expected_parts parts)
+    [ 1; 7; 16; 64 ]
+
+let test_pnhl_keeps_empty_sets () =
+  (* PNHL preserves suppliers with empty parts_supplied; the
+     unnest-join-nest pipeline loses them (the PNF caveat of Section 4). *)
+  let cfg =
+    { Njq_workload.Generator.default_config with
+      dangling_rate = 0.0; empty_rate = 0.5 }
+  in
+  let cat = Njq_workload.Generator.catalog cfg in
+  let suppliers = Catalog.cardinality cat "SUPPLIER" in
+  let via_pnhl = Value.set_size (Exec.run cat (pnhl_plan ~budget:1000)) in
+  let via_ujn = Value.set_size (Exec.run cat (unnest_join_nest_plan ())) in
+  Alcotest.(check int) "pnhl keeps all suppliers" suppliers via_pnhl;
+  Alcotest.(check bool) "unnest-join-nest drops empty ones" true (via_ujn < suppliers)
+
+(* The planner recognizes the Section 6.2 materialization pattern and plans
+   it as PNHL instead of per-tuple nested evaluation. *)
+let test_pnhl_autoplan () =
+  let cfg = { Njq_workload.Generator.default_config with dangling_rate = 0.0 } in
+  let cat = Njq_workload.Generator.catalog cfg in
+  let q = Njq_workload.Queries.materialize_parts_query in
+  let plan = Planner.plan q in
+  (match plan with
+   | Plan.Pnhl { attr = "parts_supplied"; into = "parts_supplied";
+                 right = Plan.Scan "PART"; _ } -> ()
+   | p -> Alcotest.failf "expected a PNHL plan, got %a" Plan.pp p);
+  Alcotest.check Util.value "pnhl plan result" (Eval.run cat q) (Exec.run cat plan);
+  (* and it does far less parameter-evaluation work *)
+  let work f =
+    Counters.reset ();
+    ignore (f ());
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Counters.snapshot ())
+  in
+  let nested = work (fun () -> Eval.run cat q) in
+  let pnhl = work (fun () -> Exec.run cat plan) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pnhl %d << nested %d" pnhl nested)
+    true (pnhl * 4 < nested)
+
+(* ---------------- Assembly ---------------- *)
+
+let test_assembly () =
+  let cfg = { Njq_workload.Generator.default_config with dangling_rate = 0.0 } in
+  let cat = Njq_workload.Generator.catalog cfg in
+  let plan =
+    Plan.Assembly
+      { cls = "SUPPLIER"; ref_attr = "supplier"; into = "supplier_obj";
+        input = Plan.Scan "DELIVERY" }
+  in
+  let expected =
+    Eval.run cat
+      (map_ "d" (table "DELIVERY")
+         (except (var "d")
+            [ ("supplier_obj", deref "SUPPLIER" (var "d" $. "supplier")) ]))
+  in
+  Alcotest.check Util.value "assembly materializes references" expected
+    (Exec.run cat plan)
+
+(* Counters sanity: hash joins do fewer pair tests than nested loops. *)
+let test_hash_beats_nl_on_counters () =
+  let cat =
+    Njq_workload.Generator.catalog (Njq_workload.Generator.scaled ~seed:3 128)
+  in
+  let e =
+    semijoin ~x:"d" ~y:"s"
+      (eq (var "d" $. "supplier") (var "s" $. "oid"))
+      (table "DELIVERY") (table "SUPPLIER")
+  in
+  let count_for algo key =
+    Counters.reset ();
+    ignore (Exec.run cat (Planner.plan ~algo e));
+    Counters.get key
+  in
+  let nl_pairs = count_for (Planner.Force Plan.Nested_loop) "nl_pair" in
+  let probes = count_for (Planner.Force Plan.Hash) "hash_probe" in
+  Alcotest.(check bool)
+    (Printf.sprintf "probes (%d) < nl pairs (%d)" probes nl_pairs)
+    true
+    (probes < nl_pairs)
+
+let () =
+  Alcotest.run "engine"
+    [ ( "differential",
+        [ prop_join_algos; prop_sort_merge; prop_nestjoin_algos;
+          prop_member_join; prop_member_nestjoin; prop_structural_ops ] );
+      ( "planner",
+        [ Alcotest.test_case "key extraction" `Quick test_key_extraction ] );
+      ( "pnhl",
+        [ Alcotest.test_case "correctness" `Quick test_pnhl_correct;
+          Alcotest.test_case "partitioning invariant" `Quick test_pnhl_partitioning_invariant;
+          Alcotest.test_case "keeps empty sets" `Quick test_pnhl_keeps_empty_sets;
+          Alcotest.test_case "planner auto-PNHL" `Quick test_pnhl_autoplan ] );
+      ( "assembly",
+        [ Alcotest.test_case "pointer materialization" `Quick test_assembly ] );
+      ( "counters",
+        [ Alcotest.test_case "hash beats nested loop" `Quick test_hash_beats_nl_on_counters ] ) ]

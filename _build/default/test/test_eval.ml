@@ -1,0 +1,297 @@
+(* Semantics tests for the reference evaluator: one group per operator of
+   the paper's Section 3 list (items 1-12), plus the Section 6 operators
+   (nestjoin, outer join, division, deref/materialize) and aggregates. *)
+
+open Njq_adl
+open Dsl
+
+let vi = Value.int
+let vset = Value.set
+let tr fields = Value.tuple fields
+
+let cat0 () = Catalog.create ()
+
+let run e = Eval.run (cat0 ()) e
+
+let xy_cat () =
+  Util.xy_catalog
+    ( [ tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]) ];
+        tr [ ("a", vi 2); ("c", vset []) ] ],
+      [ tr [ ("d", vi 1); ("e", vi 1) ];
+        tr [ ("d", vi 1); ("e", vi 2) ];
+        tr [ ("d", vi 3); ("e", vi 3) ] ] )
+
+(* item 1: flatten *)
+let test_flatten () =
+  Util.check_value "flatten"
+    (vset [ vi 1; vi 2; vi 3 ])
+    (run (flatten (set_lit [ set_lit [ int 1; int 2 ]; set_lit [ int 2; int 3 ] ])))
+
+(* item 2: tuple subscription *)
+let test_subscription () =
+  Util.check_value "e[a,b]"
+    (tr [ ("a", vi 1); ("b", vi 2) ])
+    (run (proj (tuple [ ("a", int 1); ("b", int 2); ("c", int 3) ]) [ "a"; "b" ]))
+
+(* item 3: except *)
+let test_except () =
+  Util.check_value "update and extend"
+    (tr [ ("a", vi 9); ("b", vi 2); ("c", vi 3) ])
+    (run
+       (except (tuple [ ("a", int 1); ("b", int 2) ]) [ ("a", int 9); ("c", int 3) ]))
+
+(* item 4: map *)
+let test_map () =
+  Util.check_value "alpha"
+    (vset [ vi 2; vi 3 ])
+    (run (map_ "x" (set_lit [ int 1; int 2 ]) (add (var "x") (int 1))));
+  (* map may collapse duplicates: it produces a set *)
+  Util.check_value "alpha collapses"
+    (vset [ vi 0 ])
+    (run (map_ "x" (set_lit [ int 1; int 2 ]) (mul (var "x") (int 0))))
+
+(* item 5: selection *)
+let test_select () =
+  Util.check_value "sigma"
+    (vset [ vi 2; vi 3 ])
+    (run (select "x" (set_lit [ int 1; int 2; int 3 ]) (gt (var "x") (int 1))))
+
+(* item 6: projection *)
+let test_project () =
+  Util.check_value "pi"
+    (vset [ tr [ ("a", vi 1) ] ])
+    (run
+       (project [ "a" ]
+          (set_lit
+             [ tuple [ ("a", int 1); ("b", int 1) ];
+               tuple [ ("a", int 1); ("b", int 2) ] ])))
+
+(* item 7: unnest *)
+let test_unnest () =
+  let src =
+    set_lit
+      [ tuple [ ("k", int 1); ("s", set_lit [ tuple [ ("v", int 10) ]; tuple [ ("v", int 20) ] ]) ];
+        tuple [ ("k", int 2); ("s", set_lit []) ] ]
+  in
+  Util.check_value "mu over tuples"
+    (vset [ tr [ ("k", vi 1); ("v", vi 10) ]; tr [ ("k", vi 1); ("v", vi 20) ] ])
+    (run (unnest "s" src));
+  (* sets of atoms keep the attribute name; tuples with empty sets vanish *)
+  let atoms = set_lit [ tuple [ ("k", int 1); ("s", set_lit [ int 5; int 6 ]) ] ] in
+  Util.check_value "mu over atoms"
+    (vset [ tr [ ("k", vi 1); ("s", vi 5) ]; tr [ ("k", vi 1); ("s", vi 6) ] ])
+    (run (unnest "s" atoms))
+
+(* item 8: nest *)
+let test_nest () =
+  let src =
+    set_lit
+      [ tuple [ ("k", int 1); ("v", int 10) ];
+        tuple [ ("k", int 1); ("v", int 20) ];
+        tuple [ ("k", int 2); ("v", int 30) ] ]
+  in
+  Util.check_value "nu groups"
+    (vset
+       [ tr [ ("k", vi 1); ("g", vset [ tr [ ("v", vi 10) ]; tr [ ("v", vi 20) ] ]) ];
+         tr [ ("k", vi 2); ("g", vset [ tr [ ("v", vi 30) ] ]) ] ])
+    (run (nest ~attrs:[ "v" ] ~into:"g" src))
+
+(* nest and unnest are inverse on PNF relations without empty sets, and NOT
+   inverse in the presence of empty set-valued attributes (the paper's
+   caveat in Section 4). *)
+let test_nest_unnest_inverse () =
+  let pnf =
+    set_lit
+      [ tuple [ ("k", int 1); ("g", set_lit [ tuple [ ("v", int 10) ] ]) ];
+        tuple [ ("k", int 2); ("g", set_lit [ tuple [ ("v", int 20) ]; tuple [ ("v", int 30) ] ]) ] ]
+  in
+  Util.check_value "nu ∘ mu = id on PNF"
+    (run pnf)
+    (run (nest ~attrs:[ "v" ] ~into:"g" (unnest "g" pnf)));
+  let with_empty =
+    set_lit [ tuple [ ("k", int 1); ("g", set_lit []) ] ]
+  in
+  Alcotest.(check bool) "empty sets lost" false
+    (Value.equal (run with_empty)
+       (run (nest ~attrs:[ "v" ] ~into:"g" (unnest "g" with_empty))))
+
+(* items 9-12: product and the join family *)
+let test_product () =
+  Util.check_value "cartesian product"
+    (vset
+       [ tr [ ("a", vi 1); ("b", vi 3) ];
+         tr [ ("a", vi 1); ("b", vi 4) ];
+         tr [ ("a", vi 2); ("b", vi 3) ];
+         tr [ ("a", vi 2); ("b", vi 4) ] ])
+    (run
+       (product
+          (set_lit [ tuple [ ("a", int 1) ]; tuple [ ("a", int 2) ] ])
+          (set_lit [ tuple [ ("b", int 3) ]; tuple [ ("b", int 4) ] ])))
+
+let test_joins () =
+  let cat = xy_cat () in
+  let j pred kind =
+    Eval.run cat
+      (Expr.Join
+         { kind; xvar = "x"; yvar = "y"; pred; left = Expr.Table "X";
+           right = Expr.Table "Y" })
+  in
+  let p = eq (var "x" $. "a") (var "y" $. "d") in
+  Util.check_value "regular join"
+    (vset
+       [ tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]); ("d", vi 1); ("e", vi 1) ];
+         tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]); ("d", vi 1); ("e", vi 2) ] ])
+    (j p Expr.Inner);
+  Util.check_value "semijoin"
+    (vset [ tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]) ] ])
+    (j p Expr.Semi);
+  Util.check_value "antijoin"
+    (vset [ tr [ ("a", vi 2); ("c", vset []) ] ])
+    (j p Expr.Anti);
+  Util.check_value "left outer join pads with NULL"
+    (vset
+       [ tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]); ("d", vi 1); ("e", vi 1) ];
+         tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]); ("d", vi 1); ("e", vi 2) ];
+         tr [ ("a", vi 2); ("c", vset []); ("d", Value.VNull); ("e", Value.VNull) ] ])
+    (j p (Expr.LeftOuter [ "d"; "e" ]))
+
+(* Definition 1: the nestjoin, on the tables of Figure 3 *)
+let test_nestjoin_figure3 () =
+  let cat = Njq_workload.Queries.fig3_catalog () in
+  Util.check_value "figure 3"
+    (vset
+       [ tr [ ("a", vi 1); ("b", vi 1);
+              ("m", vset [ tr [ ("d", vi 1); ("e", vi 10) ]; tr [ ("d", vi 1); ("e", vi 20) ] ]) ];
+         tr [ ("a", vi 2); ("b", vi 1);
+              ("m", vset [ tr [ ("d", vi 1); ("e", vi 10) ]; tr [ ("d", vi 1); ("e", vi 20) ] ]) ];
+         tr [ ("a", vi 3); ("b", vi 3); ("m", vset []) ] ])
+    (Eval.run cat Njq_workload.Queries.fig3_query)
+
+(* Extended nestjoin: the function parameter applied to right tuples *)
+let test_nestjoin_body () =
+  let cat = xy_cat () in
+  let e =
+    nestjoin ~x:"x" ~y:"y" ~attr:"es"
+      ~body:(var "y" $. "e")
+      (eq (var "x" $. "a") (var "y" $. "d"))
+      (table "X") (table "Y")
+  in
+  Util.check_value "body projects e"
+    (vset
+       [ tr [ ("a", vi 1); ("c", vset [ vi 1; vi 2 ]); ("es", vset [ vi 1; vi 2 ]) ];
+         tr [ ("a", vi 2); ("c", vset []); ("es", vset []) ] ])
+    (Eval.run cat e)
+
+(* The renaming operator rho. *)
+let test_rename () =
+  let src =
+    set_lit
+      [ tuple [ ("a", int 1); ("b", int 2) ];
+        tuple [ ("a", int 3); ("b", int 4) ] ]
+  in
+  Util.check_value "rho renames"
+    (vset [ tr [ ("x", vi 1); ("b", vi 2) ]; tr [ ("x", vi 3); ("b", vi 4) ] ])
+    (run (Expr.Rename ([ ("a", "x") ], src)));
+  (* swap two attributes in one step *)
+  Util.check_value "rho swaps"
+    (vset [ tr [ ("a", vi 2); ("b", vi 1) ] ])
+    (run (Expr.Rename ([ ("a", "b"); ("b", "a") ],
+                       set_lit [ tuple [ ("a", int 1); ("b", int 2) ] ])))
+
+let test_division () =
+  let a =
+    set_lit
+      [ tuple [ ("s", int 1); ("p", int 1) ];
+        tuple [ ("s", int 1); ("p", int 2) ];
+        tuple [ ("s", int 2); ("p", int 1) ] ]
+  in
+  let b = set_lit [ tuple [ ("p", int 1) ]; tuple [ ("p", int 2) ] ] in
+  Util.check_value "division"
+    (vset [ tr [ ("s", vi 1) ] ])
+    (run (divide a b))
+
+let test_quantifiers () =
+  Util.check_value "exists true" (Value.bool true)
+    (run (exists "x" (set_lit [ int 1; int 2 ]) (eq (var "x") (int 2))));
+  Util.check_value "exists over empty is false" (Value.bool false)
+    (run (exists "x" empty (bool true)));
+  Util.check_value "forall over empty is true" (Value.bool true)
+    (run (forall "x" empty (bool false)));
+  Util.check_value "forall" (Value.bool true)
+    (run (forall "x" (set_lit [ int 1; int 2 ]) (gt (var "x") (int 0))))
+
+let test_set_comparisons () =
+  let s12 = set_lit [ int 1; int 2 ] and s123 = set_lit [ int 1; int 2; int 3 ] in
+  let chk name e expected =
+    Util.check_value name (Value.bool expected) (run e)
+  in
+  chk "mem" (mem (int 1) s12) true;
+  chk "not mem" (not_mem (int 5) s12) true;
+  chk "subseteq" (subseteq s12 s123) true;
+  chk "subset proper" (subset s12 s123) true;
+  chk "subset irrefl" (subset s12 s12) false;
+  chk "supseteq" (supseteq s123 s12) true;
+  chk "supset" (supset s123 s12) true;
+  chk "seteq" (set_eq s12 (set_lit [ int 2; int 1 ])) true;
+  chk "ni" (ni (set_lit [ set_lit [ int 1 ] ]) (set_lit [ int 1 ])) true
+
+let test_aggregates () =
+  let s = set_lit [ int 3; int 1; int 2 ] in
+  Util.check_value "count" (vi 3) (run (count s));
+  Util.check_value "count dedups" (vi 1) (run (count (set_lit [ int 7; int 7 ])));
+  Util.check_value "sum" (vi 6) (run (sum s));
+  Util.check_value "min" (vi 1) (run (min_ s));
+  Util.check_value "max" (vi 3) (run (max_ s));
+  Util.check_value "avg" (Value.float 2.0) (run (avg s));
+  Util.check_value "sum of empty" (vi 0) (run (sum empty));
+  Alcotest.check_raises "min of empty" (Eval.Eval_error "min of empty set")
+    (fun () -> ignore (run (min_ empty)))
+
+let test_deref () =
+  let cat = Util.small_catalog () in
+  let e = deref "PART" (oid 3) $. "pname" in
+  Util.check_value "deref" (Value.string "cam") (Eval.eval cat [] e);
+  Alcotest.check_raises "dangling raises"
+    (Value.Type_error "dangling reference #99 into PART") (fun () ->
+      ignore (Eval.eval cat [] (deref "PART" (oid 99))))
+
+let test_short_circuit () =
+  (* And/Or short-circuit left to right, so the guarded division below never
+     evaluates. *)
+  let div_by_zero = Expr.Arith (Expr.Div, int 1, int 0) in
+  let guarded = eq (int 1) (int 2) &&& eq div_by_zero (int 1) in
+  Util.check_value "and short-circuits" (Value.bool false) (run guarded);
+  Util.check_value "or short-circuits" (Value.bool true)
+    (run (eq (int 1) (int 1) ||| eq div_by_zero (int 1)))
+
+let test_errors () =
+  Alcotest.check_raises "unbound variable" (Eval.Eval_error "unbound variable q")
+    (fun () -> ignore (run (var "q")));
+  Alcotest.check_raises "division by zero" (Eval.Eval_error "division by zero")
+    (fun () -> ignore (run (Expr.Arith (Expr.Div, int 1, int 0))))
+
+let () =
+  Alcotest.run "eval"
+    [ ( "operators",
+        [ Alcotest.test_case "flatten (item 1)" `Quick test_flatten;
+          Alcotest.test_case "subscription (item 2)" `Quick test_subscription;
+          Alcotest.test_case "except (item 3)" `Quick test_except;
+          Alcotest.test_case "map (item 4)" `Quick test_map;
+          Alcotest.test_case "selection (item 5)" `Quick test_select;
+          Alcotest.test_case "projection (item 6)" `Quick test_project;
+          Alcotest.test_case "unnest (item 7)" `Quick test_unnest;
+          Alcotest.test_case "nest (item 8)" `Quick test_nest;
+          Alcotest.test_case "nest/unnest inverse caveat" `Quick test_nest_unnest_inverse;
+          Alcotest.test_case "product (item 9)" `Quick test_product;
+          Alcotest.test_case "join family (items 10-12)" `Quick test_joins;
+          Alcotest.test_case "nestjoin Figure 3" `Quick test_nestjoin_figure3;
+          Alcotest.test_case "extended nestjoin body" `Quick test_nestjoin_body;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "division" `Quick test_division ] );
+      ( "predicates",
+        [ Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+          Alcotest.test_case "set comparisons" `Quick test_set_comparisons;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "deref" `Quick test_deref;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

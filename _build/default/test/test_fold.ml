@@ -1,0 +1,105 @@
+(* Tests for constant folding and the static reduction of P(x, {}) —
+   including the regeneration of the paper's Table 3. *)
+
+open Njq_adl
+open Dsl
+
+let simp = Fold.simplify
+
+let test_boolean_folding () =
+  Alcotest.check Util.expr "true and p" (var "p") (simp (bool true &&& var "p"));
+  Alcotest.check Util.expr "false and p" (bool false) (simp (bool false &&& var "p"));
+  Alcotest.check Util.expr "double negation" (var "p") (simp (not_ (not_ (var "p"))));
+  Alcotest.check Util.expr "negated comparison" (neq (var "a") (int 1))
+    (simp (not_ (eq (var "a") (int 1))));
+  Alcotest.check Util.expr "if true" (var "a") (simp (if_ (bool true) (var "a") (var "b")))
+
+let test_quantifier_folding () =
+  Alcotest.check Util.expr "exists over empty" (bool false)
+    (simp (exists "x" empty (var "p")));
+  Alcotest.check Util.expr "forall over empty" (bool true)
+    (simp (forall "x" empty (var "p")));
+  Alcotest.check Util.expr "count of empty is zero-comparable" (bool true)
+    (simp (eq (count empty) (int 0)))
+
+let test_selection_folding () =
+  Alcotest.check Util.expr "select true" (table "T")
+    (simp (select "x" (table "T") (bool true)));
+  Alcotest.check Util.expr "identity map" (table "T")
+    (simp (map_ "x" (table "T") (var "x")));
+  Alcotest.check Util.expr "field of proj" (var "z" $. "a")
+    (simp (proj (var "z") [ "a"; "b" ] $. "a"))
+
+let test_arith_folding () =
+  Alcotest.check Util.expr "constants fold" (int 7) (simp (add (int 3) (int 4)));
+  (* Division by zero must NOT fold away (it would change error behavior). *)
+  Alcotest.check Util.expr "div by zero stays"
+    (Expr.Arith (Expr.Div, int 1, int 0))
+    (simp (Expr.Arith (Expr.Div, int 1, int 0)))
+
+(* Table 3: the value of P(x, {}) for each set comparison between blocks.
+   'subset' {} = false; 'subseteq' {} = ?; = {} = ?; 'supseteq' {} = true;
+   'supset' {} = ?; 'ni' {} = ?. *)
+let test_table3 () =
+  let c = var "x" $. "c" in
+  let y' = var "Y'" in
+  let outcome p =
+    Fmt.str "%a" Emptyset.pp_outcome (Emptyset.reduce_var ~yname:"Y'" p)
+  in
+  Alcotest.(check string) "x.c ⊂ ∅" "false" (outcome (subset c y'));
+  Alcotest.(check string) "x.c ⊆ ∅" "?" (outcome (subseteq c y'));
+  Alcotest.(check string) "x.c = ∅" "?" (outcome (set_eq c y'));
+  Alcotest.(check string) "x.c ⊇ ∅" "true" (outcome (supseteq c y'));
+  Alcotest.(check string) "x.c ⊃ ∅" "?" (outcome (supset c y'));
+  Alcotest.(check string) "x.c ∋ ∅" "?" (outcome (ni c y'))
+
+(* Membership and emptiness predicates also reduce (Table 2 adjacent). *)
+let test_emptyset_memberships () =
+  let y' = var "Y'" in
+  let reduce p = Emptyset.reduce_var ~yname:"Y'" p in
+  (match reduce (mem (var "v") y') with
+   | Emptyset.False -> ()
+   | _ -> Alcotest.fail "v ∈ ∅ must be false");
+  (match reduce (exists "y" y' (bool true)) with
+   | Emptyset.False -> ()
+   | _ -> Alcotest.fail "∃y∈∅ must be false");
+  (match reduce (eq (count y') (int 0)) with
+   | Emptyset.True -> ()
+   | _ -> Alcotest.fail "count(∅)=0 must be true");
+  Alcotest.(check bool) "grouping unsafe when P(x,∅) true" false
+    (Emptyset.grouping_join_is_safe ~subquery:(var "Y'") (eq (count y') (int 0)));
+  Alcotest.(check bool) "grouping safe when P(x,∅) false" true
+    (Emptyset.grouping_join_is_safe ~subquery:(var "Y'") (mem (var "v") y'))
+
+(* The subquery is matched structurally, not only as a variable. *)
+let test_structural_subquery () =
+  let sub = select "y" (table "Y") (eq (var "x" $. "a") (var "y" $. "d")) in
+  (match Emptyset.reduce ~subquery:sub (subseteq (var "x" $. "c") sub) with
+   | Emptyset.Runtime _ -> ()
+   | _ -> Alcotest.fail "⊆ must be runtime-dependent");
+  match Emptyset.reduce ~subquery:sub (exists "w" sub (bool true)) with
+  | Emptyset.False -> ()
+  | _ -> Alcotest.fail "∃ over subquery must reduce to false"
+
+(* Folding must preserve semantics on closed boolean expressions. *)
+let prop_fold_preserves_eval =
+  Util.qcheck "fold preserves evaluation" Util.arbitrary_int_set (fun s ->
+      let cat = Catalog.create () in
+      let e =
+        subseteq (const s) (set_lit [ int 0; int 1; int 2; int 3; int 4 ])
+        &&& not_ (mem (int 99) (const s))
+      in
+      Value.equal (Eval.run cat e) (Eval.run cat (simp e)))
+
+let () =
+  Alcotest.run "fold"
+    [ ( "folding",
+        [ Alcotest.test_case "boolean" `Quick test_boolean_folding;
+          Alcotest.test_case "quantifiers" `Quick test_quantifier_folding;
+          Alcotest.test_case "selections" `Quick test_selection_folding;
+          Alcotest.test_case "arithmetic" `Quick test_arith_folding ] );
+      ( "emptyset (Table 3)",
+        [ Alcotest.test_case "Table 3 rows" `Quick test_table3;
+          Alcotest.test_case "memberships" `Quick test_emptyset_memberships;
+          Alcotest.test_case "structural subquery" `Quick test_structural_subquery ] );
+      ("properties", [ prop_fold_preserves_eval ]) ]

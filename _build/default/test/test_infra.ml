@@ -1,0 +1,157 @@
+(* Tests for the supporting infrastructure: catalog, the rewrite-rule
+   driver, counters, and the pretty-printers (ADL and plans). *)
+
+open Njq_adl
+open Dsl
+
+(* ---------------- Catalog ---------------- *)
+
+let test_catalog_basics () =
+  let cat = Catalog.create () in
+  let row_type = Vtype.tuple [ ("oid", Vtype.TOid); ("v", Vtype.TInt) ] in
+  let r n v = Value.tuple [ ("oid", Value.oid n); ("v", Value.int v) ] in
+  Catalog.add_table cat ~name:"T" ~row_type [ r 2 20; r 1 10; r 1 10 ];
+  Alcotest.(check int) "rows deduplicated" 2 (Catalog.cardinality cat "T");
+  Alcotest.(check bool) "mem" true (Catalog.mem cat "T");
+  Alcotest.(check (list string)) "names" [ "T" ] (Catalog.table_names cat);
+  Alcotest.check Util.vtype "table type" (Vtype.TSet row_type)
+    (Catalog.table_type cat "T");
+  Alcotest.check_raises "unknown table" (Catalog.Unknown_table "U") (fun () ->
+      ignore (Catalog.rows cat "U"));
+  (match Catalog.add_table cat ~name:"T" ~row_type [] with
+   | () -> Alcotest.fail "duplicate table accepted"
+   | exception Invalid_argument _ -> ());
+  match Catalog.add_table cat ~name:"B" ~row_type:Vtype.TInt [] with
+  | () -> Alcotest.fail "non-tuple row type accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_catalog_oids_and_deref () =
+  let cat = Catalog.create () in
+  let a = Catalog.fresh_oid cat and b = Catalog.fresh_oid cat in
+  Alcotest.(check bool) "fresh oids distinct" true (a <> b);
+  let row_type = Vtype.tuple [ ("oid", Vtype.TOid); ("v", Vtype.TInt) ] in
+  let r n v = Value.tuple [ ("oid", Value.oid n); ("v", Value.int v) ] in
+  Catalog.add_table cat ~name:"T" ~row_type [ r 1 10; r 2 20 ];
+  Alcotest.check Util.value "deref hits" (r 2 20) (Catalog.deref cat "T" (Value.oid 2));
+  Alcotest.(check bool) "deref_opt miss" true
+    (Catalog.deref_opt cat "T" (Value.oid 99) = None);
+  (* set_rows invalidates the oid index *)
+  Catalog.set_rows cat "T" [ r 3 30 ];
+  Alcotest.(check bool) "old oid gone" true
+    (Catalog.deref_opt cat "T" (Value.oid 2) = None);
+  Alcotest.check Util.value "new oid found" (r 3 30)
+    (Catalog.deref cat "T" (Value.oid 3))
+
+(* ---------------- Rules driver ---------------- *)
+
+let incr_rule =
+  Njq_core.Rules.rule "incr" (fun _cat e ->
+      match e with
+      | Expr.Const (Value.VInt n) when n < 3 -> Some (Expr.Const (Value.int (n + 1)))
+      | _ -> None)
+
+let test_driver_fixpoint () =
+  let cat = Catalog.create () in
+  let e = add (int 0) (int 5) in
+  let out, trace = Njq_core.Rules.fixpoint cat [ incr_rule ] e in
+  Alcotest.check Util.expr "both positions saturated" (add (int 3) (int 5)) out;
+  Alcotest.(check int) "three steps" 3 (List.length trace);
+  List.iter
+    (fun s -> Alcotest.(check string) "rule name" "incr" s.Njq_core.Rules.rule_name)
+    trace
+
+let test_driver_outermost_first () =
+  (* A rule matching both an outer and an inner node must fire at the outer
+     one first. *)
+  let wrap_rule =
+    Njq_core.Rules.rule "strip-not" (fun _cat e ->
+        match e with Expr.Not inner -> Some inner | _ -> None)
+  in
+  let cat = Catalog.create () in
+  let e = not_ (not_ (bool true)) in
+  match Njq_core.Rules.step_anywhere cat [ wrap_rule ] e with
+  | Some ("strip-not", Expr.Not (Expr.Const _)) -> ()
+  | Some (_, e') -> Alcotest.failf "unexpected step result %a" Pretty.pp e'
+  | None -> Alcotest.fail "no step"
+
+let test_driver_fuel () =
+  let diverging =
+    Njq_core.Rules.rule "spin" (fun _cat e ->
+        match e with
+        | Expr.Const (Value.VInt n) -> Some (Expr.Const (Value.int (n + 1)))
+        | _ -> None)
+  in
+  let cat = Catalog.create () in
+  match Njq_core.Rules.fixpoint ~fuel:10 cat [ diverging ] (int 0) with
+  | _ -> Alcotest.fail "diverging rule set not caught"
+  | exception Failure _ -> ()
+
+(* ---------------- Counters ---------------- *)
+
+let test_counters () =
+  Counters.reset ();
+  Counters.tick "a";
+  Counters.tick ~n:4 "a";
+  Counters.tick "b";
+  Alcotest.(check int) "a" 5 (Counters.get "a");
+  Alcotest.(check int) "unknown" 0 (Counters.get "zz");
+  Alcotest.(check (list (pair string int))) "snapshot sorted"
+    [ ("a", 5); ("b", 1) ] (Counters.snapshot ());
+  Counters.without_counting (fun () -> Counters.tick "a");
+  Alcotest.(check int) "disabled ticks ignored" 5 (Counters.get "a");
+  let x, snap = Counters.measure (fun () -> Counters.tick "c"; 42) in
+  Alcotest.(check int) "measure result" 42 x;
+  Alcotest.(check (list (pair string int))) "measure snapshot" [ ("c", 1) ] snap
+
+(* ---------------- Pretty-printers ---------------- *)
+
+let contains_sub ~needle s =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  go 0
+
+let test_adl_pretty () =
+  let check_str name needle e =
+    let s = Pretty.to_string e in
+    if not (contains_sub ~needle s) then
+      Alcotest.failf "%s: %S not in %S" name needle s
+  in
+  check_str "select" "σ[x :" (select "x" (table "T") (bool true));
+  check_str "map" "α[x :" (map_ "x" (table "T") (var "x"));
+  check_str "semijoin" "⋉" (semijoin (bool true) (table "T") (table "U"));
+  check_str "antijoin" "▷" (antijoin (bool true) (table "T") (table "U"));
+  check_str "nestjoin" "⊣" (nestjoin ~attr:"g" (bool true) (table "T") (table "U"));
+  check_str "unnest" "μ_c" (unnest "c" (table "T"));
+  check_str "nest" "ν_{a→g}" (nest ~attrs:[ "a" ] ~into:"g" (table "T"));
+  check_str "division" "÷" (divide (table "T") (table "U"));
+  check_str "exists" "∃" (exists "x" (table "T") (bool true));
+  check_str "deref" "deref⟨P⟩" (deref "P" (oid 1));
+  (* precedence: and of or needs parens *)
+  check_str "parens" "(a ∨ b) ∧ c"
+    ((var "a" ||| var "b") &&& var "c")
+
+let test_plan_pretty () =
+  let p =
+    Njq_engine.Planner.plan
+      (semijoin ~x:"a" ~y:"b"
+         (eq (var "a" $. "k") (var "b" $. "k"))
+         (table "T") (table "U"))
+  in
+  let s = Njq_engine.Plan.to_string p in
+  Alcotest.(check bool) "hash semijoin printed" true
+    (contains_sub ~needle:"hash_semijoin" s)
+
+let () =
+  Alcotest.run "infra"
+    [ ( "catalog",
+        [ Alcotest.test_case "basics" `Quick test_catalog_basics;
+          Alcotest.test_case "oids and deref" `Quick test_catalog_oids_and_deref ] );
+      ( "rules driver",
+        [ Alcotest.test_case "fixpoint" `Quick test_driver_fixpoint;
+          Alcotest.test_case "outermost first" `Quick test_driver_outermost_first;
+          Alcotest.test_case "fuel" `Quick test_driver_fuel ] );
+      ( "counters",
+        [ Alcotest.test_case "ticks" `Quick test_counters ] );
+      ( "printers",
+        [ Alcotest.test_case "ADL notation" `Quick test_adl_pretty;
+          Alcotest.test_case "plan notation" `Quick test_plan_pretty ] ) ]

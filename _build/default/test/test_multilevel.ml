@@ -1,0 +1,94 @@
+(* Tests for the extended corpus: multiple nesting levels and multiple
+   subqueries per predicate — the paper's Section 7 future-work directions,
+   which the recursive strategy handles. *)
+
+open Njq_adl
+module Strategy = Njq_core.Strategy
+module Gen = Njq_workload.Generator
+module Queries = Njq_workload.Queries
+
+let cat ?(n = 48) ?(seed = 17) () =
+  Gen.catalog { (Gen.scaled ~seed n) with Gen.dangling_rate = 0.0 }
+
+let rec contains p e =
+  p e || Expr.fold_children (fun acc c -> acc || contains p c) false e
+
+let count_nodes p e =
+  let rec go acc e =
+    Expr.fold_children go (if p e then acc + 1 else acc) e
+  in
+  go 0 e
+
+let is_nestjoin = function Expr.Nestjoin _ -> true | _ -> false
+let is_semi = function Expr.Join { kind = Expr.Semi; _ } -> true | _ -> false
+let is_anti = function Expr.Join { kind = Expr.Anti; _ } -> true | _ -> false
+
+let check_all_modes name cat adl =
+  let expected = Eval.run cat adl in
+  List.iter
+    (fun mode ->
+      let options = { Strategy.default_options with Strategy.grouping_mode = mode } in
+      let out = Strategy.optimize ~options cat adl in
+      Alcotest.check Util.value (name ^ " eval") expected (Eval.run cat out);
+      Alcotest.check Util.value (name ^ " engine") expected
+        (Njq_engine.Planner.run cat out))
+    [ Strategy.Nestjoin_always; Strategy.Flat_join_when_safe; Strategy.Outerjoin ]
+
+let test_eq7_three_levels () =
+  let cat = cat () in
+  let adl = Queries.to_adl Queries.q7 in
+  let out = Strategy.optimize cat adl in
+  (* The outermost nesting level is unnested into a semijoin. *)
+  Alcotest.(check bool) "outer level becomes a semijoin" true (contains is_semi out);
+  check_all_modes "EQ7" cat adl
+
+let test_eq8_two_subqueries () =
+  let cat = cat () in
+  let adl = Queries.to_adl Queries.q8 in
+  let out = Strategy.optimize cat adl in
+  Alcotest.(check bool) "positive subquery becomes a semijoin" true
+    (contains is_semi out);
+  Alcotest.(check bool) "negative subquery becomes an antijoin" true
+    (contains is_anti out);
+  (* No selection with a base table left in its predicate. *)
+  Alcotest.(check bool) "fully unnested" false
+    (contains
+       (function
+         | Expr.Select { pred; _ } -> Analysis.uses_base_table pred
+         | _ -> false)
+       out);
+  check_all_modes "EQ8" cat adl
+
+let test_eq9_nested_grouping () =
+  let cat = cat ~n:24 () in
+  let adl = Queries.to_adl Queries.q9 in
+  let out = Strategy.optimize cat adl in
+  Alcotest.(check bool) "two nestjoin levels" true
+    (count_nodes is_nestjoin out >= 2);
+  check_all_modes "EQ9" cat adl
+
+(* Chained semijoin extraction: three positive subqueries in one
+   conjunction peel off one join each. *)
+let test_conjunct_chain () =
+  let cat = cat () in
+  let open Dsl in
+  let wants color =
+    exists "p" (table "PART")
+      (mem (var "p" $. "oid") (var "s" $. "parts_supplied")
+       &&& eq (var "p" $. "color") (str color))
+  in
+  let adl =
+    select "s" (table "SUPPLIER")
+      (wants "red" &&& wants "green" &&& wants "blue")
+  in
+  let out = Strategy.optimize cat adl in
+  Alcotest.(check int) "three semijoins" 3 (count_nodes is_semi out);
+  check_all_modes "chain" cat adl
+
+let () =
+  Alcotest.run "multilevel"
+    [ ( "extended corpus",
+        [ Alcotest.test_case "EQ7: three levels" `Quick test_eq7_three_levels;
+          Alcotest.test_case "EQ8: two subqueries" `Quick test_eq8_two_subqueries;
+          Alcotest.test_case "EQ9: nested grouping" `Quick test_eq9_nested_grouping;
+          Alcotest.test_case "semijoin chains" `Quick test_conjunct_chain ] ) ]

@@ -1,0 +1,190 @@
+(* Tests for predicate normalization: Table 1 (set comparison operators into
+   quantifier expressions), Table 2 (emptiness-style predicates), negation
+   pushing and range fusion.
+
+   Every Table 1 row is verified semantically: the expansion and the
+   original operator must agree on randomized operands, including empty
+   sets. *)
+
+open Njq_adl
+open Dsl
+module Normalize = Njq_core.Normalize
+
+let cat0 = Catalog.create ()
+
+let eval_bool e = Value.as_bool (Eval.run cat0 e)
+
+(* Semantic check of [Normalize.expand_setcmp] on random concrete sets. *)
+let table1_ops =
+  [ ("∈", Expr.Mem); ("∉", Expr.NotMem); ("⊆", Expr.SubsetEq);
+    ("⊂", Expr.Subset); ("⊇", Expr.SupsetEq); ("⊃", Expr.Supset);
+    ("=", Expr.SetEq); ("≠", Expr.SetNeq) ]
+
+let prop_table1 =
+  Util.qcheck ~count:500 "Table 1 expansions are equivalences"
+    QCheck.(pair Util.arbitrary_int_set Util.arbitrary_int_set)
+    (fun (a, b) ->
+      List.for_all
+        (fun (_, op) ->
+          let lhs, rhs =
+            match op with
+            | Expr.Mem | Expr.NotMem ->
+              (* element-level membership: pick an element-shaped left side *)
+              (Expr.Const (Value.int 2), Expr.Const b)
+            | _ -> (Expr.Const a, Expr.Const b)
+          in
+          match Normalize.expand_setcmp op lhs rhs with
+          | Some expanded ->
+            eval_bool (Expr.SetCmp (op, lhs, rhs)) = eval_bool expanded
+          | None -> false)
+        table1_ops)
+
+(* The 'ni' row needs a set-of-sets left operand. *)
+let prop_table1_ni =
+  Util.qcheck ~count:300 "Table 1 ∋ expansion"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 3) Util.arbitrary_int_set) Util.arbitrary_int_set)
+    (fun (sets, b) ->
+      let a = Value.set sets in
+      List.for_all
+        (fun op ->
+          match Normalize.expand_setcmp op (Expr.Const a) (Expr.Const b) with
+          | Some expanded ->
+            eval_bool (Expr.SetCmp (op, Expr.Const a, Expr.Const b)) = eval_bool expanded
+          | None -> false)
+        [ Expr.Ni; Expr.NotNi ])
+
+(* Table 2 rewrites, demonstrated as strategy-level equivalences on the
+   supplier catalog. *)
+let norm cat e = fst (Normalize.run cat e)
+
+let test_emptiness_rewrites () =
+  let cat = Util.small_catalog () in
+  let red = select "p" (table "PART") (eq (var "p" $. "color") (str "red")) in
+  (* Y' = {}  ~>  not exists *)
+  let q1 = select "s" (table "SUPPLIER") (set_eq red empty) in
+  let n1 = norm cat q1 in
+  (match n1 with
+   | Expr.Select { pred = Expr.Not (Expr.Quant (Expr.Exists, _, _, _)); _ } -> ()
+   | e -> Alcotest.failf "expected ¬∃ form, got %a" Pretty.pp e);
+  Util.check_value "same result" (Eval.run cat q1) (Eval.run cat n1);
+  (* count(Y') = 0  ~>  not exists *)
+  let q2 = select "s" (table "SUPPLIER") (eq (count red) (int 0)) in
+  let n2 = norm cat q2 in
+  (match n2 with
+   | Expr.Select { pred = Expr.Not (Expr.Quant (Expr.Exists, _, _, _)); _ } -> ()
+   | e -> Alcotest.failf "expected ¬∃ form, got %a" Pretty.pp e);
+  Util.check_value "same result" (Eval.run cat q2) (Eval.run cat n2)
+
+let test_intersection_rewrite () =
+  let cat = Util.small_catalog () in
+  let reds =
+    map_ "p" (select "p" (table "PART") (eq (var "p" $. "color") (str "red")))
+      (var "p" $. "oid")
+  in
+  let q =
+    select "s" (table "SUPPLIER")
+      (set_eq (inter (var "s" $. "parts_supplied") reds) empty)
+  in
+  let n = norm cat q in
+  Util.check_value "∩=∅ rewrite preserves semantics" (Eval.run cat q) (Eval.run cat n);
+  Alcotest.(check bool) "quantifier over the base-table side" true
+    (match n with
+     | Expr.Select { pred = Expr.Not (Expr.Quant (Expr.Exists, _, range, _)); _ } ->
+       Analysis.uses_base_table range
+     | _ -> false)
+
+let test_forall_elimination () =
+  let cat = Util.small_catalog () in
+  let q =
+    select "s" (table "SUPPLIER")
+      (forall "p" (table "PART") (mem (var "p" $. "oid") (var "s" $. "parts_supplied")))
+  in
+  let n = norm cat q in
+  (* No universal quantifier survives normalization. *)
+  let rec has_forall e =
+    (match e with Expr.Quant (Expr.Forall, _, _, _) -> true | _ -> false)
+    || Expr.fold_children (fun acc c -> acc || has_forall c) false e
+  in
+  Alcotest.(check bool) "forall eliminated" false (has_forall n);
+  Util.check_value "semantics kept" (Eval.run cat q) (Eval.run cat n)
+
+let test_range_fusion () =
+  let cat = Util.small_catalog () in
+  let q =
+    select "s" (table "SUPPLIER")
+      (exists "p"
+         (select "p" (table "PART") (eq (var "p" $. "color") (str "red")))
+         (mem (var "p" $. "oid") (var "s" $. "parts_supplied")))
+  in
+  let n = norm cat q in
+  (* After fusion the quantifier ranges directly over the base table. *)
+  (match n with
+   | Expr.Select { pred = Expr.Quant (Expr.Exists, _, Expr.Table "PART", _); _ } -> ()
+   | e -> Alcotest.failf "expected fused range, got %a" Pretty.pp e);
+  Util.check_value "semantics kept" (Eval.run cat q) (Eval.run cat n)
+
+let test_map_range_fusion () =
+  let cat = Util.small_catalog () in
+  let q =
+    select "s" (table "SUPPLIER")
+      (exists "o"
+         (map_ "p" (table "PART") (var "p" $. "oid"))
+         (mem (var "o") (var "s" $. "parts_supplied")))
+  in
+  let n = norm cat q in
+  Util.check_value "map fusion keeps semantics" (Eval.run cat q) (Eval.run cat n)
+
+let test_hoist () =
+  let cat = Util.small_catalog () in
+  let q =
+    select "s" (table "SUPPLIER")
+      (exists "z" (var "s" $. "parts_supplied")
+         (eq (var "s" $. "sname") (str "s1") &&& eq (var "z") (oid 1)))
+  in
+  let n = norm cat q in
+  (match n with
+   | Expr.Select { pred = Expr.And (Expr.Cmp (Expr.Eq, _, _), Expr.Quant _); _ } -> ()
+   | e -> Alcotest.failf "expected hoisted conjunct, got %a" Pretty.pp e);
+  Util.check_value "hoist keeps semantics" (Eval.run cat q) (Eval.run cat n)
+
+(* The gating: comparisons between two stored attributes are never expanded,
+   and 'subseteq' with the subquery on the right (non-unnestable per the
+   paper) is left for the grouping phase. *)
+let test_expansion_gating () =
+  let cat = Util.small_catalog () in
+  let attr_only =
+    select "s" (table "SUPPLIER")
+      (subseteq (var "s" $. "parts_supplied") (var "s" $. "parts_supplied"))
+  in
+  Alcotest.check Util.expr "attribute-only comparison untouched"
+    (Fold.simplify attr_only) (norm cat attr_only);
+  let sub =
+    map_ "p" (select "p" (table "PART") (eq (var "p" $. "color") (str "red")))
+      (var "p" $. "oid")
+  in
+  let non_unnestable =
+    select "s" (table "SUPPLIER") (subseteq (var "s" $. "parts_supplied") sub)
+  in
+  (match norm cat non_unnestable with
+   | Expr.Select { pred = Expr.SetCmp (Expr.SubsetEq, _, _); _ } -> ()
+   | e -> Alcotest.failf "⊆ with base table on the right must survive, got %a" Pretty.pp e);
+  (* ...but with the subquery on the left ('Rewriting Example 2') it expands. *)
+  let unnestable =
+    select "s" (table "SUPPLIER") (subseteq sub (var "s" $. "parts_supplied"))
+  in
+  match norm cat unnestable with
+  | Expr.Select { pred = Expr.Not (Expr.Quant (Expr.Exists, _, _, _)); _ } -> ()
+  | e -> Alcotest.failf "expected ¬∃ after expansion, got %a" Pretty.pp e
+
+let () =
+  Alcotest.run "normalize"
+    [ ( "Table 1",
+        [ prop_table1; prop_table1_ni ] );
+      ( "Table 2 and fusion",
+        [ Alcotest.test_case "emptiness" `Quick test_emptiness_rewrites;
+          Alcotest.test_case "empty intersection" `Quick test_intersection_rewrite;
+          Alcotest.test_case "forall elimination" `Quick test_forall_elimination;
+          Alcotest.test_case "range select fusion" `Quick test_range_fusion;
+          Alcotest.test_case "range map fusion" `Quick test_map_range_fusion;
+          Alcotest.test_case "conjunct hoisting" `Quick test_hoist;
+          Alcotest.test_case "expansion gating" `Quick test_expansion_gating ] ) ]

@@ -1,0 +1,253 @@
+(* Tests for the OOSQL front-end: lexer, parser, schema mapping, and the
+   type-directed translation to ADL. *)
+
+open Njq_adl
+open Njq_oosql
+
+let schema = Schema.supplier_part ()
+
+let parse = Parser.parse_query
+
+let translate src = Translate.query_string schema src
+
+
+
+let fails_translate name src =
+  match translate src with
+  | _ -> Alcotest.failf "%s: expected a translation error" name
+  | exception Translate.Translate_error _ -> ()
+
+(* ---------------- Lexer ---------------- *)
+
+let test_lexer () =
+  let toks = Lexer.tokenize "select s.sname from s in SUPPLIER -- comment\nwhere 1 <= 2" in
+  let kinds = Array.to_list (Array.map (fun l -> l.Lexer.tok) toks) in
+  Alcotest.(check int) "token count" 13 (List.length kinds);
+  (match kinds with
+   | Lexer.KW_SELECT :: Lexer.IDENT "s" :: Lexer.DOT :: Lexer.IDENT "sname" :: _ -> ()
+   | _ -> Alcotest.fail "unexpected token stream");
+  Alcotest.check_raises "bad character"
+    (Lexer.Lex_error ("unexpected character '#'", { Ast.line = 1; col = 1 }))
+    (fun () -> ignore (Lexer.tokenize "#"));
+  (* strings with escapes; line tracking *)
+  let toks2 = Lexer.tokenize "\"a\\\"b\"\n42" in
+  (match toks2.(0).Lexer.tok, toks2.(1).Lexer.tok with
+   | Lexer.STRING s, Lexer.INT 42 -> Alcotest.(check string) "escape" "a\"b" s
+   | _ -> Alcotest.fail "string/int tokens expected");
+  Alcotest.(check int) "line of second token" 2 toks2.(1).Lexer.pos.Ast.line
+
+(* ---------------- Parser ---------------- *)
+
+let test_parser_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  (match parse "a + b * c" with
+   | Ast.EBin (Ast.Add, Ast.EVar ("a", _), Ast.EBin (Ast.Mul, _, _, _), _) -> ()
+   | _ -> Alcotest.fail "arith precedence");
+  (* not a and b parses as (not a) and b *)
+  (match parse "not a and b" with
+   | Ast.EBin (Ast.And, Ast.ENot _, Ast.EVar ("b", _), _) -> ()
+   | _ -> Alcotest.fail "not binds tighter than and");
+  (* a = b or c = d parses as (a=b) or (c=d) *)
+  match parse "a = b or c = d" with
+  | Ast.EBin (Ast.Or, Ast.EBin (Ast.Eq, _, _, _), Ast.EBin (Ast.Eq, _, _, _), _) -> ()
+  | _ -> Alcotest.fail "comparison binds tighter than or"
+
+let test_parser_tuple_vs_grouping () =
+  (match parse "(a = 1, b = 2)" with
+   | Ast.ETuple ([ ("a", _); ("b", _) ], _) -> ()
+   | _ -> Alcotest.fail "tuple constructor");
+  match parse "(a = 1)" with
+  | Ast.ETuple ([ ("a", _) ], _) -> ()
+  | _ -> Alcotest.fail "single-field tuple still a tuple"
+
+let test_parser_sfw () =
+  match parse "select d from d in DELIVERY, x in d.supply where d.date = 940101" with
+  | Ast.ESfw ({ froms = [ ("d", _); ("x", _) ]; where = Some _; _ }, _) -> ()
+  | _ -> Alcotest.fail "sfw structure"
+
+let test_parser_quantifiers () =
+  (match parse "exists x in s.parts_supplied" with
+   | Ast.EQuant (Ast.QExists, "x", _, None, _) -> ()
+   | _ -> Alcotest.fail "bare exists");
+  (match parse "forall x in PART : x.price > 0" with
+   | Ast.EQuant (Ast.QForall, "x", _, Some _, _) -> ()
+   | _ -> Alcotest.fail "forall with predicate");
+  (match parse "a not in b" with
+   | Ast.EBin (Ast.NotIn, _, _, _) -> ()
+   | _ -> Alcotest.fail "not in");
+  match parse "not a in b" with
+  | Ast.ENot (Ast.EBin (Ast.In, _, _, _), _) -> ()
+  | _ -> Alcotest.fail "not (a in b) when separated"
+
+let test_parser_errors () =
+  let bad src =
+    match parse src with
+    | _ -> Alcotest.failf "expected parse error on %S" src
+    | exception Parser.Parse_error _ -> ()
+  in
+  bad "select";
+  bad "select x from";
+  bad "select x from x in";
+  bad "(a = 1";
+  bad "{1, }";
+  bad "exists in X"
+
+let test_parse_schema () =
+  Alcotest.(check int) "three classes" 3 (List.length schema);
+  let delivery = Schema.find_class schema "Delivery" in
+  Alcotest.(check string) "extent" "DELIVERY" delivery.Ast.extent;
+  Alcotest.(check int) "attrs" 3 (List.length delivery.Ast.attributes);
+  match List.assoc "supply" delivery.Ast.attributes with
+  | Ast.SSet (Ast.STuple [ ("part", Ast.SClass "Part"); ("quantity", Ast.SInt) ]) -> ()
+  | _ -> Alcotest.fail "supply type"
+
+(* ---------------- Pretty-printer round trip ---------------- *)
+
+let strip_pos_rountrip src =
+  let e = parse src in
+  let printed = Sqlpretty.to_string e in
+  let e2 = parse printed in
+  (* compare via printing again: positions differ, text should not *)
+  Alcotest.(check string) ("round trip: " ^ src) printed (Sqlpretty.to_string e2)
+
+let test_pretty_roundtrip () =
+  List.iter strip_pos_rountrip
+    [ "select s.sname from s in SUPPLIER where s.sname = \"s1\"";
+      "select (a = 1 + 2 * 3, b = {1, 2}) from x in PART";
+      "exists x in s.parts_supplied : not exists p in PART : x = p.oid";
+      "a subseteq b union c intersect d";
+      "count(PART) > 0 and not (1 = 2)";
+      "select d from d in (select e from e in DELIVERY where e.date = 1) where true" ];
+  List.iter
+    (fun (q : Njq_workload.Queries.query) -> strip_pos_rountrip q.oosql)
+    Njq_workload.Queries.all
+
+(* ---------------- Schema mapping ---------------- *)
+
+let test_schema_mapping () =
+  let cat = Schema.to_catalog schema in
+  Alcotest.(check (list string)) "extents"
+    [ "DELIVERY"; "PART"; "SUPPLIER" ] (Catalog.table_names cat);
+  Alcotest.check Util.vtype "supplier row type"
+    Util.supplier_row_type (Catalog.row_type cat "SUPPLIER");
+  Alcotest.check Util.vtype "delivery row type"
+    Njq_workload.Generator.delivery_row_type (Catalog.row_type cat "DELIVERY")
+
+(* ---------------- Translation ---------------- *)
+
+let test_translate_sfw () =
+  let e, t = translate "select s.sname from s in SUPPLIER where s.sname = \"a\"" in
+  Alcotest.check Util.vtype "type" (Vtype.TSet Vtype.TString) t;
+  match e with
+  | Expr.Map { body = Expr.Field (Expr.Var "s", "sname");
+               src = Expr.Select { src = Expr.Table "SUPPLIER"; _ }; _ } -> ()
+  | _ -> Alcotest.failf "unexpected translation %a" Pretty.pp e
+
+let test_translate_paths () =
+  (* Path through a class reference inserts a Deref (materialize). *)
+  let e, t = translate "select d.supplier.sname from d in DELIVERY" in
+  Alcotest.check Util.vtype "type" (Vtype.TSet Vtype.TString) t;
+  let rec has_deref e =
+    (match e with Expr.Deref ("SUPPLIER", _) -> true | _ -> false)
+    || Expr.fold_children (fun acc c -> acc || has_deref c) false e
+  in
+  Alcotest.(check bool) "deref inserted" true (has_deref e)
+
+let test_translate_multifrom () =
+  let e, t =
+    translate "select (s = x.sname, p = y.pname) from x in SUPPLIER, y in PART"
+  in
+  Alcotest.check Util.vtype "type"
+    (Vtype.TSet (Vtype.tuple [ ("s", Vtype.TString); ("p", Vtype.TString) ]))
+    t;
+  match e with
+  | Expr.Flatten (Expr.Map _) -> ()
+  | _ -> Alcotest.failf "expected flatten of map, got %a" Pretty.pp e
+
+let test_translate_setcmp_dispatch () =
+  (* '=' on sets becomes SetEq; on atoms Cmp Eq. *)
+  let e, _ =
+    translate "select s from s in SUPPLIER where s.parts_supplied = {}"
+  in
+  let rec find p e =
+    p e || Expr.fold_children (fun acc c -> acc || find p c) false e
+  in
+  Alcotest.(check bool) "set equality" true
+    (find (function Expr.SetCmp (Expr.SetEq, _, _) -> true | _ -> false) e);
+  let e2, _ = translate "select s from s in SUPPLIER where s.sname = \"x\"" in
+  Alcotest.(check bool) "atomic equality" true
+    (find (function Expr.Cmp (Expr.Eq, _, _) -> true | _ -> false) e2)
+
+let test_translate_date_coercion () =
+  let e, _ = translate "select d from d in DELIVERY where d.date = 940101" in
+  let rec find p e =
+    p e || Expr.fold_children (fun acc c -> acc || find p c) false e
+  in
+  Alcotest.(check bool) "int literal coerced to date" true
+    (find
+       (function
+         | Expr.Cmp (Expr.Eq, _, Expr.Const (Value.VDate 940101)) -> true
+         | _ -> false)
+       e)
+
+let test_translate_quantifier_forms () =
+  let e, _ =
+    translate
+      "select d from d in DELIVERY where exists x in (select s from s in d.supply where s.quantity > 1)"
+  in
+  let rec find p e = p e || Expr.fold_children (fun acc c -> acc || find p c) false e in
+  Alcotest.(check bool) "bare exists is a non-emptiness test" true
+    (find
+       (function
+         | Expr.Quant (Expr.Exists, _, _, pred) -> Expr.is_true pred
+         | _ -> false)
+       e)
+
+let test_translate_errors () =
+  fails_translate "unknown extent" "select x from x in NOPE";
+  fails_translate "unknown attribute" "select s.nope from s in SUPPLIER";
+  fails_translate "non-boolean where" "select s from s in SUPPLIER where s.sname";
+  fails_translate "heterogeneous set" "select s from s in SUPPLIER where 1 in {1, \"a\"}";
+  fails_translate "arith on strings" "select s from s in SUPPLIER where s.sname + 1 = 2";
+  fails_translate "forall without predicate" "select s from s in SUPPLIER where forall x in PART";
+  fails_translate "in on non-set" "select s from s in SUPPLIER where 1 in 2";
+  fails_translate "aggregate over scalar" "select s from s in SUPPLIER where count(1) = 1"
+
+(* Translation of the whole corpus typechecks against the generated data. *)
+let test_corpus_types () =
+  let cat =
+    Njq_workload.Generator.catalog Njq_workload.Generator.default_config
+  in
+  List.iter
+    (fun (q : Njq_workload.Queries.query) ->
+      let e, t = translate q.oosql in
+      match Typecheck.infer cat [] e with
+      | t' ->
+        Alcotest.(check bool)
+          (q.id ^ " type agrees with ADL inference")
+          true (Vtype.compat t t')
+      | exception Vtype.Type_error msg -> Alcotest.failf "%s: %s" q.id msg)
+    Njq_workload.Queries.all
+
+let () =
+  Alcotest.run "oosql"
+    [ ( "lexer",
+        [ Alcotest.test_case "tokens" `Quick test_lexer ] );
+      ( "parser",
+        [ Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "tuple vs grouping" `Quick test_parser_tuple_vs_grouping;
+          Alcotest.test_case "sfw" `Quick test_parser_sfw;
+          Alcotest.test_case "quantifiers" `Quick test_parser_quantifiers;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+          Alcotest.test_case "schema" `Quick test_parse_schema;
+          Alcotest.test_case "pretty round trip" `Quick test_pretty_roundtrip ] );
+      ( "translation",
+        [ Alcotest.test_case "schema mapping" `Quick test_schema_mapping;
+          Alcotest.test_case "sfw translation" `Quick test_translate_sfw;
+          Alcotest.test_case "paths and deref" `Quick test_translate_paths;
+          Alcotest.test_case "multiple from bindings" `Quick test_translate_multifrom;
+          Alcotest.test_case "set comparison dispatch" `Quick test_translate_setcmp_dispatch;
+          Alcotest.test_case "date coercion" `Quick test_translate_date_coercion;
+          Alcotest.test_case "quantifier forms" `Quick test_translate_quantifier_forms;
+          Alcotest.test_case "type errors" `Quick test_translate_errors;
+          Alcotest.test_case "corpus types" `Quick test_corpus_types ] ) ]

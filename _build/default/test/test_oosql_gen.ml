@@ -1,0 +1,164 @@
+(* Randomized OOSQL-level testing: a generator of well-typed OOSQL queries
+   against the supplier-part schema, used to property-test the whole
+   front-end — pretty-printer round trips, translation totality and typing,
+   and end-to-end pipeline soundness starting from surface syntax. *)
+
+open Njq_adl
+module Ast = Njq_oosql.Ast
+module Parser = Njq_oosql.Parser
+module Sqlpretty = Njq_oosql.Sqlpretty
+module Translate = Njq_oosql.Translate
+module Gen = Njq_workload.Generator
+
+let p0 = Ast.dummy_pos
+
+(* Expression builders (positions are irrelevant to semantics). *)
+let v x = Ast.EVar (x, p0)
+let path e a = Ast.EPath (e, a, p0)
+let ilit n = Ast.ELit (Ast.LInt n, p0)
+let slit s = Ast.ELit (Ast.LString s, p0)
+let bin op a b = Ast.EBin (op, a, b, p0)
+let quant q x r pred = Ast.EQuant (q, x, r, pred, p0)
+let sfw proj froms where = Ast.ESfw ({ proj; froms; where }, p0)
+
+(* Boolean predicates over a supplier variable [s], nesting over PART. *)
+let gen_supplier_pred : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let color = oneofl [ "red"; "green"; "blue"; "yellow"; "black" ] in
+  let part_pred pv =
+    oneof
+      [ (let* c = color in
+         return (bin Ast.Eq (path (v pv) "color") (slit c)));
+        (let* k = int_range 0 400 in
+         let* op = oneofl [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ] in
+         return (bin op (path (v pv) "price") (ilit k))) ]
+  in
+  let atom =
+    oneof
+      [ (* correlated existential over PART *)
+        (let* pp = part_pred "p" in
+         return
+           (quant Ast.QExists "p" (v "PART")
+              (Some
+                 (bin Ast.And
+                    (bin Ast.In (path (v "p") "oid") (path (v "s") "parts_supplied"))
+                    pp))));
+        (* universal over PART *)
+        (let* pp = part_pred "p" in
+         return
+           (quant Ast.QForall "p" (v "PART")
+              (Some
+                 (bin Ast.Or
+                    (Ast.ENot (pp, p0))
+                    (bin Ast.In (path (v "p") "oid") (path (v "s") "parts_supplied"))))));
+        (* subquery count comparison *)
+        (let* pp = part_pred "q" in
+         let* k = int_range 0 3 in
+         let* op = oneofl [ Ast.Eq; Ast.Le; Ast.Gt ] in
+         let sub =
+           sfw (v "q")
+             [ ("q", v "PART") ]
+             (Some
+                (bin Ast.And
+                   (bin Ast.In (path (v "q") "oid") (path (v "s") "parts_supplied"))
+                   pp))
+         in
+         return (bin op (Ast.EAgg (Ast.ACount, sub, p0)) (ilit k)));
+        (* subquery set comparison against the stored attribute *)
+        (let* pp = part_pred "q" in
+         let* op = oneofl [ Ast.SubsetEq; Ast.SupsetEq; Ast.Eq; Ast.SubsetOp ] in
+         let sub =
+           sfw (path (v "q") "oid") [ ("q", v "PART") ] (Some pp)
+         in
+         return (bin op (path (v "s") "parts_supplied") sub));
+        (* emptiness of the attribute *)
+        return (bin Ast.Eq (path (v "s") "parts_supplied") (Ast.ESet ([], p0)));
+        (* plain scalar predicate *)
+        (let* c = oneofl [ "s0"; "s1"; "s2" ] in
+         return (bin Ast.Neq (path (v "s") "sname") (slit c))) ]
+  in
+  sized_size (int_range 0 2) @@ fix (fun self n ->
+      if n = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (2,
+             let* a = self (n - 1) in
+             let* b = self (n - 1) in
+             let* op = oneofl [ Ast.And; Ast.Or ] in
+             return (bin op a b));
+            (1, map (fun a -> Ast.ENot (a, p0)) (self (n - 1))) ])
+
+(* A whole query: either a filtered scan or a grouping report. *)
+let gen_query : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* pred = gen_supplier_pred in
+  oneof
+    [ return (sfw (path (v "s") "sname") [ ("s", v "SUPPLIER") ] (Some pred));
+      return
+        (sfw
+           (Ast.ETuple
+              ( [ ("n", path (v "s") "sname");
+                  ( "ps",
+                    sfw (path (v "p") "pname")
+                      [ ("p", v "PART") ]
+                      (Some
+                         (bin Ast.In (path (v "p") "oid")
+                            (path (v "s") "parts_supplied"))) ) ],
+                p0 ))
+           [ ("s", v "SUPPLIER") ]
+           (Some pred)) ]
+
+let arbitrary_query =
+  QCheck.make gen_query ~print:Sqlpretty.to_string
+
+let schema = Njq_workload.Queries.schema
+
+(* Pretty-printed queries re-parse to the same text. *)
+let prop_pretty_roundtrip =
+  Util.qcheck ~count:300 "OOSQL pretty round trip" arbitrary_query (fun q ->
+      let printed = Sqlpretty.to_string q in
+      let reparsed = Parser.parse_query printed in
+      String.equal printed (Sqlpretty.to_string reparsed))
+
+(* Every generated query translates and typechecks. *)
+let prop_translation_total =
+  Util.qcheck ~count:300 "generated queries translate and typecheck"
+    arbitrary_query
+    (fun q ->
+      let cat = Gen.catalog { Gen.default_config with dangling_rate = 0.0 } in
+      match Translate.query schema q with
+      | adl, declared ->
+        (match Typecheck.infer cat [] adl with
+         | inferred -> Vtype.compat declared inferred
+         | exception Vtype.Type_error _ -> false)
+      | exception Translate.Translate_error _ -> false)
+
+(* End-to-end: optimized + planned execution equals naive evaluation, from
+   surface syntax, across grouping modes. *)
+let prop_pipeline_sound =
+  Util.qcheck ~count:150 "full pipeline soundness from OOSQL"
+    QCheck.(pair arbitrary_query (int_range 1 100))
+    (fun (q, seed) ->
+      let cat =
+        Gen.catalog
+          { (Gen.scaled ~seed 24) with Gen.dangling_rate = 0.0; Gen.empty_rate = 0.2 }
+      in
+      let adl, _ = Translate.query schema q in
+      let expected = Eval.run cat adl in
+      List.for_all
+        (fun mode ->
+          let options =
+            { Njq_core.Strategy.default_options with
+              Njq_core.Strategy.grouping_mode = mode }
+          in
+          let out = Njq_core.Strategy.optimize ~options cat adl in
+          Value.equal expected (Njq_engine.Planner.run cat out))
+        [ Njq_core.Strategy.Nestjoin_always;
+          Njq_core.Strategy.Flat_join_when_safe;
+          Njq_core.Strategy.Outerjoin ])
+
+let () =
+  Alcotest.run "oosql_gen"
+    [ ( "properties",
+        [ prop_pretty_roundtrip; prop_translation_total; prop_pipeline_sound ] ) ]

@@ -1,0 +1,108 @@
+(* Cross-cutting algebraic properties: folding, normalization, the exchange
+   rule in isolation, and substitution laws — each validated on the random
+   nested-predicate generator. *)
+
+open Njq_adl
+open Dsl
+module Rules = Njq_core.Rules
+module Normalize = Njq_core.Normalize
+module Exchange = Njq_core.Exchange
+
+let with_catalog (pred, tables) f =
+  let cat = Util.xy_catalog tables in
+  f cat (select "x" (table "X") pred)
+
+(* Folding is idempotent. *)
+let prop_fold_idempotent =
+  Util.qcheck ~count:300 "Fold.simplify is idempotent"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, _) ->
+      let e = select "x" (table "X") pred in
+      let once = Fold.simplify e in
+      Expr.equal once (Fold.simplify once))
+
+(* Folding preserves semantics on full queries. *)
+let prop_fold_sound =
+  Util.qcheck ~count:300 "Fold.simplify preserves semantics"
+    Util.arbitrary_xy_pred_and_tables
+    (fun input ->
+      with_catalog input (fun cat e ->
+          Value.equal (Eval.run cat e) (Eval.run cat (Fold.simplify e))))
+
+(* Normalization alone (Table 1/2 expansions, negation pushing, fusions,
+   hoisting, disjunction splitting) preserves semantics. *)
+let prop_normalize_sound =
+  Util.qcheck ~count:250 "Normalize.run preserves semantics"
+    Util.arbitrary_xy_pred_and_tables
+    (fun input ->
+      with_catalog input (fun cat e ->
+          let e', _ = Normalize.run cat e in
+          Value.equal (Eval.run cat e) (Eval.run cat e')))
+
+(* The exchange rule applied anywhere, repeatedly, preserves semantics. *)
+let prop_exchange_sound =
+  Util.qcheck ~count:250 "quantifier exchange preserves semantics"
+    Util.arbitrary_xy_pred_and_tables
+    (fun input ->
+      with_catalog input (fun cat e ->
+          (* exchange fires on normalized forms; normalize first *)
+          let e1, _ = Normalize.run cat e in
+          let e2, _ = Rules.fixpoint_simplify cat Exchange.rules e1 in
+          Value.equal (Eval.run cat e) (Eval.run cat e2)))
+
+(* Substitution laws. *)
+let prop_subst_identity =
+  Util.qcheck ~count:300 "subst x (Var x) is the identity"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, _) ->
+      Expr.equal pred (Analysis.subst1 "x" (Expr.Var "x") pred))
+
+let prop_subst_closes =
+  Util.qcheck ~count:300 "substituting the only free variable closes the term"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, _) ->
+      let closed =
+        Analysis.subst1 "x"
+          (Expr.Const
+             (Value.tuple [ ("a", Value.int 1); ("c", Value.set [ Value.int 2 ]) ]))
+          pred
+      in
+      Analysis.is_closed closed)
+
+(* Substitution commutes with evaluation: evaluating with x bound in the
+   environment equals evaluating the substituted term. *)
+let prop_subst_eval =
+  Util.qcheck ~count:250 "substitution commutes with evaluation"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let row = Value.tuple [ ("a", Value.int 2); ("c", Value.set [ Value.int 1 ]) ] in
+      let via_env = Eval.eval cat [ ("x", row) ] pred in
+      let via_subst =
+        Eval.run cat (Analysis.subst1 "x" (Expr.Const row) pred)
+      in
+      Value.equal via_env via_subst)
+
+(* Expression size never grows under folding. *)
+let prop_fold_no_growth =
+  Util.qcheck ~count:300 "folding never grows the term"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, _) ->
+      Analysis.size (Fold.simplify pred) <= Analysis.size pred)
+
+(* The strategy's output never re-optimizes into something different
+   (global idempotence, here on random queries rather than the corpus). *)
+let prop_strategy_idempotent =
+  Util.qcheck ~count:150 "strategy is idempotent on random queries"
+    Util.arbitrary_xy_pred_and_tables
+    (fun input ->
+      with_catalog input (fun cat e ->
+          let once = Njq_core.Strategy.optimize cat e in
+          Expr.equal once (Njq_core.Strategy.optimize cat once)))
+
+let () =
+  Alcotest.run "properties"
+    [ ( "algebraic laws",
+        [ prop_fold_idempotent; prop_fold_sound; prop_normalize_sound;
+          prop_exchange_sound; prop_subst_identity; prop_subst_closes;
+          prop_subst_eval; prop_fold_no_growth; prop_strategy_idempotent ] ) ]

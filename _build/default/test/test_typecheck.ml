@@ -1,0 +1,164 @@
+(* Tests for ADL type inference. *)
+
+open Njq_adl
+open Dsl
+
+let cat () = Util.small_catalog ()
+
+let infer ?(env = []) e = Typecheck.infer (cat ()) env e
+
+let check_ty name expected e = Alcotest.check Util.vtype name expected (infer e)
+
+let fails name e =
+  match infer e with
+  | t -> Alcotest.failf "%s: expected type error, got %a" name Vtype.pp t
+  | exception Vtype.Type_error _ -> ()
+
+let test_basics () =
+  check_ty "int" Vtype.TInt (int 3);
+  check_ty "tuple" (Vtype.tuple [ ("a", Vtype.TInt) ]) (tuple [ ("a", int 3) ]);
+  check_ty "empty set" (Vtype.TSet Vtype.TAny) empty;
+  check_ty "set literal" (Vtype.TSet Vtype.TInt) (set_lit [ int 1; int 2 ]);
+  check_ty "table" (Vtype.TSet Util.part_row_type) (table "PART");
+  fails "unknown table" (table "NOPE");
+  fails "heterogeneous set" (set_lit [ int 1; str "x" ])
+
+let test_tuple_ops () =
+  let t = tuple [ ("a", int 1); ("b", str "s") ] in
+  check_ty "field" Vtype.TInt (t $. "a");
+  check_ty "projection" (Vtype.tuple [ ("a", Vtype.TInt) ]) (proj t [ "a" ]);
+  check_ty "except"
+    (Vtype.tuple [ ("a", Vtype.TString); ("b", Vtype.TString); ("c", Vtype.TInt) ])
+    (except t [ ("a", str "z"); ("c", int 2) ]);
+  check_ty "concat"
+    (Vtype.tuple [ ("a", Vtype.TInt); ("c", Vtype.TBool) ])
+    (tuple [ ("a", int 1) ] ^^ tuple [ ("c", bool true) ]);
+  fails "missing field" (t $. "z");
+  fails "concat clash" (t ^^ tuple [ ("a", int 2) ])
+
+let test_iterators () =
+  check_ty "map" (Vtype.TSet Vtype.TString)
+    (map_ "p" (table "PART") (var "p" $. "pname"));
+  check_ty "select keeps type" (Vtype.TSet Util.part_row_type)
+    (select "p" (table "PART") (eq (var "p" $. "color") (str "red")));
+  check_ty "projection over table"
+    (Vtype.TSet (Vtype.tuple [ ("pname", Vtype.TString) ]))
+    (project [ "pname" ] (table "PART"));
+  fails "non-boolean selection" (select "p" (table "PART") (var "p" $. "price"));
+  fails "map over scalar" (map_ "x" (int 3) (var "x"))
+
+let test_joins () =
+  let p = eq (var "x" $. "oid") (var "y" $. "oid") in
+  check_ty "semijoin keeps left" (Vtype.TSet Util.part_row_type)
+    (semijoin p (table "PART") (table "PART"));
+  fails "inner join with clashing schemas" (join p (table "PART") (table "PART"));
+  check_ty "nestjoin adds group attr"
+    (Vtype.TSet
+       (Vtype.concat Util.supplier_row_type
+          (Vtype.tuple [ ("g", Vtype.TSet Util.part_row_type) ])))
+    (nestjoin ~attr:"g"
+       (mem (var "y" $. "oid") (var "x" $. "parts_supplied"))
+       (table "SUPPLIER") (table "PART"));
+  fails "nestjoin attr clash"
+    (nestjoin ~attr:"sname" (bool true) (table "SUPPLIER") (table "PART"))
+
+let test_unnest_nest () =
+  check_ty "unnest atom set keeps attr name"
+    (Vtype.TSet
+       (Vtype.tuple
+          [ ("oid", Vtype.TOid); ("sname", Vtype.TString);
+            ("parts_supplied", Vtype.TRef "PART") ]))
+    (unnest "parts_supplied" (table "SUPPLIER"));
+  check_ty "nest groups"
+    (Vtype.TSet
+       (Vtype.tuple
+          [ ("color", Vtype.TString);
+            ("g",
+             Vtype.TSet
+               (Vtype.tuple
+                  [ ("oid", Vtype.TOid); ("pname", Vtype.TString);
+                    ("price", Vtype.TInt) ])) ]))
+    (nest ~attrs:[ "oid"; "pname"; "price" ] ~into:"g" (table "PART"));
+  fails "unnest non-set attr" (unnest "sname" (table "SUPPLIER"))
+
+let test_rename () =
+  check_ty "rename type"
+    (Vtype.TSet
+       (Vtype.tuple
+          [ ("pid", Vtype.TOid); ("pname", Vtype.TString);
+            ("price", Vtype.TInt); ("color", Vtype.TString) ]))
+    (Expr.Rename ([ ("oid", "pid") ], table "PART"));
+  fails "rename unknown attribute" (Expr.Rename ([ ("zzz", "w") ], table "PART"));
+  fails "rename collision" (Expr.Rename ([ ("oid", "pname") ], table "PART"))
+
+let test_quantifiers_and_setcmp () =
+  check_ty "exists" Vtype.TBool
+    (exists "p" (table "PART") (gt (var "p" $. "price") (int 10)));
+  check_ty "membership with ref-oid compat" Vtype.TBool
+    (exists "s" (table "SUPPLIER") (mem (oid 1) (var "s" $. "parts_supplied")));
+  check_ty "subset of compatible sets" Vtype.TBool
+    (subseteq (set_lit [ int 1 ]) (set_lit [ int 2 ]));
+  fails "subset of incompatible sets" (subseteq (set_lit [ int 1 ]) (set_lit [ str "a" ]));
+  fails "mem wrong element type"
+    (exists "s" (table "SUPPLIER") (mem (str "x") (var "s" $. "parts_supplied")))
+
+let test_aggregates_and_deref () =
+  check_ty "count" Vtype.TInt (count (table "PART"));
+  check_ty "sum over prices" Vtype.TInt
+    (sum (map_ "p" (table "PART") (var "p" $. "price")));
+  check_ty "avg is float" Vtype.TFloat
+    (avg (map_ "p" (table "PART") (var "p" $. "price")));
+  fails "sum over tuples" (sum (table "PART"));
+  check_ty "deref" Util.part_row_type (deref "PART" (oid 1));
+  fails "deref non-oid" (deref "PART" (int 1));
+  fails "deref unknown extent" (deref "NOPE" (oid 1))
+
+let test_outer_join_padding () =
+  let p = eq (var "x" $. "a") (var "y" $. "d") in
+  let cat =
+    Util.xy_catalog
+      ( [ Value.tuple [ ("a", Value.int 1); ("c", Value.set []) ] ],
+        [ Value.tuple [ ("d", Value.int 1); ("e", Value.int 1) ] ] )
+  in
+  let good = outerjoin ~pad:[ "d"; "e" ] p (table "X") (table "Y") in
+  (match Typecheck.infer cat [] good with
+   | Vtype.TSet _ -> ()
+   | t -> Alcotest.failf "unexpected type %a" Vtype.pp t);
+  match Typecheck.infer cat [] (outerjoin ~pad:[ "d" ] p (table "X") (table "Y")) with
+  | _ -> Alcotest.fail "bad padding must be rejected"
+  | exception Vtype.Type_error _ -> ()
+
+(* Every well-typed closed expression evaluates to a value of its type (on
+   the generated XY tables, for a family of template queries). *)
+let prop_soundness =
+  Util.qcheck ~count:100 "type soundness on XY templates" Util.arbitrary_xy
+    (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let queries =
+        [ select "x" (table "X") (supseteq (var "x" $. "c") (set_lit [ int 1 ]));
+          map_ "x" (table "X") (count (var "x" $. "c"));
+          nestjoin ~attr:"g" (mem (var "y" $. "e") (var "x" $. "c")) (table "X")
+            (table "Y");
+          nest ~attrs:[ "e" ] ~into:"es" (table "Y") ]
+      in
+      List.for_all
+        (fun q ->
+          match Typecheck.infer cat [] q with
+          | t -> Vtype.check_value t (Eval.run cat q)
+          | exception Vtype.Type_error _ -> false)
+        queries)
+
+let () =
+  Alcotest.run "typecheck"
+    [ ( "inference",
+        [ Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "tuple ops" `Quick test_tuple_ops;
+          Alcotest.test_case "iterators" `Quick test_iterators;
+          Alcotest.test_case "joins" `Quick test_joins;
+          Alcotest.test_case "unnest/nest" `Quick test_unnest_nest;
+          Alcotest.test_case "rename" `Quick test_rename;
+          Alcotest.test_case "quantifiers and set comparisons" `Quick
+            test_quantifiers_and_setcmp;
+          Alcotest.test_case "aggregates and deref" `Quick test_aggregates_and_deref;
+          Alcotest.test_case "outer join padding" `Quick test_outer_join_padding ] );
+      ("properties", [ prop_soundness ]) ]

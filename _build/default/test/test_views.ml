@@ -1,0 +1,120 @@
+(* Tests for named view definitions and their expansion into from-clause
+   nesting (paper Section 2, Example Query 2). *)
+
+open Njq_adl
+module Views = Njq_oosql.Views
+module Parser = Njq_oosql.Parser
+module Strategy = Njq_core.Strategy
+
+let schema = Njq_workload.Queries.schema
+
+let run_program src =
+  let prog = Parser.parse_program src in
+  match Views.expand_program prog with
+  | Some q -> fst (Njq_oosql.Translate.query schema q)
+  | None -> Alcotest.fail "program has no query"
+
+let cat () =
+  Njq_workload.Generator.catalog
+    { Njq_workload.Generator.default_config with dangling_rate = 0.0 }
+
+let test_parse_defines () =
+  let prog =
+    Parser.parse_program
+      {| define reds as select p from p in PART where p.color = "red";
+         select r.pname from r in reds |}
+  in
+  Alcotest.(check int) "one define" 1 (List.length prog.Njq_oosql.Ast.defines);
+  Alcotest.(check bool) "query present" true (prog.Njq_oosql.Ast.query <> None)
+
+let test_expansion_semantics () =
+  let cat = cat () in
+  let via_view =
+    run_program
+      {| define reds as select p from p in PART where p.color = "red";
+         select r.pname from r in reds |}
+  in
+  let direct =
+    fst
+      (Njq_oosql.Translate.query_string schema
+         {| select r.pname from r in (select p from p in PART where p.color = "red") |})
+  in
+  Alcotest.check Util.value "view ≡ inline subquery" (Eval.run cat direct)
+    (Eval.run cat via_view)
+
+let test_view_of_view () =
+  let cat = cat () in
+  let q =
+    run_program
+      {| define reds as select p from p in PART where p.color = "red";
+         define cheap_reds as select p from p in reds where p.price < 100;
+         select r.pname from r in cheap_reds |}
+  in
+  let direct =
+    fst
+      (Njq_oosql.Translate.query_string schema
+         {| select p.pname from p in PART where p.color = "red" and p.price < 100 |})
+  in
+  Alcotest.check Util.value "chained views" (Eval.run cat direct) (Eval.run cat q)
+
+let test_shadowing () =
+  (* A from-binding with the view's name shadows it. *)
+  let cat = cat () in
+  let q =
+    run_program
+      {| define v as select p from p in PART where p.color = "red";
+         select v.sname from v in SUPPLIER |}
+  in
+  let direct =
+    fst (Njq_oosql.Translate.query_string schema "select s.sname from s in SUPPLIER")
+  in
+  Alcotest.check Util.value "binding shadows view" (Eval.run cat direct)
+    (Eval.run cat q)
+
+let test_quantifier_shadowing () =
+  let cat = cat () in
+  let q2 =
+    run_program
+      {| define v as select p.oid from p in PART where p.color = "red";
+         select s.sname from s in SUPPLIER where exists z in v : z in s.parts_supplied |}
+  in
+  let direct =
+    fst
+      (Njq_oosql.Translate.query_string schema
+         {| select s.sname from s in SUPPLIER
+            where exists z in (select p.oid from p in PART where p.color = "red")
+                  : z in s.parts_supplied |})
+  in
+  Alcotest.check Util.value "view in quantifier range" (Eval.run cat direct)
+    (Eval.run cat q2)
+
+(* Expanded views produce from-clause nesting that the optimizer flattens
+   and unnests end to end. *)
+let test_views_through_strategy () =
+  let cat = cat () in
+  let q =
+    run_program
+      {| define reds as select p from p in PART where p.color = "red";
+         select s.sname from s in SUPPLIER
+         where exists z in s.parts_supplied : exists p in reds : z = p.oid |}
+  in
+  let out = Strategy.optimize cat q in
+  let rec contains p e =
+    p e || Expr.fold_children (fun acc c -> acc || contains p c) false e
+  in
+  Alcotest.(check bool) "semijoin after view expansion" true
+    (contains
+       (function Expr.Join { kind = Expr.Semi; _ } -> true | _ -> false)
+       out);
+  Alcotest.check Util.value "equivalent" (Eval.run cat q)
+    (Njq_engine.Planner.run cat out)
+
+let () =
+  Alcotest.run "views"
+    [ ( "views",
+        [ Alcotest.test_case "parsing" `Quick test_parse_defines;
+          Alcotest.test_case "expansion semantics" `Quick test_expansion_semantics;
+          Alcotest.test_case "view of view" `Quick test_view_of_view;
+          Alcotest.test_case "from-binding shadowing" `Quick test_shadowing;
+          Alcotest.test_case "quantifier range expansion" `Quick test_quantifier_shadowing;
+          Alcotest.test_case "through the strategy" `Quick test_views_through_strategy ] ) ]

@@ -1,0 +1,83 @@
+(* Tests for the ADL type language. *)
+
+open Njq_adl
+
+let tt fields = Vtype.tuple fields
+
+let test_equal_structural () =
+  Alcotest.check Util.vtype "field order irrelevant"
+    (tt [ ("a", Vtype.TInt); ("b", Vtype.TString) ])
+    (tt [ ("b", Vtype.TString); ("a", Vtype.TInt) ]);
+  Alcotest.(check bool) "set types" true
+    (Vtype.equal (Vtype.TSet Vtype.TInt) (Vtype.TSet Vtype.TInt));
+  Alcotest.(check bool) "distinct" false (Vtype.equal Vtype.TInt Vtype.TBool)
+
+let test_compat_wildcard () =
+  Alcotest.(check bool) "TAny left" true (Vtype.compat Vtype.TAny Vtype.TInt);
+  Alcotest.(check bool) "TAny nested" true
+    (Vtype.compat (Vtype.TSet Vtype.TAny) (Vtype.TSet (tt [ ("a", Vtype.TInt) ])));
+  Alcotest.(check bool) "ref vs oid" true (Vtype.compat (Vtype.TRef "PART") Vtype.TOid);
+  Alcotest.(check bool) "incompatible" false (Vtype.compat Vtype.TInt Vtype.TString)
+
+let test_lub () =
+  Alcotest.check Util.vtype "lub picks informative side"
+    (Vtype.TSet Vtype.TInt)
+    (Vtype.lub (Vtype.TSet Vtype.TAny) (Vtype.TSet Vtype.TInt))
+
+let test_sch () =
+  let table = Vtype.TSet (tt [ ("b", Vtype.TInt); ("a", Vtype.TString) ]) in
+  Alcotest.(check (list string)) "sch sorted" [ "a"; "b" ] (Vtype.sch table);
+  Alcotest.check_raises "sch of non-table"
+    (Vtype.Type_error "SCH applied to a non-table type") (fun () ->
+      ignore (Vtype.sch Vtype.TInt))
+
+let test_projections () =
+  let row = tt [ ("a", Vtype.TInt); ("b", Vtype.TBool); ("c", Vtype.TString) ] in
+  Alcotest.check Util.vtype "project"
+    (tt [ ("a", Vtype.TInt); ("c", Vtype.TString) ])
+    (Vtype.project row [ "a"; "c" ]);
+  Alcotest.check Util.vtype "project away"
+    (tt [ ("b", Vtype.TBool) ])
+    (Vtype.project_away row [ "a"; "c" ]);
+  Alcotest.check Util.vtype "concat"
+    (tt [ ("a", Vtype.TInt); ("d", Vtype.TDate) ])
+    (Vtype.concat (tt [ ("a", Vtype.TInt) ]) (tt [ ("d", Vtype.TDate) ]))
+
+let test_of_value () =
+  Alcotest.check Util.vtype "tuple of set"
+    (tt [ ("s", Vtype.TSet Vtype.TInt) ])
+    (Vtype.of_value (Value.tuple [ ("s", Value.set [ Value.int 1 ]) ]));
+  Alcotest.check_raises "empty set has no type"
+    (Vtype.Type_error "empty set has no inferable element type") (fun () ->
+      ignore (Vtype.of_value (Value.set [])))
+
+let test_check_value () =
+  let ty = Vtype.TSet (tt [ ("a", Vtype.TInt) ]) in
+  Alcotest.(check bool) "empty set inhabits any set type" true
+    (Vtype.check_value ty (Value.set []));
+  Alcotest.(check bool) "row matches" true
+    (Vtype.check_value ty (Value.set [ Value.tuple [ ("a", Value.int 1) ] ]));
+  Alcotest.(check bool) "wrong field type" false
+    (Vtype.check_value ty (Value.set [ Value.tuple [ ("a", Value.bool true) ] ]));
+  Alcotest.(check bool) "ref accepts oid value" true
+    (Vtype.check_value (Vtype.TRef "PART") (Value.oid 3))
+
+let prop_of_value_check =
+  Util.qcheck "of_value's type accepts the value" Util.arbitrary_value (fun v ->
+      match Vtype.of_value v with
+      | t -> Vtype.check_value t v
+      | exception Vtype.Type_error _ ->
+        (* Only empty sets (possibly nested) lack a type. *)
+        true)
+
+let () =
+  Alcotest.run "vtype"
+    [ ( "unit",
+        [ Alcotest.test_case "structural equality" `Quick test_equal_structural;
+          Alcotest.test_case "compat wildcard" `Quick test_compat_wildcard;
+          Alcotest.test_case "lub" `Quick test_lub;
+          Alcotest.test_case "sch" `Quick test_sch;
+          Alcotest.test_case "projections" `Quick test_projections;
+          Alcotest.test_case "of_value" `Quick test_of_value;
+          Alcotest.test_case "check_value" `Quick test_check_value ] );
+      ("properties", [ prop_of_value_check ]) ]

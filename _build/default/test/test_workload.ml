@@ -1,0 +1,150 @@
+(* Tests for the workload generator: determinism, cardinalities, rate knobs
+   and schema conformance, plus the Rng substrate. *)
+
+open Njq_adl
+module Gen = Njq_workload.Generator
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create 124 in
+  let zs = List.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_ranges () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in_range r ~lo:3 ~hi:7 in
+    if v < 3 || v > 7 then Alcotest.failf "out of range: %d" v
+  done;
+  let f = Rng.float r in
+  Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0);
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in_range: empty range")
+    (fun () -> ignore (Rng.int_in_range r ~lo:2 ~hi:1))
+
+let test_rng_sample_shuffle () =
+  let r = Rng.create 9 in
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  let s = Rng.sample r 3 xs in
+  Alcotest.(check int) "sample size" 3 (List.length s);
+  Alcotest.(check bool) "sample distinct" true
+    (List.length (List.sort_uniq compare s) = 3);
+  Alcotest.(check bool) "sample from source" true (List.for_all (fun x -> List.mem x xs) s);
+  let sh = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "shuffle is a permutation" xs (List.sort compare sh)
+
+let test_generator_determinism () =
+  let cat1 = Gen.catalog Gen.default_config in
+  let cat2 = Gen.catalog Gen.default_config in
+  List.iter
+    (fun t ->
+      Alcotest.check Util.value ("table " ^ t)
+        (Value.set (Catalog.rows cat1 t))
+        (Value.set (Catalog.rows cat2 t)))
+    [ "PART"; "SUPPLIER"; "DELIVERY" ]
+
+let test_generator_cardinalities () =
+  let cfg = { Gen.default_config with parts = 10; suppliers = 20; deliveries = 30 } in
+  let cat = Gen.catalog cfg in
+  Alcotest.(check int) "parts" 10 (Catalog.cardinality cat "PART");
+  Alcotest.(check int) "suppliers" 20 (Catalog.cardinality cat "SUPPLIER");
+  Alcotest.(check int) "deliveries" 30 (Catalog.cardinality cat "DELIVERY")
+
+let test_generator_schema_conformance () =
+  let cat = Gen.catalog Gen.default_config in
+  List.iter
+    (fun (t, row_type) ->
+      List.iter
+        (fun row ->
+          if not (Vtype.check_value row_type row) then
+            Alcotest.failf "row of %s does not match its type: %a" t Value.pp row)
+        (Catalog.rows cat t))
+    [ ("PART", Gen.part_row_type); ("SUPPLIER", Gen.supplier_row_type);
+      ("DELIVERY", Gen.delivery_row_type) ]
+
+let test_rate_knobs () =
+  (* No dangling references at rate 0; some at a high rate. *)
+  let count_dangling cfg =
+    let cat = Gen.catalog cfg in
+    let part_oids =
+      List.map (fun p -> Value.field p "oid") (Catalog.rows cat "PART")
+    in
+    List.fold_left
+      (fun acc s ->
+        let refs = Value.as_set (Value.field s "parts_supplied") in
+        acc
+        + List.length
+            (List.filter (fun r -> not (List.exists (Value.equal r) part_oids)) refs))
+      0 (Catalog.rows cat "SUPPLIER")
+  in
+  Alcotest.(check int) "clean config has no dangling refs" 0
+    (count_dangling { Gen.default_config with dangling_rate = 0.0 });
+  Alcotest.(check bool) "dirty config has dangling refs" true
+    (count_dangling { Gen.default_config with dangling_rate = 0.5 } > 0);
+  (* Empty-set rate *)
+  let count_empty cfg =
+    let cat = Gen.catalog cfg in
+    List.length
+      (List.filter
+         (fun s -> Value.as_set (Value.field s "parts_supplied") = [])
+         (Catalog.rows cat "SUPPLIER"))
+  in
+  Alcotest.(check int) "no empties at rate 0" 0
+    (count_empty { Gen.default_config with empty_rate = 0.0 });
+  Alcotest.(check bool) "empties at rate 0.9" true
+    (count_empty { Gen.default_config with empty_rate = 0.9 } > 0)
+
+let test_references_resolve () =
+  let cat = Gen.catalog { Gen.default_config with dangling_rate = 0.0 } in
+  (* Every delivery's supplier reference dereferences. *)
+  List.iter
+    (fun d ->
+      let s = Catalog.deref cat "SUPPLIER" (Value.field d "supplier") in
+      Alcotest.(check bool) "supplier row" true (Value.has_field s "sname"))
+    (Catalog.rows cat "DELIVERY")
+
+let test_oids_unique () =
+  let cat = Gen.catalog Gen.default_config in
+  let all_oids =
+    List.concat_map
+      (fun t -> List.map (fun r -> Value.field r "oid") (Catalog.rows cat t))
+      [ "PART"; "SUPPLIER"; "DELIVERY" ]
+  in
+  Alcotest.(check int) "oids globally unique"
+    (List.length all_oids)
+    (List.length (List.sort_uniq Value.compare all_oids))
+
+let test_xy_catalog () =
+  let a = Gen.xy_catalog ~seed:4 32 and b = Gen.xy_catalog ~seed:4 32 in
+  List.iter
+    (fun t ->
+      Alcotest.check Util.value ("xy " ^ t)
+        (Value.set (Catalog.rows a t))
+        (Value.set (Catalog.rows b t)))
+    [ "X"; "Y" ];
+  Alcotest.(check int) "X cardinality" 32 (Catalog.cardinality a "X");
+  Alcotest.(check int) "Y cardinality" 32 (Catalog.cardinality a "Y");
+  (* empty_rate = 0 gives no empty c sets *)
+  let c = Gen.xy_catalog ~seed:4 ~empty_rate:0.0 32 in
+  Alcotest.(check int) "no empty sets at rate 0" 0
+    (List.length
+       (List.filter
+          (fun row -> Value.as_set (Value.field row "c") = [])
+          (Catalog.rows c "X")))
+
+let () =
+  Alcotest.run "workload"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "sample/shuffle" `Quick test_rng_sample_shuffle ] );
+      ( "generator",
+        [ Alcotest.test_case "determinism" `Quick test_generator_determinism;
+          Alcotest.test_case "cardinalities" `Quick test_generator_cardinalities;
+          Alcotest.test_case "schema conformance" `Quick test_generator_schema_conformance;
+          Alcotest.test_case "rate knobs" `Quick test_rate_knobs;
+          Alcotest.test_case "references resolve" `Quick test_references_resolve;
+          Alcotest.test_case "oid uniqueness" `Quick test_oids_unique;
+          Alcotest.test_case "xy tables" `Quick test_xy_catalog ] ) ]
