@@ -1,0 +1,43 @@
+(** Compile-once, run-per-tuple parameter expressions.
+
+    [expr cat ~vars e] translates [e] once into an OCaml closure over a
+    slot environment: a [Value.t array] whose slot [i] holds the value of
+    [List.nth vars i].  Variable references are resolved to array slots at
+    compile time, closed subexpressions (uncorrelated subqueries, Section 3)
+    are evaluated once and embedded as constants, and iterators mutate a
+    single binder slot per element instead of allocating an assoc cell —
+    eliminating the per-tuple AST-dispatch and environment-allocation tax
+    of {!Eval.eval}.
+
+    Observationally equivalent to the reference evaluator: for every
+    environment the closure returns the same value (or raises the same
+    exception) as {!Eval.eval}.  Compiled closures do not tick the
+    per-tuple ["nl_pred_eval"]/["nl_tuple_visit"] counters — removing that
+    per-tuple interpretive work is the point. *)
+
+(** A compiled expression: apply it to the slot environment. *)
+type t = Value.t array -> Value.t
+
+(** [expr cat ~vars e] compiles [e] with the free variables [vars] mapped
+    to environment slots in order. *)
+val expr : Catalog.t -> vars:string list -> Expr.t -> t
+
+(** [pred cat ~vars e] is {!expr} coerced to a boolean result. *)
+val pred : Catalog.t -> vars:string list -> Expr.t -> Value.t array -> bool
+
+(** {1 Arity-specialized entry points}
+
+    Closures over one or two values, reusing a preallocated slot buffer
+    across calls (safe because compiled closures never retain their
+    environment and the engine applies them sequentially). *)
+
+val expr1 : Catalog.t -> var:string -> Expr.t -> Value.t -> Value.t
+val pred1 : Catalog.t -> var:string -> Expr.t -> Value.t -> bool
+
+(** The first variable shadows the second when the names collide, matching
+    the reference environment [(a, va) :: (b, vb) :: []]. *)
+val expr2 :
+  Catalog.t -> vars:string * string -> Expr.t -> Value.t -> Value.t -> Value.t
+
+val pred2 :
+  Catalog.t -> vars:string * string -> Expr.t -> Value.t -> Value.t -> bool

@@ -27,3 +27,10 @@ val eval_arith : Expr.arith -> Value.t -> Value.t -> Value.t
 val eval_cmp : Expr.cmp -> Value.t -> Value.t -> bool
 val eval_setcmp : Expr.setcmp -> Value.t -> Value.t -> bool
 val eval_agg : Expr.agg -> Value.t -> Value.t
+
+(** [eval_nest attrs into elems] is the grouping semantics of
+    [Nest { attrs; into; _ }] applied to already-evaluated elements. *)
+val eval_nest : string list -> string -> Value.t list -> Value.t
+
+(** Relational division on already-evaluated operands. *)
+val eval_divide : Value.t -> Value.t -> Value.t

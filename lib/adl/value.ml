@@ -77,6 +77,60 @@ and compare_lists xs ys =
 
 let equal a b = compare a b = 0
 
+(* Structural hashing.
+
+   [hash] is a full-depth hash consistent with [equal] (unlike
+   [Stdlib.Hashtbl.hash], whose traversal limits make rows with long common
+   prefixes collide).  Because deep hashing of set-valued attributes is the
+   expensive part and rows flowing through the physical engine share their
+   set values physically, hashes of [VSet] nodes are memoized in an
+   ephemeron keyed on physical identity: the entry neither keeps the value
+   alive nor survives it, and re-hashing a shared set is a bounded-depth
+   bucket lookup instead of a full traversal. *)
+
+let hash_combine acc h = (acc * 31) + h
+
+module Hash_memo = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+
+  (* Bounded-depth preliminary hash: it only selects the bucket; physical
+     equality disambiguates. *)
+  let hash = Stdlib.Hashtbl.hash
+end)
+
+let hash_memo : int Hash_memo.t = Hash_memo.create 4096
+
+let rec hash v =
+  match v with
+  | VSet _ ->
+    (match Hash_memo.find_opt hash_memo v with
+     | Some h -> h
+     | None ->
+       let h = hash_node v in
+       Hash_memo.replace hash_memo v h;
+       h)
+  | _ -> hash_node v
+
+and hash_node = function
+  | VNull -> 17
+  | VBool b -> if b then 19 else 23
+  | VInt n -> hash_combine 29 n
+  | VFloat f ->
+    (* All NaNs compare equal under [Float.compare], so they must hash
+       alike regardless of payload bits. *)
+    hash_combine 31 (if Float.is_nan f then 0 else Stdlib.Hashtbl.hash f)
+  | VString s -> hash_combine 37 (Stdlib.Hashtbl.hash s)
+  | VDate d -> hash_combine 41 d
+  | VOid n -> hash_combine 43 n
+  | VTuple fs ->
+    List.fold_left
+      (fun acc (n, x) ->
+        hash_combine (hash_combine acc (Stdlib.Hashtbl.hash n)) (hash x))
+      47 fs
+  | VSet xs -> List.fold_left (fun acc x -> hash_combine acc (hash x)) 53 xs
+
 (* Smart constructors *)
 
 let tuple fields =

@@ -30,6 +30,14 @@ val compare : t -> t -> int
 
 val equal : t -> t -> bool
 
+(** Full-depth structural hash consistent with {!equal} (no traversal
+    limits, so long rows do not collide).  Hashes of set values are
+    memoized in an ephemeron keyed on physical identity, so repeatedly
+    hashing rows that share set-valued attributes — the common case in the
+    physical engine's hash tables and dedup — costs a bounded-depth bucket
+    lookup, not a traversal. *)
+val hash : t -> int
+
 (** {1 Construction (canonicalizing)} *)
 
 (** [tuple fields] sorts the fields by name.  Raises {!Type_error} on

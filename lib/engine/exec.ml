@@ -1,11 +1,17 @@
 (* Plan execution.
 
-   Parameter expressions (predicates, map bodies, join residuals) are
-   evaluated per tuple with the reference evaluator under a small
-   environment; the engine's contribution is the set-oriented organization
-   of the iteration: hash tables for equi-joins, semijoins, antijoins and
+   The engine's contribution is the set-oriented organization of the
+   iteration: hash tables for equi-joins, semijoins, antijoins and
    nestjoins, a sort-merge alternative, the PNHL algorithm for set-valued
    attribute materialization, and assembly for pointer dereferencing.
+
+   Parameter expressions (join keys, filter predicates, residuals, map and
+   nestjoin bodies) are compiled once per operator into closures
+   ([Njq_adl.Compile]) before iterating, so no per-tuple AST dispatch or
+   environment allocation remains in the loops; flipping [compile_params]
+   reverts to per-tuple reference evaluation for measurement.  Set results
+   are deduplicated with a hash set over the memoized [Value.hash] instead
+   of a full sort.
 
    Work counters (see [Njq_adl.Counters]): "scan_row", "filter_eval",
    "hash_build", "hash_probe", "nl_pair", "sm_cmp", "pnhl_partition",
@@ -22,29 +28,66 @@ module VTbl = Hashtbl.Make (struct
 
   let equal = Value.equal
 
-  (* Values are canonical, so structural hashing is consistent with
-     [Value.equal]. *)
-  let hash = Hashtbl.hash
+  (* Full-depth structural hash, memoized on set nodes; consistent with
+     [Value.equal] because values are canonical. *)
+  let hash = Value.hash
 end)
 
-(* Composite key for multi-attribute equi joins. *)
-let composite vs =
-  match vs with
-  | [ v ] -> v
-  | vs -> Value.VSet vs (* positional; sets are NOT canonicalized here *)
+(* Ordered composite key for multi-attribute equi joins: one slot per key
+   pair, compared and hashed positionally.  Unlike the former [Value.VSet]
+   encoding, key identity cannot depend on canonical set ordering or on the
+   order in which attribute values happen to be evaluated. *)
+module Key = struct
+  type t = Value.t array
 
-(* Evaluate the left/right sides of extracted keys. *)
-let eval_keys cat var row keys side =
-  composite
-    (List.map
-       (fun (kx, ky) ->
-         let k = match side with `Left -> kx | `Right -> ky in
-         Eval.eval cat [ (var, row) ] k)
-       keys)
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
 
-let residual_holds cat xvar yvar residual x y =
-  Expr.is_true residual
-  || Eval.run_pred cat [ (xvar, x); (yvar, y) ] residual
+  let hash k =
+    Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) (Array.length k) k
+end
+
+module KTbl = Hashtbl.Make (Key)
+
+(* Parameter-expression mode: [true] (default) compiles each operator's
+   parameter expressions once into closures; [false] falls back to
+   per-tuple reference evaluation.  The bench harness flips the flag to
+   measure the compiled layer's win on identical plans. *)
+let compile_params = ref true
+
+let param1 cat ~var e =
+  if !compile_params then Compile.expr1 cat ~var e
+  else fun v -> Eval.eval cat [ (var, v) ] e
+
+let pred1 cat ~var e =
+  if !compile_params then Compile.pred1 cat ~var e
+  else fun v -> Eval.run_pred cat [ (var, v) ] e
+
+let param2 cat ~vars:((a, b) as vars) e =
+  if !compile_params then Compile.expr2 cat ~vars e
+  else fun va vb -> Eval.eval cat [ (a, va); (b, vb) ] e
+
+let pred2 cat ~vars:((a, b) as vars) e =
+  if !compile_params then Compile.pred2 cat ~vars e
+  else fun va vb -> Eval.run_pred cat [ (a, va); (b, vb) ] e
+
+(* Compiled extractor for one side of the equi-join keys. *)
+let key_fns cat var side keys =
+  let fns =
+    Array.of_list
+      (List.map
+         (fun (kx, ky) ->
+           param1 cat ~var (match side with `Left -> kx | `Right -> ky))
+         keys)
+  in
+  fun row -> Array.map (fun f -> f row) fns
+
+let residual_fn cat xvar yvar residual =
+  if Expr.is_true residual then fun _ _ -> true
+  else pred2 cat ~vars:(xvar, yvar) residual
 
 let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
   match p with
@@ -53,13 +96,15 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
     Counters.tick ~n:(List.length rs) "scan_row";
     rs
   | Plan.Filter { var; pred; input } ->
+    let pred = pred1 cat ~var pred in
     List.filter
       (fun row ->
         Counters.tick "filter_eval";
-        Eval.run_pred cat [ (var, row) ] pred)
+        pred row)
       (rows cat input)
   | Plan.MapOp { var; body; input } ->
-    dedup (List.map (fun row -> Eval.eval cat [ (var, row) ] body) (rows cat input))
+    let body = param1 cat ~var body in
+    dedup (List.map body (rows cat input))
   | Plan.ProjectOp (attrs, input) ->
     dedup (List.map (fun row -> Value.project row attrs) (rows cat input))
   | Plan.FlattenOp input ->
@@ -86,32 +131,42 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
   | Plan.MemberJoin { kind; xvar; yvar; xset; elem_var; elem_key; ykey; left; right }
     ->
     let xs = rows cat left and ys = rows cat right in
+    let ykey = param1 cat ~var:yvar ykey in
+    let xset = param1 cat ~var:xvar xset in
+    let elem_key = param2 cat ~vars:(elem_var, xvar) elem_key in
     let tbl = VTbl.create (max 16 (List.length ys)) in
     List.iter
       (fun y ->
         Counters.tick "hash_build";
-        VTbl.add tbl (Eval.eval cat [ (yvar, y) ] ykey) y)
+        VTbl.add tbl (ykey y) y)
       ys;
     let matches x =
-      let elems = Value.as_set (Eval.eval cat [ (xvar, x) ] xset) in
       List.concat_map
         (fun e ->
           Counters.tick "hash_probe";
-          VTbl.find_all tbl (Eval.eval cat [ (elem_var, e); (xvar, x) ] elem_key))
-        elems
+          VTbl.find_all tbl (elem_key e x))
+        (Value.as_set (xset x))
+    in
+    (* Semi/anti probes stop at the first matching element instead of
+       materializing every match; only the probes performed are ticked. *)
+    let has_match x =
+      List.exists
+        (fun e ->
+          Counters.tick "hash_probe";
+          VTbl.mem tbl (elem_key e x))
+        (Value.as_set (xset x))
     in
     (match kind with
-     | Plan.MSemi -> List.filter (fun x -> matches x <> []) xs
-     | Plan.MAnti -> List.filter (fun x -> matches x = []) xs
+     | Plan.MSemi -> List.filter has_match xs
+     | Plan.MAnti -> List.filter (fun x -> not (has_match x)) xs
      | Plan.MInner ->
        dedup (List.concat_map (fun x -> List.map (Value.concat x) (matches x)) xs)
      | Plan.MNest { body; attr } ->
+       let body = param2 cat ~vars:(xvar, yvar) body in
        List.map
          (fun x ->
            let ms = dedup (matches x) in
-           let projected =
-             List.map (fun y -> Eval.eval cat [ (xvar, x); (yvar, y) ] body) ms
-           in
+           let projected = List.map (fun y -> body x y) ms in
            Value.concat x (Value.tuple [ (attr, Value.set projected) ]))
          xs)
   | Plan.GraceJoin { kind; xvar; yvar; keys; residual; mem_budget; left; right }
@@ -132,28 +187,32 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
       | k :: _ -> k
       | [] -> exec_error "grace join without equi keys"
     in
-    let bucket var k row =
+    let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
+    let bucket k row =
       Counters.tick "grace_partition_row";
-      Hashtbl.hash (Eval.eval cat [ (var, row) ] k) mod partitions
+      Value.hash (k row) mod partitions
     in
     let xparts = Array.make partitions [] and yparts = Array.make partitions [] in
     List.iter
       (fun x ->
-        let b = bucket xvar kx0 x in
+        let b = bucket kx0 x in
         xparts.(b) <- x :: xparts.(b))
       xs;
     List.iter
       (fun y ->
-        let b = bucket yvar ky0 y in
+        let b = bucket ky0 y in
         yparts.(b) <- y :: yparts.(b))
       ys;
     Counters.tick ~n:partitions "grace_partition";
+    (* Compile keys and residual once; every partition pair reuses them. *)
+    let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+    let residual = residual_fn cat xvar yvar residual in
     let out = ref [] in
     for b = 0 to partitions - 1 do
       (* Anti joins must also emit left rows whose partition has no right
          rows at all, so every partition pair is processed. *)
       let joined =
-        hash_join cat kind xvar yvar keys residual (List.rev xparts.(b))
+        hash_join_keyed kind ~xkey ~ykey ~residual (List.rev xparts.(b))
           (List.rev yparts.(b))
       in
       out := List.rev_append joined !out
@@ -244,7 +303,23 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
   | Plan.EvalOp e -> Value.as_set (Eval.run cat e)
   | Plan.Materialized rows -> rows
 
-and dedup vs = List.sort_uniq Value.compare vs
+(* Hash-set dedup over the memoized [Value.hash], preserving the first
+   occurrence of each element (the caller canonicalizes at the top via
+   [Value.set]); replaces the former [List.sort_uniq Value.compare], whose
+   deep polymorphic comparisons dominated on wide rows. *)
+and dedup vs =
+  match vs with
+  | [] | [ _ ] -> vs
+  | _ ->
+    let seen = VTbl.create 64 in
+    List.filter
+      (fun v ->
+        if VTbl.mem seen v then false
+        else begin
+          VTbl.add seen v ();
+          true
+        end)
+      vs
 
 and exec_join cat algo kind xvar yvar keys residual left right =
   let xs = rows cat left and ys = rows cat right in
@@ -260,53 +335,64 @@ and exec_join cat algo kind xvar yvar keys residual left right =
     nested_loop_join cat kind xvar yvar keys residual xs ys
 
 and nested_loop_join cat kind xvar yvar keys residual xs ys =
-  let full_pred x y =
+  let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+  let residual = residual_fn cat xvar yvar residual in
+  (* The left key is extracted once per left tuple, not once per pair. *)
+  let full_pred x kx y =
     Counters.tick "nl_pair";
-    List.for_all
-      (fun (kx, ky) ->
-        Value.equal (Eval.eval cat [ (xvar, x) ] kx) (Eval.eval cat [ (yvar, y) ] ky))
-      keys
-    && residual_holds cat xvar yvar residual x y
+    Key.equal kx (ykey y) && residual x y
   in
   match kind with
   | Expr.Inner ->
     dedup
       (List.concat_map
          (fun x ->
+           let kx = xkey x in
            List.filter_map
-             (fun y -> if full_pred x y then Some (Value.concat x y) else None)
+             (fun y -> if full_pred x kx y then Some (Value.concat x y) else None)
              ys)
          xs)
-  | Expr.Semi -> List.filter (fun x -> List.exists (full_pred x) ys) xs
-  | Expr.Anti -> List.filter (fun x -> not (List.exists (full_pred x) ys)) xs
+  | Expr.Semi ->
+    List.filter (fun x -> List.exists (full_pred x (xkey x)) ys) xs
+  | Expr.Anti ->
+    List.filter (fun x -> not (List.exists (full_pred x (xkey x)) ys)) xs
   | Expr.LeftOuter pad ->
     let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
     dedup
       (List.concat_map
          (fun x ->
-           match List.filter (full_pred x) ys with
+           match List.filter (full_pred x (xkey x)) ys with
            | [] -> [ Value.concat x null_row ]
            | ms -> List.map (Value.concat x) ms)
          xs)
 
 and hash_join cat kind xvar yvar keys residual xs ys =
-  let tbl = VTbl.create (max 16 (List.length ys)) in
+  let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+  let residual = residual_fn cat xvar yvar residual in
+  hash_join_keyed kind ~xkey ~ykey ~residual xs ys
+
+and hash_join_keyed kind ~xkey ~ykey ~residual xs ys =
+  let tbl = KTbl.create (max 16 (List.length ys)) in
   List.iter
     (fun y ->
       Counters.tick "hash_build";
-      let k = eval_keys cat yvar y keys `Right in
-      VTbl.add tbl k y)
+      KTbl.add tbl (ykey y) y)
     ys;
   let matches x =
     Counters.tick "hash_probe";
-    let k = eval_keys cat xvar x keys `Left in
-    List.filter (residual_holds cat xvar yvar residual x) (VTbl.find_all tbl k)
+    List.filter (residual x) (KTbl.find_all tbl (xkey x))
+  in
+  (* Semi/anti probes stop at the first candidate that passes the residual
+     instead of materializing (and residual-testing) the full match list. *)
+  let has_match x =
+    Counters.tick "hash_probe";
+    List.exists (residual x) (KTbl.find_all tbl (xkey x))
   in
   match kind with
   | Expr.Inner ->
     dedup (List.concat_map (fun x -> List.map (Value.concat x) (matches x)) xs)
-  | Expr.Semi -> List.filter (fun x -> matches x <> []) xs
-  | Expr.Anti -> List.filter (fun x -> matches x = []) xs
+  | Expr.Semi -> List.filter has_match xs
+  | Expr.Anti -> List.filter (fun x -> not (has_match x)) xs
   | Expr.LeftOuter pad ->
     let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
     dedup
@@ -320,23 +406,18 @@ and hash_join cat kind xvar yvar keys residual xs ys =
 and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
   (* Sort both inputs on the first key; equal-key runs are then joined,
      checking the remaining keys and residual per pair. *)
-  let key_of var k row = (Eval.eval cat [ (var, row) ] k, row) in
+  let kxf = param1 cat ~var:xvar kx and kyf = param1 cat ~var:yvar ky in
+  let rest_keys = List.tl all_keys in
+  let rxkey = key_fns cat xvar `Left rest_keys
+  and rykey = key_fns cat yvar `Right rest_keys in
+  let residual = residual_fn cat xvar yvar residual in
   let cmp (a, _) (b, _) =
     Counters.tick "sm_cmp";
     Value.compare a b
   in
-  let xs = List.sort cmp (List.map (key_of xvar kx) xs) in
-  let ys = List.sort cmp (List.map (key_of yvar ky) ys) in
-  let rest_keys = List.tl all_keys in
-  let pair_ok x y =
-    List.for_all
-      (fun (kx', ky') ->
-        Value.equal
-          (Eval.eval cat [ (xvar, x) ] kx')
-          (Eval.eval cat [ (yvar, y) ] ky'))
-      rest_keys
-    && residual_holds cat xvar yvar residual x y
-  in
+  let xs = List.sort cmp (List.map (fun row -> (kxf row, row)) xs) in
+  let ys = List.sort cmp (List.map (fun row -> (kyf row, row)) ys) in
+  let pair_ok x y = Key.equal (rxkey x) (rykey y) && residual x y in
   let rec run_of key acc = function
     | (k, v) :: rest when Value.equal k key -> run_of key (v :: acc) rest
     | rest -> (List.rev acc, rest)
@@ -367,10 +448,10 @@ and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
 
 and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
   let xs = rows cat left and ys = rows cat right in
+  let body = param2 cat ~vars:(xvar, yvar) body in
+  let residual = residual_fn cat xvar yvar residual in
   let attach x ms =
-    let projected =
-      List.map (fun y -> Eval.eval cat [ (xvar, x); (yvar, y) ] body) ms
-    in
+    let projected = List.map (fun y -> body x y) ms in
     Value.concat x (Value.tuple [ (attr, Value.set projected) ])
   in
   match algo, keys with
@@ -378,22 +459,16 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
     (* Adapted sort-merge join (Section 6.1): sort both inputs on the first
        key and pair each left run with the matching right run; dangling
        left tuples get the empty group. *)
-    let key_of var k row = (Eval.eval cat [ (var, row) ] k, row) in
+    let kxf = param1 cat ~var:xvar kx and kyf = param1 cat ~var:yvar ky in
+    let rxkey = key_fns cat xvar `Left rest_keys
+    and rykey = key_fns cat yvar `Right rest_keys in
     let cmp (a, _) (b, _) =
       Counters.tick "sm_cmp";
       Value.compare a b
     in
-    let xs = List.sort cmp (List.map (key_of xvar kx) xs) in
-    let ys = List.sort cmp (List.map (key_of yvar ky) ys) in
-    let pair_ok x y =
-      List.for_all
-        (fun (kx', ky') ->
-          Value.equal
-            (Eval.eval cat [ (xvar, x) ] kx')
-            (Eval.eval cat [ (yvar, y) ] ky'))
-        rest_keys
-      && residual_holds cat xvar yvar residual x y
-    in
+    let xs = List.sort cmp (List.map (fun row -> (kxf row, row)) xs) in
+    let ys = List.sort cmp (List.map (fun row -> (kyf row, row)) ys) in
+    let pair_ok x y = Key.equal (rxkey x) (rykey y) && residual x y in
     let rec run_of key acc = function
       | (k, v) :: rest when Value.equal k key -> run_of key (v :: acc) rest
       | rest -> (List.rev acc, rest)
@@ -424,36 +499,29 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
     merge xs ys []
   | Plan.Sort_merge, [] -> exec_error "sort-merge nestjoin without equi keys"
   | Plan.Hash, _ :: _ ->
-    let tbl = VTbl.create (max 16 (List.length ys)) in
+    let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+    let tbl = KTbl.create (max 16 (List.length ys)) in
     List.iter
       (fun y ->
         Counters.tick "hash_build";
-        VTbl.add tbl (eval_keys cat yvar y keys `Right) y)
+        KTbl.add tbl (ykey y) y)
       ys;
     List.map
       (fun x ->
         Counters.tick "hash_probe";
-        let ms =
-          List.filter
-            (residual_holds cat xvar yvar residual x)
-            (VTbl.find_all tbl (eval_keys cat xvar x keys `Left))
-        in
+        let ms = List.filter (residual x) (KTbl.find_all tbl (xkey x)) in
         attach x ms)
       xs
   | _ ->
+    let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
     List.map
       (fun x ->
+        let kx = xkey x in
         let ms =
           List.filter
             (fun y ->
               Counters.tick "nl_pair";
-              List.for_all
-                (fun (kx, ky) ->
-                  Value.equal
-                    (Eval.eval cat [ (xvar, x) ] kx)
-                    (Eval.eval cat [ (yvar, y) ] ky))
-                keys
-              && residual_holds cat xvar yvar residual x y)
+              Key.equal kx (ykey y) && residual x y)
             ys
         in
         attach x ms)
@@ -470,6 +538,8 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
 and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
   if mem_budget <= 0 then exec_error "pnhl: memory budget must be positive";
   let xs = rows cat left and ys = rows cat right in
+  let row_key = param1 cat ~var:"row" row_key in
+  let elem_key = param1 cat ~var:"elem" elem_key in
   let xs = Array.of_list xs in
   let partial = Array.make (Array.length xs) [] in
   let rec partitions = function
@@ -490,7 +560,7 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
       List.iter
         (fun y ->
           Counters.tick "pnhl_build";
-          VTbl.add tbl (Eval.eval cat [ ("row", y) ] row_key) y)
+          VTbl.add tbl (row_key y) y)
         segment;
       Array.iteri
         (fun i x ->
@@ -498,8 +568,7 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
           List.iter
             (fun e ->
               Counters.tick "pnhl_probe";
-              let k = Eval.eval cat [ ("elem", e) ] elem_key in
-              partial.(i) <- VTbl.find_all tbl k @ partial.(i))
+              partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
             elems)
         xs)
     (partitions ys);

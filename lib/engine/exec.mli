@@ -1,9 +1,11 @@
 (** Plan execution.
 
-    Parameter expressions are evaluated per tuple with the reference
-    evaluator; the engine organizes the iteration set-oriented: hash tables
-    for equi/member/nest joins, a sort-merge alternative, PNHL with
-    memory-budget partitioning, and assembly for pointer dereferencing.
+    Parameter expressions (join keys, filter predicates, residuals, map and
+    nestjoin bodies) are compiled once per operator into closures
+    ({!Njq_adl.Compile}) before iterating; the engine organizes the
+    iteration set-oriented: hash tables for equi/member/nest joins, a
+    sort-merge alternative, PNHL with memory-budget partitioning, and
+    assembly for pointer dereferencing.
 
     Counters ticked (see {!Njq_adl.Counters}): ["scan_row"],
     ["filter_eval"], ["hash_build"], ["hash_probe"], ["nl_pair"],
@@ -13,6 +15,13 @@
 open Njq_adl
 
 exception Exec_error of string
+
+(** When [true] (the default), each operator compiles its parameter
+    expressions once with {!Njq_adl.Compile} before iterating; when
+    [false], parameters are evaluated per tuple with the reference
+    evaluator.  Results are identical either way — the flag exists so the
+    benchmark harness can compare both modes on identical plans. *)
+val compile_params : bool ref
 
 (** Execute a plan, returning its rows (not canonicalized). *)
 val rows : Catalog.t -> Plan.t -> Value.t list

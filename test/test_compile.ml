@@ -1,0 +1,220 @@
+(* Compiled parameter expressions (Compile) against the reference
+   evaluator (Eval): the compiled closure must return the same value — or
+   raise — for every environment, including the Table 3 edge cases (empty
+   ranges, VNull from outer-join padding) and binder shadowing. *)
+
+open Njq_adl
+
+let eval_outcome f =
+  match f () with
+  | v -> Ok v
+  | exception Eval.Eval_error m -> Error ("eval: " ^ m)
+  | exception Value.Type_error m -> Error ("type: " ^ m)
+
+(* Same value, or both failing (reasons may be phrased differently). *)
+let outcomes_agree a b =
+  match a, b with
+  | Ok va, Ok vb -> Value.equal va vb
+  | Error _, Error _ -> true
+  | _ -> false
+
+let pp_outcome ppf = function
+  | Ok v -> Value.pp ppf v
+  | Error m -> Fmt.pf ppf "<%s>" m
+
+let check_agree cat env e =
+  let vars = List.map fst env in
+  let slots = Array.of_list (List.map snd env) in
+  let reference = eval_outcome (fun () -> Eval.eval cat env e) in
+  let compiled =
+    eval_outcome (fun () -> (Compile.expr cat ~vars e) slots)
+  in
+  if not (outcomes_agree reference compiled) then
+    Alcotest.failf "disagreement on %a@.env=%a@.eval:     %a@.compiled: %a"
+      Pretty.pp e
+      Fmt.(Dump.list (Dump.pair string Value.pp))
+      env pp_outcome reference pp_outcome compiled
+
+(* ------------------------------------------------------------------ *)
+(* Property: on random XY predicates and tables, the closure compiled for
+   the free variable "x" agrees with the reference evaluator on every X
+   row (including rows with empty sets — the dangling-tuple shapes). *)
+
+let prop_xy_agreement =
+  Util.qcheck ~count:300 "compiled pred agrees with Eval on XY predicates"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, ((xs, _) as tables)) ->
+      let cat = Util.xy_catalog tables in
+      let compiled = Compile.expr1 cat ~var:"x" pred in
+      List.iter
+        (fun x ->
+          let reference =
+            eval_outcome (fun () -> Eval.eval cat [ ("x", x) ] pred)
+          in
+          let got = eval_outcome (fun () -> compiled x) in
+          if not (outcomes_agree reference got) then
+            QCheck.Test.fail_reportf "on %a:@.eval:     %a@.compiled: %a"
+              Value.pp x pp_outcome reference pp_outcome got)
+        xs;
+      true)
+
+(* The engine must produce identical results whether parameters are
+   compiled or interpreted: run the same filter plan both ways. *)
+let prop_exec_modes_agree =
+  Util.qcheck ~count:150 "Exec.run agrees across compile_params modes"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let plan =
+        Njq_engine.Plan.Filter
+          { var = "x"; pred; input = Njq_engine.Plan.Scan "X" }
+      in
+      let run () =
+        eval_outcome (fun () -> Njq_engine.Exec.run cat plan)
+      in
+      let compiled = run () in
+      let interpreted =
+        Njq_engine.Exec.compile_params := false;
+        Fun.protect
+          ~finally:(fun () -> Njq_engine.Exec.compile_params := true)
+          run
+      in
+      if not (outcomes_agree compiled interpreted) then
+        QCheck.Test.fail_reportf "compiled %a <> interpreted %a" pp_outcome
+          compiled pp_outcome interpreted;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Corpus: every paper query (and the extended ones) compiled as a closed
+   expression returns exactly Eval.run's result. *)
+
+let corpus_agree () =
+  let cfg =
+    { Njq_workload.Generator.default_config with
+      parts = 24;
+      suppliers = 12;
+      deliveries = 12;
+      dangling_rate = 0.0
+    }
+  in
+  let cat = Njq_workload.Generator.catalog cfg in
+  List.iter
+    (fun (q : Njq_workload.Queries.query) ->
+      let e = Njq_workload.Queries.to_adl q in
+      let reference = Eval.run cat e in
+      let compiled = (Compile.expr cat ~vars:[] e) [||] in
+      Alcotest.check Util.value q.id reference compiled)
+    (Njq_workload.Queries.all @ Njq_workload.Queries.extended)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: quantifiers over the empty set — ∀ is vacuously true, ∃ is
+   false — and comparisons against VNull padding. *)
+
+let empty_and_null () =
+  let cat = Catalog.create () in
+  let open Dsl in
+  let null = Expr.Const Value.VNull in
+  let cases =
+    [ forall "z" empty (eq (var "z") (int 1));
+      exists "z" empty (eq (var "z") (int 1));
+      set_eq empty empty;
+      mem (int 1) empty;
+      count empty;
+      (* null comparisons behave identically in both layers *)
+      eq null (int 1);
+      eq null null;
+      Expr.Cmp (Expr.Lt, null, int 3);
+      Expr.If (eq null null, int 1, int 2) ]
+  in
+  List.iter (fun e -> check_agree cat [] e) cases;
+  (* P(x, ∅): the quantifier range comes from a variable bound to ∅. *)
+  let x_empty = Value.tuple [ ("c", Value.empty_set) ] in
+  List.iter
+    (fun e -> check_agree cat [ ("x", x_empty) ] e)
+    [ forall "z" (var "x" $. "c") (eq (var "z") (int 1));
+      exists "z" (var "x" $. "c") (eq (var "z") (int 1)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Shadowing: inner binders reuse an outer variable's name.  The slot
+   environment must resolve each reference to the innermost binding, like
+   the assoc environment's leftmost cons. *)
+
+let shadowing () =
+  let open Dsl in
+  let cat = Catalog.create () in
+  let row = Value.tuple [ ("a", Value.int 1); ("c", Value.set [ Value.int 2 ]) ] in
+  (* inner x (an int element) shadows outer x (the row) in the body *)
+  check_agree cat
+    [ ("x", row) ]
+    (exists "x" (var "x" $. "c") (eq (var "x") (int 2)));
+  check_agree cat
+    [ ("x", row) ]
+    (map_ "x" (var "x" $. "c") (add (var "x") (int 1)));
+  (* Join with xvar = yvar: the left binder wins in the predicate. *)
+  let xs = Expr.SetLit [ tuple [ ("a", int 1) ]; tuple [ ("a", int 2) ] ] in
+  let ys = Expr.SetLit [ tuple [ ("b", int 1) ]; tuple [ ("b", int 2) ] ] in
+  check_agree cat []
+    (Expr.Join
+       { kind = Expr.Semi;
+         xvar = "v";
+         yvar = "v";
+         pred = eq (var "v" $. "a") (int 1);
+         left = xs;
+         right = ys
+       });
+  (* expr2 with colliding names: the first variable shadows the second. *)
+  let f =
+    Compile.expr2 cat ~vars:("v", "v") (Dsl.var "v")
+  in
+  Alcotest.check Util.value "expr2 shadow" (Value.int 1)
+    (f (Value.int 1) (Value.int 99))
+
+let unbound () =
+  let cat = Catalog.create () in
+  let f = Compile.expr cat ~vars:[ "x" ] (Dsl.var "nope") in
+  Alcotest.check_raises "unbound variable raises at run time"
+    (Eval.Eval_error "unbound variable nope") (fun () ->
+      ignore (f [| Value.int 0 |]))
+
+(* Compiled closures must not pay the interpreter's per-tuple accounting:
+   running one ticks no "nl_pred_eval"/"nl_tuple_visit". *)
+let no_interpreter_ticks () =
+  let cat = Util.small_catalog () in
+  let open Dsl in
+  let e =
+    exists "p" (table "PART") (eq (var "p" $. "price") (var "x" $. "price"))
+  in
+  let f = Compile.expr1 cat ~var:"x" e in
+  let row = Value.tuple [ ("price", Value.int 10) ] in
+  let _, counts = Counters.measure (fun () -> f row) in
+  let count name = try List.assoc name counts with Not_found -> 0 in
+  Alcotest.(check int) "nl_pred_eval" 0 (count "nl_pred_eval");
+  Alcotest.(check int) "nl_tuple_visit" 0 (count "nl_tuple_visit")
+
+(* Closed subexpressions fold to constants, but a folded failure must not
+   escape until the expression is actually forced (short-circuit). *)
+let deferred_failure () =
+  let cat = Catalog.create () in
+  let open Dsl in
+  let boom = Expr.Field (int 1, "a") in
+  (* (false && boom) never forces boom *)
+  check_agree cat [] (Expr.And (bool false, boom));
+  check_agree cat [] (Expr.Or (bool true, boom));
+  check_agree cat [] (Expr.If (bool false, boom, int 7));
+  (* forcing it fails in both layers *)
+  check_agree cat [] (Expr.And (bool true, boom))
+
+let () =
+  Alcotest.run "compile"
+    [ ( "agreement",
+        [ prop_xy_agreement;
+          prop_exec_modes_agree;
+          Alcotest.test_case "paper corpus" `Quick corpus_agree ] );
+      ( "edge cases",
+        [ Alcotest.test_case "empty set and null (Table 3)" `Quick
+            empty_and_null;
+          Alcotest.test_case "binder shadowing" `Quick shadowing;
+          Alcotest.test_case "unbound variable" `Quick unbound;
+          Alcotest.test_case "no interpreter ticks" `Quick no_interpreter_ticks;
+          Alcotest.test_case "deferred constant-fold failure" `Quick
+            deferred_failure ] ) ]
