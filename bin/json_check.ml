@@ -1,0 +1,25 @@
+(* CI smoke validator: parse a JSON file with the observability reader and
+   assert the presence of required top-level keys.  Exits non-zero with a
+   message on malformed JSON or a missing key. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("json_check: " ^ s);
+      exit 1)
+    fmt
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: file :: keys ->
+    let src = In_channel.with_open_text file In_channel.input_all in
+    (match Njq_obs.Json.of_string src with
+     | exception Njq_obs.Json.Parse_error msg ->
+       fail "%s: invalid JSON: %s" file msg
+     | doc ->
+       List.iter
+         (fun k ->
+           if Njq_obs.Json.member k doc = None then
+             fail "%s: missing top-level key %S" file k)
+         keys)
+  | _ -> fail "usage: json_check FILE [REQUIRED_KEY...]"

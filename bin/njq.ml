@@ -12,6 +12,8 @@
 
 open Njq_adl
 module Strategy = Njq_core.Strategy
+module Span = Njq_obs.Span
+module Json = Njq_obs.Json
 
 let schema = Njq_workload.Queries.schema
 
@@ -158,27 +160,109 @@ let cost_arg =
   let doc = "Use cost-based algorithm and build-side choice." in
   Arg.(value & flag & info [ "cost" ] ~doc)
 
+let json_arg =
+  let doc = "Emit a single JSON document: rewrite derivation spans, the \
+             physical plan, and with --analyze the per-node estimated vs \
+             actual cardinalities with q-errors." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let trace_out_arg =
+  let doc = "Write the pipeline spans as a Chrome trace_event file \
+             (load in chrome://tracing or Perfetto)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let explain_cmd =
-  let run q scale seed dangling empty mode analyze cost =
+  let run q scale seed dangling empty mode analyze cost json trace_out =
     or_die (fun () ->
+        let tracing = json || Option.is_some trace_out in
+        if tracing then Span.start_tracing ();
         let cat = make_catalog scale seed dangling empty in
-        let adl, _ = Njq_oosql.Translate.query schema (parse_query_text q) in
-        let report = Strategy.rewrite ~options:(options_of mode) cat adl in
-        let algo =
-          if cost then Njq_engine.Planner.Cost_based cat
-          else Njq_engine.Planner.Auto
+        let report, plan, analysis =
+          Span.with_span "explain" (fun () ->
+              let adl, _ =
+                Njq_oosql.Translate.query schema (parse_query_text q)
+              in
+              (* Re-check the translation against the concrete catalog; this
+                 also puts the typecheck span on the trace. *)
+              (match Typecheck.check_closed cat adl with
+               | Ok _ -> ()
+               | Error msg ->
+                 Fmt.epr "warning: typecheck against catalog failed: %s@." msg);
+              let report = Strategy.rewrite ~options:(options_of mode) cat adl in
+              let stats =
+                if cost then Some (Njq_engine.Stats.analyze cat) else None
+              in
+              let algo =
+                if cost then Njq_engine.Planner.Cost_based cat
+                else Njq_engine.Planner.Auto
+              in
+              let plan =
+                Njq_engine.Planner.plan ~algo
+                  (Njq_engine.Consthoist.hoist cat report.Strategy.output)
+              in
+              let analysis =
+                if analyze then begin
+                  Counters.reset ();
+                  let v, prof =
+                    Span.with_span "execute" (fun () ->
+                        Njq_engine.Profile.run ?stats cat plan)
+                  in
+                  Some (v, prof)
+                end
+                else None
+              in
+              (report, plan, analysis))
         in
-        let plan =
-          Njq_engine.Planner.plan ~algo
-            (Njq_engine.Consthoist.hoist cat report.Strategy.output)
+        let spans =
+          if tracing then begin
+            Span.stop_tracing ();
+            Span.finished ()
+          end
+          else []
         in
-        Fmt.pr "%a@.@.plan:@.%a@." Strategy.pp_report report Njq_engine.Plan.pp
-          plan;
-        if analyze then begin
-          Counters.reset ();
-          let v, node_reports = Njq_engine.Instrument.run cat plan in
-          Fmt.pr "@.analyze (%d result rows):@.%a" (Value.set_size v)
-            Njq_engine.Instrument.pp_report node_reports
+        Option.iter
+          (fun path ->
+            Njq_obs.Export.write_chrome_trace path spans;
+            if not json then Fmt.pr "trace written to %s@." path)
+          trace_out;
+        if json then begin
+          let phases =
+            List.map
+              (fun ph ->
+                Json.Obj
+                  [ ("phase", Json.Str ph.Strategy.phase);
+                    ("steps", Json.Int (List.length ph.Strategy.steps)) ])
+              report.Strategy.phases
+          in
+          let doc =
+            Json.Obj
+              ([ ("query", Json.Str q);
+                 ("scale", Json.Int scale);
+                 ("seed", Json.Int seed);
+                 ("phases", Json.List phases);
+                 ("plan", Json.Str (Fmt.str "%a" Njq_engine.Plan.pp plan));
+                 ("derivation", Njq_obs.Export.spans_to_json spans) ]
+              @
+              match analysis with
+              | None -> []
+              | Some (v, prof) ->
+                [ ("analyze",
+                   Json.Obj
+                     [ ("result_rows", Json.Int (Value.set_size v));
+                       ("max_qerror",
+                        Json.Float (Njq_engine.Profile.max_qerror prof));
+                       ("plan", Njq_engine.Profile.to_json prof) ]) ])
+          in
+          print_endline (Json.to_string ~pretty:true doc)
+        end
+        else begin
+          Fmt.pr "%a@.@.plan:@.%a@." Strategy.pp_report report
+            Njq_engine.Plan.pp plan;
+          match analysis with
+          | None -> ()
+          | Some (v, prof) ->
+            Fmt.pr "@.analyze (%d result rows):@.%a" (Value.set_size v)
+              Njq_engine.Profile.pp prof
         end)
   in
   Cmd.v
@@ -186,7 +270,56 @@ let explain_cmd =
        ~doc:"Show the rewrite derivation and the physical plan of a query")
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
-      $ mode_arg $ analyze_arg $ cost_arg)
+      $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg)
+
+let stats_cmd =
+  let run scale seed dangling empty db schema_file json =
+    or_die (fun () ->
+        let cat = make_catalog ?db ?schema_file scale seed dangling empty in
+        let stats = Njq_engine.Stats.analyze cat in
+        if json then begin
+          let opt_int = function None -> Json.Null | Some n -> Json.Int n in
+          let table t =
+            let fields =
+              try Vtype.fields (Catalog.row_type cat t) with _ -> []
+            in
+            let cols =
+              List.map
+                (fun (attr, ty) ->
+                  let base =
+                    [ ("attr", Json.Str attr);
+                      ("type", Json.Str (Vtype.show ty)) ]
+                  in
+                  let stat =
+                    match Njq_engine.Stats.column stats ~table:t ~attr with
+                    | None -> []
+                    | Some { Njq_engine.Stats.ndv; lo; hi } ->
+                      [ ("ndv", Json.Int ndv); ("lo", opt_int lo);
+                        ("hi", opt_int hi) ]
+                  in
+                  Json.Obj (base @ stat))
+                fields
+            in
+            Json.Obj
+              [ ("name", Json.Str t);
+                ("cardinality", Json.Int (Catalog.cardinality cat t));
+                ("columns", Json.List cols) ]
+          in
+          print_endline
+            (Json.to_string ~pretty:true
+               (Json.Obj
+                  [ ("tables",
+                     Json.List (List.map table (Catalog.table_names cat))) ]))
+        end
+        else Fmt.pr "%a@." Njq_engine.Stats.pp stats)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Analyze the database and print per-table cardinalities and \
+             per-column NDV/min/max statistics")
+    Term.(
+      const run $ scale_arg $ seed_arg $ dangling_arg $ empty_arg $ db_arg
+      $ schema_arg $ json_arg)
 
 let format_arg =
   let doc = "Output format: adl (value notation), json, or csv." in
@@ -361,6 +494,6 @@ let main =
   let doc = "nested-loop to join queries in OODB — OOSQL/ADL query pipeline" in
   Cmd.group (Cmd.info "njq" ~version:"1.0.0" ~doc)
     [ parse_cmd; translate_cmd; explain_cmd; run_cmd; adl_cmd; schema_cmd;
-      repl_cmd ]
+      stats_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -3,35 +3,29 @@
    counts predicate evaluations and tuple visits; the physical engine counts
    hash builds/probes, oid lookups, partition spills, etc.
 
-   Counters are process-global; benchmarks bracket measurements with [reset]
-   and read a [snapshot] afterwards. *)
+   This is now a facade over the observability metrics registry
+   ([Njq_obs.Metrics]): the string-keyed [tick] interns a handle per call,
+   while hot paths (the engine's inner loops) intern their handles once and
+   increment through [Njq_obs.Metrics.incr] directly.  Both views share the
+   same cells, so [snapshot] sees every increment regardless of which door
+   it came through. *)
 
-let table : (string, int ref) Hashtbl.t = Hashtbl.create 32
+module M = Njq_obs.Metrics
 
-let enabled = ref true
+let tick ?n name = M.incr ?n (M.counter name)
 
-let tick ?(n = 1) name =
-  if !enabled then
-    match Hashtbl.find_opt table name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.add table name (ref n)
+let get name = M.value (M.counter name)
 
-let get name =
-  match Hashtbl.find_opt table name with Some r -> !r | None -> 0
+let reset () = M.reset_counters ()
 
-let reset () = Hashtbl.reset table
-
-(* All counters, sorted by name for stable output. *)
-let snapshot () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+(* All counters ticked since the last [reset], sorted by name for stable
+   output.  (Handles stay interned across resets; zeroed entries are
+   filtered by the registry.) *)
+let snapshot () = M.counter_snapshot ()
 
 (* Run [f] with counting temporarily disabled (e.g. when an oracle result is
    computed inside a measured region). *)
-let without_counting f =
-  let saved = !enabled in
-  enabled := false;
-  Fun.protect ~finally:(fun () -> enabled := saved) f
+let without_counting f = M.with_disabled f
 
 (* Run [f ()] on fresh counters and return its result with the snapshot. *)
 let measure f =

@@ -281,4 +281,5 @@ let infer_result cat env e =
   | exception Vtype.Type_error msg -> Error msg
 
 (* Typecheck a closed query expression. *)
-let check_closed cat e = infer_result cat [] e
+let check_closed cat e =
+  Njq_obs.Span.with_span "typecheck" (fun () -> infer_result cat [] e)

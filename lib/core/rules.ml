@@ -61,9 +61,15 @@ let fixpoint ?(fuel = 10_000) cat rules (e : Expr.t) : Expr.t * trace =
   let rec go fuel e acc =
     if fuel = 0 then failwith "Rules.fixpoint: out of fuel (diverging rule set?)"
     else
+      (* The fired rule's name is only known after the step returns, so the
+         firing is recorded as an after-the-fact span. *)
+      let t0 = if Njq_obs.Span.tracing () then Njq_obs.Clock.now_ns () else 0 in
       match step_anywhere cat rules e with
       | None -> (e, List.rev acc)
-      | Some (name, e') -> go (fuel - 1) e' ({ rule_name = name; result = e' } :: acc)
+      | Some (name, e') ->
+        if Njq_obs.Span.tracing () then
+          Njq_obs.Span.emit ~start_ns:t0 ("rule:" ^ name);
+        go (fuel - 1) e' ({ rule_name = name; result = e' } :: acc)
   in
   go fuel e []
 
@@ -73,10 +79,13 @@ let fixpoint_simplify ?(fuel = 10_000) cat rules (e : Expr.t) : Expr.t * trace =
   let rec go fuel e acc =
     if fuel = 0 then failwith "Rules.fixpoint_simplify: out of fuel"
     else
+      let t0 = if Njq_obs.Span.tracing () then Njq_obs.Clock.now_ns () else 0 in
       match step_anywhere cat rules e with
       | None -> (e, List.rev acc)
       | Some (name, e') ->
         let e' = Fold.simplify e' in
+        if Njq_obs.Span.tracing () then
+          Njq_obs.Span.emit ~start_ns:t0 ("rule:" ^ name);
         go (fuel - 1) e' ({ rule_name = name; result = e' } :: acc)
   in
   go fuel (Fold.simplify e) []

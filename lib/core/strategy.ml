@@ -64,11 +64,14 @@ let grouping_rules mode =
 
 (* Run one rule set to fixpoint and record the phase if it did anything. *)
 let run_phase cat name rules e phases =
-  let e', steps = Rules.fixpoint_simplify cat rules e in
-  if steps = [] then (e, phases)
-  else (e', { phase = name; steps } :: phases)
+  Njq_obs.Span.with_span ("phase:" ^ name) (fun () ->
+      let e', steps = Rules.fixpoint_simplify cat rules e in
+      Njq_obs.Span.add_attr "steps" (Njq_obs.Span.AInt (List.length steps));
+      if steps = [] then (e, phases)
+      else (e', { phase = name; steps } :: phases))
 
 let rewrite ?(options = default_options) (cat : Catalog.t) (e : Expr.t) : report =
+  Njq_obs.Span.with_span "rewrite" @@ fun () ->
   let phases = [] in
   let e0 = Fold.simplify e in
   (* Phase 1+2 loop: relational rewriting and attribute unnesting feed each

@@ -30,19 +30,21 @@ let rec hoist_in_param cat (e : Expr.t) : Expr.t =
 
 (* Walk the operator tree: operands recurse structurally, parameter
    expressions get the hoisting treatment. *)
-let rec hoist (cat : Catalog.t) (e : Expr.t) : Expr.t =
+let rec hoist_expr (cat : Catalog.t) (e : Expr.t) : Expr.t =
   match e with
   | Select { var; pred; src } ->
-    Select { var; pred = hoist_in_param cat pred; src = hoist cat src }
+    Select { var; pred = hoist_in_param cat pred; src = hoist_expr cat src }
   | Map { var; body; src } ->
-    Map { var; body = hoist_in_param cat body; src = hoist cat src }
+    Map { var; body = hoist_in_param cat body; src = hoist_expr cat src }
   | Join j ->
     Join
-      { j with pred = hoist_in_param cat j.pred; left = hoist cat j.left;
-        right = hoist cat j.right }
+      { j with pred = hoist_in_param cat j.pred; left = hoist_expr cat j.left;
+        right = hoist_expr cat j.right }
   | Nestjoin j ->
     Nestjoin
       { j with pred = hoist_in_param cat j.pred;
-        body = hoist_in_param cat j.body; left = hoist cat j.left;
-        right = hoist cat j.right }
-  | _ -> map_children (hoist cat) e
+        body = hoist_in_param cat j.body; left = hoist_expr cat j.left;
+        right = hoist_expr cat j.right }
+  | _ -> map_children (hoist_expr cat) e
+
+let hoist cat e = Njq_obs.Span.with_span "consthoist" (fun () -> hoist_expr cat e)

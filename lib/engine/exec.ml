@@ -89,17 +89,98 @@ let residual_fn cat xvar yvar residual =
   if Expr.is_true residual then fun _ _ -> true
   else pred2 cat ~vars:(xvar, yvar) residual
 
-let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
+(* Work counters, interned once into registry handles so the inner loops
+   pay a flag read and a field add per tick instead of a string-hashtable
+   probe (see [Njq_obs.Metrics]).  [Counters.get]/[snapshot] still see
+   these — both doors share the same cells. *)
+module M = Njq_obs.Metrics
+module Clock = Njq_obs.Clock
+module Span = Njq_obs.Span
+
+let c_scan_row = M.counter "scan_row"
+let c_filter_eval = M.counter "filter_eval"
+let c_hash_build = M.counter "hash_build"
+let c_hash_probe = M.counter "hash_probe"
+let c_nl_pair = M.counter "nl_pair"
+let c_sm_cmp = M.counter "sm_cmp"
+let c_grace_partition = M.counter "grace_partition"
+let c_grace_partition_row = M.counter "grace_partition_row"
+let c_pnhl_partition = M.counter "pnhl_partition"
+let c_pnhl_build = M.counter "pnhl_build"
+let c_pnhl_probe = M.counter "pnhl_probe"
+
+(* --------------------------------------------------------------------- *)
+(* Non-perturbing per-operator profiling                                  *)
+(*                                                                        *)
+(* When a collector is installed (see [collect]), the [rows] dispatcher   *)
+(* brackets every plan-node execution with clock and counter readings     *)
+(* and records one [node_sample] per node — the plan tree itself          *)
+(* executes unchanged, so row counts, counter totals and algorithmic      *)
+(* behaviour are exactly those of an unprofiled run.  Children charge     *)
+(* their inclusive totals to the parent frame, so exclusive (self) time   *)
+(* and work fall out by subtraction.  Samples are keyed by the physical   *)
+(* identity of the [Plan.t] node; [Profile] joins them back to the tree.  *)
+(* --------------------------------------------------------------------- *)
+
+type node_sample = {
+  sample_plan : Plan.t;  (* physical node identity, compare with [==] *)
+  out_rows : int;
+  wall_ns : int;  (* exclusive of children *)
+  cpu_s : float;  (* exclusive of children *)
+  incl_wall_ns : int;
+  incl_cpu_s : float;
+  work : (string * int) list;  (* exclusive counter deltas, sorted *)
+}
+
+type frame = {
+  mutable f_child_wall : int;
+  mutable f_child_cpu : float;
+  mutable f_child_work : (string * int) list;  (* children-inclusive, summed *)
+}
+
+type collector = {
+  mutable samples : node_sample list;  (* reverse completion order *)
+  mutable stack : frame list;
+}
+
+let collector : collector option ref = ref None
+
+(* Pointwise sum / difference of sorted counter-delta assoc lists. *)
+let merge_work op a b =
+  let rec go a b =
+    match a, b with
+    | [], rest -> List.filter_map (fun (k, v) -> op0 k v) rest
+    | rest, [] -> rest
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+      let c = String.compare ka kb in
+      if c < 0 then (ka, va) :: go ta b
+      else if c > 0 then (
+        match op0 kb vb with
+        | Some kv -> kv :: go a tb
+        | None -> go a tb)
+      else
+        let v = op va vb in
+        if v = 0 then go ta tb else (ka, v) :: go ta tb
+  and op0 k v =
+    let v = op 0 v in
+    if v = 0 then None else Some (k, v)
+  in
+  go a b
+
+let add_work = merge_work ( + )
+let sub_work = merge_work ( - )
+
+let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
   match p with
   | Plan.Scan name ->
     let rs = Catalog.rows cat name in
-    Counters.tick ~n:(List.length rs) "scan_row";
+    M.incr ~n:(List.length rs) c_scan_row;
     rs
   | Plan.Filter { var; pred; input } ->
     let pred = pred1 cat ~var pred in
     List.filter
       (fun row ->
-        Counters.tick "filter_eval";
+        M.incr c_filter_eval;
         pred row)
       (rows cat input)
   | Plan.MapOp { var; body; input } ->
@@ -137,13 +218,13 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let tbl = VTbl.create (max 16 (List.length ys)) in
     List.iter
       (fun y ->
-        Counters.tick "hash_build";
+        M.incr c_hash_build;
         VTbl.add tbl (ykey y) y)
       ys;
     let matches x =
       List.concat_map
         (fun e ->
-          Counters.tick "hash_probe";
+          M.incr c_hash_probe;
           VTbl.find_all tbl (elem_key e x))
         (Value.as_set (xset x))
     in
@@ -152,7 +233,7 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let has_match x =
       List.exists
         (fun e ->
-          Counters.tick "hash_probe";
+          M.incr c_hash_probe;
           VTbl.mem tbl (elem_key e x))
         (Value.as_set (xset x))
     in
@@ -189,7 +270,7 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
     in
     let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
     let bucket k row =
-      Counters.tick "grace_partition_row";
+      M.incr c_grace_partition_row;
       Value.hash (k row) mod partitions
     in
     let xparts = Array.make partitions [] and yparts = Array.make partitions [] in
@@ -203,7 +284,7 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
         let b = bucket ky0 y in
         yparts.(b) <- y :: yparts.(b))
       ys;
-    Counters.tick ~n:partitions "grace_partition";
+    M.incr ~n:partitions c_grace_partition;
     (* Compile keys and residual once; every partition pair reuses them. *)
     let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
     let residual = residual_fn cat xvar yvar residual in
@@ -280,7 +361,7 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
        let pair_index = VTbl.create (max 16 (List.length xs)) in
        List.iter
          (fun x ->
-           Counters.tick "hash_build";
+           M.incr c_hash_build;
            VTbl.replace pair_index x ())
          xs;
        let candidates = dedup (List.map (fun x -> Value.project x a_attrs) xs) in
@@ -288,7 +369,7 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
          (fun q ->
            List.for_all
              (fun y ->
-               Counters.tick "hash_probe";
+               M.incr c_hash_probe;
                VTbl.mem pair_index (Value.concat q y))
              ys)
          candidates)
@@ -302,6 +383,57 @@ let rec rows (cat : Catalog.t) (p : Plan.t) : Value.t list =
       (rows cat input)
   | Plan.EvalOp e -> Value.as_set (Eval.run cat e)
   | Plan.Materialized rows -> rows
+
+(* Dispatch through the collector when one is installed; the common case
+   costs one flag-and-deref test per node, and nothing per tuple. *)
+and rows cat p =
+  match !collector with None -> exec_node cat p | Some c -> profiled c cat p
+
+and profiled c cat p =
+  if Span.tracing () then
+    Span.with_span ("op:" ^ Plan.node_label p) (fun () -> profiled_run c cat p)
+  else profiled_run c cat p
+
+and profiled_run c cat p =
+  let snap0 = M.counter_snapshot () in
+  let cpu0 = Clock.cpu_seconds () in
+  let t0 = Clock.now_ns () in
+  let fr = { f_child_wall = 0; f_child_cpu = 0.0; f_child_work = [] } in
+  c.stack <- fr :: c.stack;
+  let pop () =
+    match c.stack with
+    | top :: rest when top == fr -> c.stack <- rest
+    | other -> c.stack <- (match other with _ :: r -> r | [] -> [])
+  in
+  match exec_node cat p with
+  | exception e ->
+    pop ();
+    raise e
+  | result ->
+    let incl_wall = Clock.elapsed_ns t0 in
+    let incl_cpu = Clock.cpu_seconds () -. cpu0 in
+    let incl_work = sub_work (M.counter_snapshot ()) snap0 in
+    pop ();
+    (match c.stack with
+     | parent :: _ ->
+       parent.f_child_wall <- parent.f_child_wall + incl_wall;
+       parent.f_child_cpu <- parent.f_child_cpu +. incl_cpu;
+       parent.f_child_work <- add_work parent.f_child_work incl_work
+     | [] -> ());
+    let sample =
+      {
+        sample_plan = p;
+        out_rows = List.length result;
+        wall_ns = incl_wall - fr.f_child_wall;
+        cpu_s = incl_cpu -. fr.f_child_cpu;
+        incl_wall_ns = incl_wall;
+        incl_cpu_s = incl_cpu;
+        work = sub_work incl_work fr.f_child_work;
+      }
+    in
+    c.samples <- sample :: c.samples;
+    Span.add_attr "rows" (Span.AInt sample.out_rows);
+    result
 
 (* Hash-set dedup over the memoized [Value.hash], preserving the first
    occurrence of each element (the caller canonicalizes at the top via
@@ -339,7 +471,7 @@ and nested_loop_join cat kind xvar yvar keys residual xs ys =
   let residual = residual_fn cat xvar yvar residual in
   (* The left key is extracted once per left tuple, not once per pair. *)
   let full_pred x kx y =
-    Counters.tick "nl_pair";
+    M.incr c_nl_pair;
     Key.equal kx (ykey y) && residual x y
   in
   match kind with
@@ -375,17 +507,17 @@ and hash_join_keyed kind ~xkey ~ykey ~residual xs ys =
   let tbl = KTbl.create (max 16 (List.length ys)) in
   List.iter
     (fun y ->
-      Counters.tick "hash_build";
+      M.incr c_hash_build;
       KTbl.add tbl (ykey y) y)
     ys;
   let matches x =
-    Counters.tick "hash_probe";
+    M.incr c_hash_probe;
     List.filter (residual x) (KTbl.find_all tbl (xkey x))
   in
   (* Semi/anti probes stop at the first candidate that passes the residual
      instead of materializing (and residual-testing) the full match list. *)
   let has_match x =
-    Counters.tick "hash_probe";
+    M.incr c_hash_probe;
     List.exists (residual x) (KTbl.find_all tbl (xkey x))
   in
   match kind with
@@ -412,7 +544,7 @@ and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
   and rykey = key_fns cat yvar `Right rest_keys in
   let residual = residual_fn cat xvar yvar residual in
   let cmp (a, _) (b, _) =
-    Counters.tick "sm_cmp";
+    M.incr c_sm_cmp;
     Value.compare a b
   in
   let xs = List.sort cmp (List.map (fun row -> (kxf row, row)) xs) in
@@ -426,7 +558,7 @@ and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
     match xs, ys with
     | [], _ | _, [] -> acc
     | (kx0, _) :: _, (ky0, _) :: _ ->
-      Counters.tick "sm_cmp";
+      M.incr c_sm_cmp;
       let c = Value.compare kx0 ky0 in
       if c < 0 then merge (snd (run_of kx0 [] xs)) ys acc
       else if c > 0 then merge xs (snd (run_of ky0 [] ys)) acc
@@ -463,7 +595,7 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
     let rxkey = key_fns cat xvar `Left rest_keys
     and rykey = key_fns cat yvar `Right rest_keys in
     let cmp (a, _) (b, _) =
-      Counters.tick "sm_cmp";
+      M.incr c_sm_cmp;
       Value.compare a b
     in
     let xs = List.sort cmp (List.map (fun row -> (kxf row, row)) xs) in
@@ -478,7 +610,7 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
       | [], _ -> List.rev acc
       | (_, x) :: xs', [] -> merge xs' [] (attach x [] :: acc)
       | (kx0, _) :: _, (ky0, _) :: _ ->
-        Counters.tick "sm_cmp";
+        M.incr c_sm_cmp;
         let c = Value.compare kx0 ky0 in
         if c < 0 then
           let xrun, xs' = run_of kx0 [] xs in
@@ -503,12 +635,12 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
     let tbl = KTbl.create (max 16 (List.length ys)) in
     List.iter
       (fun y ->
-        Counters.tick "hash_build";
+        M.incr c_hash_build;
         KTbl.add tbl (ykey y) y)
       ys;
     List.map
       (fun x ->
-        Counters.tick "hash_probe";
+        M.incr c_hash_probe;
         let ms = List.filter (residual x) (KTbl.find_all tbl (xkey x)) in
         attach x ms)
       xs
@@ -520,7 +652,7 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
         let ms =
           List.filter
             (fun y ->
-              Counters.tick "nl_pair";
+              M.incr c_nl_pair;
               Key.equal kx (ykey y) && residual x y)
             ys
         in
@@ -555,11 +687,11 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
   in
   List.iter
     (fun segment ->
-      Counters.tick "pnhl_partition";
+      M.incr c_pnhl_partition;
       let tbl = VTbl.create (max 16 (List.length segment)) in
       List.iter
         (fun y ->
-          Counters.tick "pnhl_build";
+          M.incr c_pnhl_build;
           VTbl.add tbl (row_key y) y)
         segment;
       Array.iteri
@@ -567,7 +699,7 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
           let elems = Value.as_set (Value.field x attr) in
           List.iter
             (fun e ->
-              Counters.tick "pnhl_probe";
+              M.incr c_pnhl_probe;
               partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
             elems)
         xs)
@@ -579,3 +711,14 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
 
 (* Execute a plan, returning its result as a canonical set value. *)
 let run cat p = Value.set (rows cat p)
+
+(* Run [f] with a fresh collector installed and return its result together
+   with the recorded samples in completion (post-order) order.  Collectors
+   nest: the previous one is restored afterwards and does not observe the
+   inner run. *)
+let collect f =
+  let c = { samples = []; stack = [] } in
+  let saved = !collector in
+  collector := Some c;
+  let result = Fun.protect ~finally:(fun () -> collector := saved) (fun () -> f ()) in
+  (result, List.rev c.samples)

@@ -28,3 +28,28 @@ val rows : Catalog.t -> Plan.t -> Value.t list
 
 (** Execute a plan, returning the result as a canonical set value. *)
 val run : Catalog.t -> Plan.t -> Value.t
+
+(** {2 Non-perturbing per-operator profiling}
+
+    One measurement per plan-node execution, taken around a normal
+    {!rows} run — the plan executes unchanged, so row counts and counter
+    totals are exactly those of an unprofiled run (contrast
+    {!Instrument}, which materializes children).  See {!Profile} for the
+    tree-shaped report. *)
+
+type node_sample = {
+  sample_plan : Plan.t;
+      (** The executed node; identity is physical — compare with [==]. *)
+  out_rows : int;
+  wall_ns : int;  (** Monotonic wall time exclusive of children. *)
+  cpu_s : float;  (** CPU time exclusive of children. *)
+  incl_wall_ns : int;
+  incl_cpu_s : float;
+  work : (string * int) list;
+      (** Counter deltas exclusive of children, sorted by name. *)
+}
+
+(** [collect f] runs [f] with a collector installed and returns its result
+    with the samples in completion (post-order) order.  Nested [collect]s
+    shadow the outer collector. *)
+val collect : (unit -> 'a) -> 'a * node_sample list

@@ -1,11 +1,15 @@
 (* Instrumented plan execution ("explain analyze"): run the plan bottom-up,
    materializing each node's result and recording per-node statistics —
-   output rows, the work counters the node ticked, and CPU time.
+   output rows, the work counters the node ticked, monotonic wall time and
+   CPU time.
 
    Children are materialized first and spliced back as [Plan.Materialized]
-   leaves, so each node's measurement covers exactly its own work. *)
+   leaves, so each node's measurement covers exactly its own work.  The
+   materialization itself perturbs timing (each node reads its inputs from
+   lists rather than a pipeline); [Profile] measures without perturbation. *)
 
 open Njq_adl
+module Clock = Njq_obs.Clock
 
 type node_report = {
   depth : int; (* nesting depth in the plan tree, root = 0 *)
@@ -13,6 +17,7 @@ type node_report = {
   rows : int; (* output cardinality *)
   work : (string * int) list; (* counters ticked by this node alone *)
   seconds : float; (* CPU time for this node alone *)
+  wall_ns : int; (* monotonic wall time for this node alone *)
 }
 
 (* Counter snapshot difference. *)
@@ -33,12 +38,21 @@ let rec exec cat depth (p : Plan.t) : Value.t list * node_report list =
     Plan.with_children p (List.map (fun r -> Plan.Materialized r) child_rows)
   in
   let before_counters = Counters.snapshot () in
-  let before_time = Sys.time () in
+  let before_cpu = Clock.cpu_seconds () in
+  let before_ns = Clock.now_ns () in
   let result = Exec.rows cat shallow in
-  let seconds = Sys.time () -. before_time in
+  let wall_ns = Clock.elapsed_ns before_ns in
+  let seconds = Clock.cpu_seconds () -. before_cpu in
   let work = diff_snapshots before_counters (Counters.snapshot ()) in
   let report =
-    { depth; label = Plan.node_label p; rows = List.length result; work; seconds }
+    {
+      depth;
+      label = Plan.node_label p;
+      rows = List.length result;
+      work;
+      seconds;
+      wall_ns;
+    }
   in
   (result, report :: child_reports)
 
@@ -56,7 +70,7 @@ let pp_report ppf (reports : node_report list) =
     (fun r ->
       Fmt.pf ppf "%s%-28s %8d rows  %6.2f ms  %a@."
         (String.make (2 * r.depth) ' ')
-        r.label r.rows (r.seconds *. 1000.0) pp_work r.work)
+        r.label r.rows (Clock.ns_to_ms r.wall_ns) pp_work r.work)
     reports
 
 (* Convenience: run instrumented and return the rendered report. *)

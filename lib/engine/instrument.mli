@@ -10,6 +10,7 @@ type node_report = {
   rows : int;  (** output cardinality *)
   work : (string * int) list;  (** counters ticked by this node alone *)
   seconds : float;  (** CPU time for this node alone *)
+  wall_ns : int;  (** monotonic wall time for this node alone *)
 }
 
 (** Execute a plan, returning the result and one report per node in

@@ -244,6 +244,14 @@ let rec plan_with ?ctx (choice : algo_choice) (e : Expr.t) : Plan.t =
     Plan.EvalOp e
 
 let plan ?(algo = Auto) e =
+  let algo_label =
+    match algo with
+    | Auto -> "auto"
+    | Force _ -> "force"
+    | Cost_based _ -> "cost_based"
+  in
+  Njq_obs.Span.with_span ~attrs:[ ("algo", Njq_obs.Span.AStr algo_label) ] "plan"
+  @@ fun () ->
   let ctx =
     match algo with
     | Cost_based cat -> Some { cat; stats = lazy (Stats.analyze cat) }

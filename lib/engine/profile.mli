@@ -1,0 +1,37 @@
+(** EXPLAIN ANALYZE: per-plan-node estimated vs actual cardinalities with
+    q-errors, work counters, and wall/CPU time, measured non-perturbingly
+    during a normal {!Exec} run (see {!Exec.collect}). *)
+
+open Njq_adl
+
+type node = {
+  plan : Plan.t;
+  label : string;
+  depth : int;
+  est_rows : float;  (** {!Cost.rows_out} estimate. *)
+  actual_rows : int;
+  qerror : float;
+  calls : int;  (** Executions of this physical node (1 unless shared). *)
+  wall_ns : int;  (** Monotonic wall time exclusive of children. *)
+  cpu_s : float;  (** CPU time exclusive of children. *)
+  work : (string * int) list;  (** Counter deltas exclusive of children. *)
+  children : node list;
+}
+
+(** [qerror ~est ~actual] is [max (est/actual) (actual/est)] with both
+    sides clamped below at 1; always [>= 1.0]. *)
+val qerror : est:float -> actual:int -> float
+
+(** Execute the plan with a collector installed and fold the samples onto
+    the plan tree.  [stats] sharpens the estimates (see {!Cost}). *)
+val run : ?stats:Stats.t -> Catalog.t -> Plan.t -> Value.t * node
+
+(** Pre-order flattening, this node first. *)
+val preorder : node -> node list
+
+val max_qerror : node -> float
+
+(** Aligned table: operator, est, actual, q-err, ms, work. *)
+val pp : Format.formatter -> node -> unit
+
+val to_json : node -> Njq_obs.Json.t

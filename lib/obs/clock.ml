@@ -1,0 +1,20 @@
+(* Clocks for the observability layer.
+
+   Wall time comes from the operating system's monotonic clock
+   (CLOCK_MONOTONIC via the bechamel stub): nanosecond resolution, immune
+   to wall-clock adjustments, suitable for span timestamps and durations.
+   CPU time is the process time of [Sys.time] — coarse, but the right
+   measure for "work done" independent of scheduling.
+
+   Nanoseconds are kept as native [int]s: 63 bits hold ~292 years of
+   monotonic time, and int arithmetic keeps the per-span cost trivial. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let cpu_seconds () = Sys.time ()
+
+(* Nanoseconds elapsed since an earlier [now_ns] reading. *)
+let elapsed_ns start = now_ns () - start
+
+let ns_to_ms ns = float_of_int ns /. 1_000_000.0
+let ns_to_us ns = float_of_int ns /. 1_000.0

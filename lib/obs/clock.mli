@@ -1,0 +1,15 @@
+(** Clocks for the observability layer: monotonic wall time in nanoseconds
+    (CLOCK_MONOTONIC) and process CPU time in seconds. *)
+
+(** Current monotonic time in nanoseconds.  Only differences are
+    meaningful; the origin is unspecified (typically system boot). *)
+val now_ns : unit -> int
+
+(** Process CPU time in seconds ([Sys.time]). *)
+val cpu_seconds : unit -> float
+
+(** [elapsed_ns start] is [now_ns () - start]. *)
+val elapsed_ns : int -> int
+
+val ns_to_ms : int -> float
+val ns_to_us : int -> float

@@ -1,0 +1,92 @@
+(* Exporters for collected spans: an indented text tree for terminals, a
+   plain JSON array for tooling, and Chrome's [trace_event] format so a
+   trace file drops straight into chrome://tracing or Perfetto. *)
+
+let attr_to_json : Span.attr -> Json.t = function
+  | Span.ABool b -> Json.Bool b
+  | Span.AInt n -> Json.Int n
+  | Span.AFloat f -> Json.Float f
+  | Span.AStr s -> Json.Str s
+
+let attrs_to_json attrs =
+  Json.Obj (List.rev_map (fun (k, v) -> (k, attr_to_json v)) attrs)
+
+let pp_attr ppf (a : Span.attr) =
+  match a with
+  | Span.ABool b -> Fmt.bool ppf b
+  | Span.AInt n -> Fmt.int ppf n
+  | Span.AFloat f -> Fmt.float ppf f
+  | Span.AStr s -> Fmt.string ppf s
+
+(* Indented tree: spans arrive sorted by start time, and parentage is
+   well-nested, so depth alone renders the hierarchy. *)
+let pp_text ppf spans =
+  List.iter
+    (fun (s : Span.span) ->
+      let indent = String.make (2 * s.depth) ' ' in
+      Fmt.pf ppf "%s%-*s %10.3f ms" indent
+        (max 1 (36 - String.length indent))
+        s.name
+        (Clock.ns_to_ms (Span.duration_ns s));
+      (match List.rev s.attrs with
+       | [] -> ()
+       | attrs ->
+         Fmt.pf ppf "  [%a]"
+           Fmt.(list ~sep:(any ", ") (fun ppf (k, v) -> pf ppf "%s=%a" k pp_attr v))
+           attrs);
+      Fmt.pf ppf "@.")
+    spans
+
+let span_to_json (s : Span.span) =
+  let base =
+    [
+      ("id", Json.Int s.id);
+      ("name", Json.Str s.name);
+      ("depth", Json.Int s.depth);
+      ("start_ns", Json.Int s.start_ns);
+      ("duration_ns", Json.Int (Span.duration_ns s));
+      ("cpu_s", Json.Float (Span.duration_cpu s));
+    ]
+  in
+  let parent =
+    match s.parent with
+    | None -> []
+    | Some p -> [ ("parent", Json.Int p) ]
+  in
+  let attrs =
+    match s.attrs with [] -> [] | _ -> [ ("attrs", attrs_to_json s.attrs) ]
+  in
+  Json.Obj (base @ parent @ attrs)
+
+let spans_to_json spans = Json.List (List.map span_to_json spans)
+
+(* Chrome trace_event: complete ("X") events with microsecond timestamps
+   relative to the first span, one process/thread. *)
+let chrome_trace spans =
+  let origin =
+    match spans with [] -> 0 | (s : Span.span) :: _ -> s.start_ns
+  in
+  let event (s : Span.span) =
+    let fields =
+      [
+        ("name", Json.Str s.name);
+        ("cat", Json.Str "njq");
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (Clock.ns_to_us (s.start_ns - origin)));
+        ("dur", Json.Float (Clock.ns_to_us (Span.duration_ns s)));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+      ]
+    in
+    let args =
+      match s.attrs with [] -> [] | _ -> [ ("args", attrs_to_json s.attrs) ]
+    in
+    Json.Obj (fields @ args)
+  in
+  Json.Obj [ ("traceEvents", Json.List (List.map event spans)) ]
+
+let write_chrome_trace path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Json.to_string ~pretty:true (chrome_trace spans)))

@@ -1,0 +1,289 @@
+(* A minimal JSON document type with a writer and a strict reader.
+
+   The observability exporters need to *emit* JSON (explain --analyze
+   --json, Chrome trace files, bench reports) and the test-suite and CI
+   smoke need to *validate* what was emitted, so both directions live here
+   with no external dependency.  Integers are kept distinct from floats so
+   counters round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let write_float buf f =
+  if Float.is_nan f then Buffer.add_string buf "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.1f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec write ?(indent = None) ~level buf (v : t) =
+  let pad n =
+    match indent with
+    | None -> ()
+    | Some w ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (w * n) ' ')
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> write_float buf f
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        pad (level + 1);
+        write ~indent ~level:(level + 1) buf item)
+      items;
+    pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, fv) ->
+        if i > 0 then Buffer.add_char buf ',';
+        pad (level + 1);
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\": ";
+        write ~indent ~level:(level + 1) buf fv)
+      fields;
+    pad level;
+    Buffer.add_char buf '}'
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  write ~indent:(if pretty then Some 2 else None) ~level:0 buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Reader: strict recursive descent                                    *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable i : int }
+
+let peek c = if c.i < String.length c.src then Some c.src.[c.i] else None
+
+let advance c = c.i <- c.i + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected '%c' at offset %d, got '%c'" ch c.i x
+  | None -> parse_error "expected '%c' at offset %d, got end of input" ch c.i
+
+let literal c word value =
+  let n = String.length word in
+  if c.i + n <= String.length c.src && String.sub c.src c.i n = word then begin
+    c.i <- c.i + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.i
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '"' -> Buffer.add_char buf '"'; advance c
+       | Some '\\' -> Buffer.add_char buf '\\'; advance c
+       | Some '/' -> Buffer.add_char buf '/'; advance c
+       | Some 'n' -> Buffer.add_char buf '\n'; advance c
+       | Some 't' -> Buffer.add_char buf '\t'; advance c
+       | Some 'r' -> Buffer.add_char buf '\r'; advance c
+       | Some 'b' -> Buffer.add_char buf '\b'; advance c
+       | Some 'f' -> Buffer.add_char buf '\012'; advance c
+       | Some 'u' ->
+         advance c;
+         if c.i + 4 > String.length c.src then parse_error "truncated \\u escape";
+         let hex = String.sub c.src c.i 4 in
+         c.i <- c.i + 4;
+         let code =
+           match int_of_string_opt ("0x" ^ hex) with
+           | Some n -> n
+           | None -> parse_error "invalid \\u escape %s" hex
+         in
+         (* Encode the code point as UTF-8 (we only emit < 0x20, but accept
+            the whole BMP for robustness; surrogate pairs are not joined). *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+       | _ -> parse_error "invalid escape at offset %d" c.i);
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.i in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.i - start) in
+  match int_of_string_opt s with
+  | Some n -> Int n
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Float f
+     | None -> parse_error "invalid number %S at offset %d" s start)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value c ] in
+      let rec more () =
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items := parse_value c :: !items;
+          more ()
+        | Some ']' -> advance c
+        | _ -> parse_error "expected ',' or ']' at offset %d" c.i
+      in
+      more ();
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        (k, parse_value c)
+      in
+      let fields = ref [ field () ] in
+      let rec more () =
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields := field () :: !fields;
+          more ()
+        | Some '}' -> advance c
+        | _ -> parse_error "expected ',' or '}' at offset %d" c.i
+      in
+      more ();
+      Obj (List.rev !fields)
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "unexpected character '%c' at offset %d" ch c.i
+
+let of_string src =
+  let c = { src; i = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.i <> String.length src then
+    parse_error "trailing garbage at offset %d" c.i;
+  v
+
+let of_string_opt src =
+  match of_string src with v -> Some v | exception Parse_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Str x, Str y -> String.equal x y
+  | List xs, List ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Obj xs, Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+         xs ys
+  | _ -> false

@@ -1,0 +1,29 @@
+(** A minimal JSON document type with a writer and a strict reader, shared
+    by the exporters (emit) and the tests / CI smoke (validate).  Integers
+    stay distinct from floats so counters round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Serialize; [pretty] indents with two spaces. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** Strict parse of a complete document; raises {!Parse_error}. *)
+val of_string : string -> t
+
+val of_string_opt : string -> t option
+
+(** Field lookup on [Obj]; [None] on other constructors. *)
+val member : string -> t -> t option
+
+(** Structural equality; [Int n] and [Float f] compare equal when the
+    float holds exactly [n]. *)
+val equal : t -> t -> bool

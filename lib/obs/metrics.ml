@@ -1,0 +1,98 @@
+(* The metrics registry: named counters and timers with *pre-interned
+   handles*.
+
+   The legacy [Njq_adl.Counters] interface looks a counter up in a string
+   hashtable on every tick — a hash of the name plus a table probe on the
+   hottest paths of the engine (per probe, per pair, per spill).  Here a
+   counter is interned once into a handle holding the mutable cell
+   directly; [incr] is a bounds-free add guarded by one flag read.  The
+   string-keyed interface survives on top of interning, so existing call
+   sites and the [Counters] facade keep working unchanged.
+
+   Counters hold plain [int]s (work units); timers accumulate nanoseconds
+   and an event count.  The registry is process-global and single-threaded,
+   like the engine. *)
+
+type counter = { c_name : string; mutable c_value : int }
+
+type timer = {
+  t_name : string;
+  mutable t_total_ns : int;
+  mutable t_events : int;
+}
+
+(* One flag for the whole registry: [Counters.without_counting] brackets
+   oracle computations inside measured regions. *)
+let enabled = ref true
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr ?(n = 1) c = if !enabled then c.c_value <- c.c_value + n
+
+let value c = c.c_value
+let counter_name c = c.c_name
+
+let timer name =
+  match Hashtbl.find_opt timers name with
+  | Some t -> t
+  | None ->
+    let t = { t_name = name; t_total_ns = 0; t_events = 0 } in
+    Hashtbl.add timers name t;
+    t
+
+let record t ns =
+  if !enabled then begin
+    t.t_total_ns <- t.t_total_ns + ns;
+    t.t_events <- t.t_events + 1
+  end
+
+let time t f =
+  let start = Clock.now_ns () in
+  Fun.protect ~finally:(fun () -> record t (Clock.elapsed_ns start)) f
+
+let timer_ns t = t.t_total_ns
+let timer_events t = t.t_events
+
+(* Zero every handle.  Handles stay interned (their identity is the point),
+   so snapshots filter zero-valued entries to keep the "only what was
+   ticked" reading of the legacy interface. *)
+let reset_counters () = Hashtbl.iter (fun _ c -> c.c_value <- 0) counters
+
+let reset_timers () =
+  Hashtbl.iter
+    (fun _ t ->
+      t.t_total_ns <- 0;
+      t.t_events <- 0)
+    timers
+
+let reset () =
+  reset_counters ();
+  reset_timers ()
+
+let counter_snapshot () =
+  Hashtbl.fold
+    (fun name c acc -> if c.c_value <> 0 then (name, c.c_value) :: acc else acc)
+    counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let timer_snapshot () =
+  Hashtbl.fold
+    (fun name t acc ->
+      if t.t_events <> 0 then (name, (t.t_total_ns, t.t_events)) :: acc else acc)
+    timers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Run [f] with the registry ignoring increments and records. *)
+let with_disabled f =
+  let saved = !enabled in
+  enabled := false;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,0 +1,49 @@
+(** The metrics registry: named counters and timers with pre-interned
+    handles.
+
+    Interning a name once yields a handle holding the mutable cell
+    directly, so hot paths pay one flag read and one add per tick instead
+    of a string-hashtable probe.  The registry is process-global; the
+    legacy {!Njq_adl.Counters} facade delegates here. *)
+
+type counter
+type timer
+
+(** Whether increments and records are applied (see {!with_disabled}). *)
+val enabled : bool ref
+
+(** Intern a counter: the same name always returns the same handle. *)
+val counter : string -> counter
+
+val incr : ?n:int -> counter -> unit
+val value : counter -> int
+val counter_name : counter -> string
+
+(** Intern a timer: the same name always returns the same handle. *)
+val timer : string -> timer
+
+(** Add an elapsed duration in nanoseconds (one event). *)
+val record : timer -> int -> unit
+
+(** Time a thunk on the monotonic clock and record it. *)
+val time : timer -> (unit -> 'a) -> 'a
+
+val timer_ns : timer -> int
+val timer_events : timer -> int
+
+(** Zero all counters (handles stay interned). *)
+val reset_counters : unit -> unit
+
+val reset_timers : unit -> unit
+
+(** {!reset_counters} plus {!reset_timers}. *)
+val reset : unit -> unit
+
+(** Non-zero counters, sorted by name. *)
+val counter_snapshot : unit -> (string * int) list
+
+(** Non-idle timers as [(name, (total_ns, events))], sorted by name. *)
+val timer_snapshot : unit -> (string * (int * int)) list
+
+(** Run with the registry ignoring increments and records. *)
+val with_disabled : (unit -> 'a) -> 'a

@@ -1,0 +1,149 @@
+(* Span-based tracing.
+
+   A span is a named interval on the monotonic clock with an optional
+   parent, a nesting depth, and a small bag of attributes.  The tracer is a
+   process-global, single-threaded collector: an explicit stack of open
+   spans gives parentage for [with_span], and [emit] attaches
+   already-measured intervals (e.g. an individual rewrite-rule firing whose
+   name is only known after the step returns) as completed children of
+   whatever is currently open.
+
+   Tracing is off by default; every entry point checks one flag so the
+   instrumented pipeline costs nothing when no one is listening. *)
+
+type attr =
+  | ABool of bool
+  | AInt of int
+  | AFloat of float
+  | AStr of string
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  depth : int;
+  start_ns : int;
+  mutable stop_ns : int;
+  start_cpu : float;
+  mutable stop_cpu : float;
+  mutable attrs : (string * attr) list;
+}
+
+let tracing_on = ref false
+let next_id = ref 0
+let open_stack : span list ref = ref []
+let completed : span list ref = ref []
+
+let tracing () = !tracing_on
+
+let reset () =
+  next_id := 0;
+  open_stack := [];
+  completed := []
+
+let start_tracing () =
+  reset ();
+  tracing_on := true
+
+let stop_tracing () = tracing_on := false
+
+let push ?(attrs = []) name =
+  let parent, depth =
+    match !open_stack with
+    | [] -> None, 0
+    | p :: _ -> Some p.id, p.depth + 1
+  in
+  let s =
+    {
+      id = !next_id;
+      parent;
+      name;
+      depth;
+      start_ns = Clock.now_ns ();
+      stop_ns = -1;
+      start_cpu = Clock.cpu_seconds ();
+      stop_cpu = -1.0;
+      attrs;
+    }
+  in
+  incr next_id;
+  open_stack := s :: !open_stack;
+  s
+
+let pop s =
+  s.stop_ns <- Clock.now_ns ();
+  s.stop_cpu <- Clock.cpu_seconds ();
+  (match !open_stack with
+   | top :: rest when top == s -> open_stack := rest
+   | _ ->
+     (* An exception unwound past intermediate spans: close everything
+        down to [s] so the trace stays well-nested. *)
+     let rec unwind = function
+       | [] -> []
+       | top :: rest ->
+         top.stop_ns <- s.stop_ns;
+         top.stop_cpu <- s.stop_cpu;
+         completed := top :: !completed;
+         if top == s then rest else unwind rest
+     in
+     open_stack := unwind !open_stack);
+  completed := s :: !completed
+
+let with_span ?attrs name f =
+  if not !tracing_on then f ()
+  else begin
+    let s = push ?attrs name in
+    Fun.protect ~finally:(fun () -> pop s) f
+  end
+
+let add_attr key value =
+  if !tracing_on then
+    match !open_stack with
+    | [] -> ()
+    | s :: _ -> s.attrs <- (key, value) :: s.attrs
+
+let emit ?(attrs = []) ~start_ns name =
+  if !tracing_on then begin
+    let parent, depth =
+      match !open_stack with
+      | [] -> None, 0
+      | p :: _ -> Some p.id, p.depth + 1
+    in
+    let cpu = Clock.cpu_seconds () in
+    let s =
+      {
+        id = !next_id;
+        parent;
+        name;
+        depth;
+        start_ns;
+        stop_ns = Clock.now_ns ();
+        start_cpu = cpu;
+        stop_cpu = cpu;
+        attrs;
+      }
+    in
+    incr next_id;
+    completed := s :: !completed
+  end
+
+let finished () =
+  List.sort
+    (fun a b ->
+      match compare a.start_ns b.start_ns with
+      | 0 -> compare a.id b.id
+      | c -> c)
+    !completed
+
+let duration_ns s = if s.stop_ns < 0 then 0 else s.stop_ns - s.start_ns
+
+let duration_cpu s = if s.stop_cpu < 0.0 then 0.0 else s.stop_cpu -. s.start_cpu
+
+(* Trace a whole computation: enable, run, disable, and hand back the
+   completed spans in start order together with the result. *)
+let trace f =
+  start_tracing ();
+  let result = Fun.protect ~finally:stop_tracing f in
+  let spans = finished () in
+  reset ();
+  (result, spans)

@@ -1,0 +1,58 @@
+(** Span-based tracing: named intervals on the monotonic clock with
+    parent/child nesting and per-span attributes.
+
+    The tracer is process-global and single-threaded.  It is off by
+    default; when off, {!with_span} and {!emit} cost one flag read. *)
+
+type attr =
+  | ABool of bool
+  | AInt of int
+  | AFloat of float
+  | AStr of string
+
+type span = {
+  id : int;
+  parent : int option;  (** [id] of the enclosing span, if any. *)
+  name : string;
+  depth : int;  (** Nesting depth; root spans are at depth 0. *)
+  start_ns : int;
+  mutable stop_ns : int;
+  start_cpu : float;
+  mutable stop_cpu : float;
+  mutable attrs : (string * attr) list;
+}
+
+val tracing : unit -> bool
+
+(** Clear collected spans and enable tracing. *)
+val start_tracing : unit -> unit
+
+val stop_tracing : unit -> unit
+
+(** Drop all collected state (also disables nothing: pair with
+    {!stop_tracing}). *)
+val reset : unit -> unit
+
+(** Run a thunk inside a fresh span (child of the innermost open span).
+    Pass-through when tracing is off.  The span is closed even if the
+    thunk raises. *)
+val with_span : ?attrs:(string * attr) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span (no-op when tracing is
+    off or no span is open). *)
+val add_attr : string -> attr -> unit
+
+(** Record an already-elapsed interval [start_ns .. now] as a completed
+    child of the innermost open span — for events whose name is only known
+    after the fact (e.g. which rewrite rule fired). *)
+val emit : ?attrs:(string * attr) list -> start_ns:int -> string -> unit
+
+(** Completed spans sorted by start time (ties by creation order). *)
+val finished : unit -> span list
+
+val duration_ns : span -> int
+val duration_cpu : span -> float
+
+(** [trace f] runs [f] with tracing enabled and returns its result with
+    the spans it produced; tracing state is reset afterwards. *)
+val trace : (unit -> 'a) -> 'a * span list

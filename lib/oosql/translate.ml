@@ -275,7 +275,7 @@ and translate_sfw ctx env { Ast.proj; froms; where } pos =
 (* Entry point: translate a closed OOSQL query under a schema.  Returns the
    ADL expression and its type. *)
 let query (schema : Ast.schema) (q : Ast.expr) : Expr.t * Vtype.t =
-  translate (make_ctx schema) [] q
+  Njq_obs.Span.with_span "translate" (fun () -> translate (make_ctx schema) [] q)
 
 (* Parse and translate in one step. *)
 let query_string (schema : Ast.schema) (src : string) : Expr.t * Vtype.t =
