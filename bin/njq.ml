@@ -57,6 +57,17 @@ let no_opt_arg =
   let doc = "Skip logical optimization (pure nested-loop execution)." in
   Arg.(value & flag & info [ "no-opt" ] ~doc)
 
+let domains_arg =
+  let doc =
+    "Execute with this many domains: the planner rewrites large joins, \
+     PNHL, filters and maps to partitioned parallel operators run on the \
+     engine's domain pool.  0 (the default) defers to the NJQ_DOMAINS \
+     environment variable; 1 is the sequential engine."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"K" ~doc)
+
+let apply_domains k = if k > 0 then Njq_engine.Pool.set_domains k
+
 let counters_arg =
   let doc = "Print work counters after execution." in
   Arg.(value & flag & info [ "counters" ] ~doc)
@@ -172,8 +183,9 @@ let trace_out_arg =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let explain_cmd =
-  let run q scale seed dangling empty mode analyze cost json trace_out =
+  let run q scale seed dangling empty mode analyze cost json trace_out domains =
     or_die (fun () ->
+        apply_domains domains;
         let tracing = json || Option.is_some trace_out in
         if tracing then Span.start_tracing ();
         let cat = make_catalog scale seed dangling empty in
@@ -197,7 +209,7 @@ let explain_cmd =
                 else Njq_engine.Planner.Auto
               in
               let plan =
-                Njq_engine.Planner.plan ~algo
+                Njq_engine.Planner.plan ~algo ~cat
                   (Njq_engine.Consthoist.hoist cat report.Strategy.output)
               in
               let analysis =
@@ -270,7 +282,8 @@ let explain_cmd =
        ~doc:"Show the rewrite derivation and the physical plan of a query")
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
-      $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg)
+      $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg
+      $ domains_arg)
 
 let stats_cmd =
   let run scale seed dangling empty db schema_file json =
@@ -328,8 +341,9 @@ let format_arg =
 
 let run_cmd =
   let run q scale seed dangling empty mode no_opt counters db save_db format
-      schema_file =
+      schema_file domains =
     or_die (fun () ->
+        apply_domains domains;
         let cat = make_catalog ?db ?save_db ?schema_file scale seed dangling empty in
         let adl, _ =
           Njq_oosql.Translate.query (load_schema schema_file) (parse_query_text q)
@@ -339,7 +353,7 @@ let run_cmd =
           else Strategy.optimize ~options:(options_of mode) cat adl
         in
         Counters.reset ();
-        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan final) in
+        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan ~cat final) in
         (match format with
          | `Adl ->
            Fmt.pr "%a@." Value.pp v;
@@ -354,11 +368,13 @@ let run_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ save_db_arg
-      $ format_arg $ schema_arg)
+      $ format_arg $ schema_arg $ domains_arg)
 
 let adl_cmd =
-  let run q scale seed dangling empty mode no_opt counters db schema_file =
+  let run q scale seed dangling empty mode no_opt counters db schema_file
+      domains =
     or_die (fun () ->
+        apply_domains domains;
         let cat = make_catalog ?db ?schema_file scale seed dangling empty in
         (match Adlsyntax.of_string q with
          | adl ->
@@ -389,7 +405,8 @@ let adl_cmd =
              select[x : p](@T), semijoin[x,y : p](l, r), ...)")
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
-      $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ schema_arg)
+      $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ schema_arg
+      $ domains_arg)
 
 let schema_cmd =
   let run () =
@@ -444,7 +461,7 @@ let repl_cmd =
         let adl, ty = Njq_oosql.Translate.query schema q in
         let final = Strategy.optimize ~options:(options_of !mode) cat adl in
         Counters.reset ();
-        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan final) in
+        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan ~cat final) in
         Fmt.pr "%a@.(%d rows of type %a; work: %a)@." Value.pp v
           (Value.set_size v) Vtype.pp ty Counters.pp_snapshot (Counters.snapshot ())
     in
@@ -453,7 +470,7 @@ let repl_cmd =
       let adl, _ = Njq_oosql.Translate.query schema q in
       let report = Strategy.rewrite ~options:(options_of !mode) cat adl in
       Fmt.pr "%a@.plan: %a@." Strategy.pp_report report Njq_engine.Plan.pp
-        (Njq_engine.Planner.plan report.Strategy.output)
+        (Njq_engine.Planner.plan ~cat report.Strategy.output)
     in
     let rec loop () =
       match read_statement () with

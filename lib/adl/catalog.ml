@@ -10,8 +10,10 @@ type table = {
   name : string;
   row_type : Vtype.t; (* type of one row (a tuple type) *)
   mutable rows : Value.t list; (* canonical: sorted, deduplicated *)
-  mutable oid_index : (int, Value.t) Hashtbl.t option;
-      (* lazy index on the row's "oid" field, invalidated on updates *)
+  oid_index : (int, Value.t) Hashtbl.t option Atomic.t;
+      (* lazy index on the row's "oid" field, invalidated on updates;
+         published atomically so pool domains can deref concurrently — a
+         lost race rebuilds an identical index, never observes a torn one *)
 }
 
 type t = {
@@ -39,7 +41,7 @@ let add_table t ~name ~row_type rows =
    | Vtype.TTuple _ -> ()
    | _ -> invalid_arg "Catalog.add_table: row type must be a tuple type");
   let rows = List.sort_uniq Value.compare rows in
-  Hashtbl.add t.tables name { name; row_type; rows; oid_index = None }
+  Hashtbl.add t.tables name { name; row_type; rows; oid_index = Atomic.make None }
 
 let find_opt t name = Hashtbl.find_opt t.tables name
 
@@ -60,7 +62,7 @@ let table_type t name = Vtype.TSet (row_type t name)
 let set_rows t name rows =
   let tbl = find t name in
   tbl.rows <- List.sort_uniq Value.compare rows;
-  tbl.oid_index <- None
+  Atomic.set tbl.oid_index None
 
 let table_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort String.compare
@@ -70,10 +72,12 @@ let cardinality t name = List.length (rows t name)
 (* Dereference an oid into extent [name]; builds the index on first use.
    Every lookup ticks the "oid_lookup" counter so benches can compare
    assembly against value-based joins. *)
+let c_oid_lookup = Njq_obs.Metrics.counter "oid_lookup"
+
 let deref t name oid_value =
   let tbl = find t name in
   let index =
-    match tbl.oid_index with
+    match Atomic.get tbl.oid_index with
     | Some idx -> idx
     | None ->
       let idx = Hashtbl.create (max 16 (List.length tbl.rows)) in
@@ -84,10 +88,12 @@ let deref t name oid_value =
             Hashtbl.replace idx (Value.as_oid (Value.field row "oid")) row
           | _ -> ())
         tbl.rows;
-      tbl.oid_index <- Some idx;
+      (* Publish after the table is fully built; racing domains may each
+         build one, but they are identical and readers see a whole index. *)
+      Atomic.set tbl.oid_index (Some idx);
       idx
   in
-  Counters.tick "oid_lookup";
+  Njq_obs.Metrics.incr c_oid_lookup;
   match Hashtbl.find_opt index (Value.as_oid oid_value) with
   | Some row -> row
   | None ->

@@ -10,8 +10,9 @@ type table = {
   name : string;
   row_type : Vtype.t;  (** a tuple type *)
   mutable rows : Value.t list;  (** canonical: sorted, duplicate-free *)
-  mutable oid_index : (int, Value.t) Hashtbl.t option;
-      (** lazy index on the [oid] field, invalidated by {!set_rows} *)
+  oid_index : (int, Value.t) Hashtbl.t option Atomic.t;
+      (** lazy index on the [oid] field, invalidated by {!set_rows};
+          published atomically for concurrent deref from pool domains *)
 }
 
 type t

@@ -275,37 +275,62 @@ let pred cat ~vars e =
   let c = compile cat vars e in
   fun env -> Value.as_bool (c env)
 
-(* Arity-specialized entry points for the engine's operators.  Each reuses
-   one preallocated slot buffer across calls: compiled closures use their
-   environment synchronously and never retain it, and the engine applies a
-   given closure strictly sequentially, so the buffer is never live across
-   two invocations. *)
+(* Arity-specialized entry points for the engine's operators.  Each
+   instantiation reuses one preallocated slot buffer across calls: compiled
+   closures use their environment synchronously and never retain it, and
+   the engine applies a given closure strictly sequentially *on one
+   domain*, so the buffer is never live across two invocations.
 
-let expr1 cat ~var e =
+   That per-instantiation buffer is exactly what makes a single closure
+   unsafe to share between domains.  The [_spawner] variants therefore
+   split the two costs: [expr1_spawner] pays the compilation once and
+   returns a thunk that mints a fresh closure — fresh buffer, shared
+   compiled code — so the engine's parallel operators can hand each pool
+   domain its own instance.  The compiled closures themselves are safe to
+   share: [compile] produces code that only reads immutable structure and
+   [grow]s a private copy of the environment per iterator invocation. *)
+
+let expr1_spawner cat ~var e =
   let c = compile cat [ var ] e in
-  let buf = [| Value.VNull |] in
-  fun v ->
-    buf.(0) <- v;
-    c buf
+  fun () ->
+    let buf = [| Value.VNull |] in
+    fun v ->
+      buf.(0) <- v;
+      c buf
 
-let pred1 cat ~var e =
-  let f = expr1 cat ~var e in
-  fun v -> Value.as_bool (f v)
+let expr1 cat ~var e = expr1_spawner cat ~var e ()
 
-let expr2 cat ~vars:(a, b) e =
+let pred1_spawner cat ~var e =
+  let s = expr1_spawner cat ~var e in
+  fun () ->
+    let f = s () in
+    fun v -> Value.as_bool (f v)
+
+let pred1 cat ~var e = pred1_spawner cat ~var e ()
+
+let expr2_spawner cat ~vars:(a, b) e =
   if String.equal a b then
     (* The reference env is [(a, va) :: (b, vb) :: []], so [a] shadows [b]
        entirely when the names collide. *)
-    let f = expr1 cat ~var:a e in
-    fun va _ -> f va
+    let s = expr1_spawner cat ~var:a e in
+    fun () ->
+      let f = s () in
+      fun va _ -> f va
   else
     let c = compile cat [ a; b ] e in
-    let buf = [| Value.VNull; Value.VNull |] in
-    fun va vb ->
-      buf.(0) <- va;
-      buf.(1) <- vb;
-      c buf
+    fun () ->
+      let buf = [| Value.VNull; Value.VNull |] in
+      fun va vb ->
+        buf.(0) <- va;
+        buf.(1) <- vb;
+        c buf
 
-let pred2 cat ~vars e =
-  let f = expr2 cat ~vars e in
-  fun va vb -> Value.as_bool (f va vb)
+let expr2 cat ~vars e = expr2_spawner cat ~vars e ()
+
+let pred2_spawner cat ~vars e =
+  let s = expr2_spawner cat ~vars e in
+  fun () ->
+    let f = s () in
+    fun va vb -> Value.as_bool (f va vb)
+
+let pred2 cat ~vars e = pred2_spawner cat ~vars e ()

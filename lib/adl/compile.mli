@@ -29,7 +29,8 @@ val pred : Catalog.t -> vars:string list -> Expr.t -> Value.t array -> bool
 
     Closures over one or two values, reusing a preallocated slot buffer
     across calls (safe because compiled closures never retain their
-    environment and the engine applies them sequentially). *)
+    environment and the engine applies each instance sequentially on one
+    domain). *)
 
 val expr1 : Catalog.t -> var:string -> Expr.t -> Value.t -> Value.t
 val pred1 : Catalog.t -> var:string -> Expr.t -> Value.t -> bool
@@ -41,3 +42,28 @@ val expr2 :
 
 val pred2 :
   Catalog.t -> vars:string * string -> Expr.t -> Value.t -> Value.t -> bool
+
+(** {1 Spawners}
+
+    The per-instance slot buffer is what makes a single [expr1]-style
+    closure unsafe to share between domains.  A spawner pays compilation
+    once and mints a fresh instance (fresh buffer, shared compiled code)
+    per call — the engine's parallel operators give each pool domain its
+    own instance. *)
+
+val expr1_spawner :
+  Catalog.t -> var:string -> Expr.t -> unit -> Value.t -> Value.t
+
+val pred1_spawner : Catalog.t -> var:string -> Expr.t -> unit -> Value.t -> bool
+
+val expr2_spawner :
+  Catalog.t ->
+  vars:string * string ->
+  Expr.t ->
+  unit ->
+  Value.t ->
+  Value.t ->
+  Value.t
+
+val pred2_spawner :
+  Catalog.t -> vars:string * string -> Expr.t -> unit -> Value.t -> Value.t -> bool

@@ -26,8 +26,15 @@ let lookup env x =
   | Some v -> v
   | None -> eval_error "unbound variable %s" x
 
+(* The two work counters are on the evaluator's innermost loops; intern
+   their handles once instead of paying a registry probe per tick. *)
+module M = Njq_obs.Metrics
+
+let c_tuple_visit = M.counter "nl_tuple_visit"
+let c_pred_eval = M.counter "nl_pred_eval"
+
 let visit v =
-  Counters.tick "nl_tuple_visit";
+  M.incr c_tuple_visit;
   v
 
 let rec eval (cat : Catalog.t) (env : env) (e : Expr.t) : Value.t =
@@ -59,7 +66,7 @@ let rec eval (cat : Catalog.t) (env : env) (e : Expr.t) : Value.t =
   | Quant (q, x, range, pred) ->
     let elems = Value.as_set (eval cat env range) in
     let holds v =
-      Counters.tick "nl_pred_eval";
+      M.incr c_pred_eval;
       Value.as_bool (eval cat ((x, visit v) :: env) pred)
     in
     Value.bool
@@ -71,7 +78,7 @@ let rec eval (cat : Catalog.t) (env : env) (e : Expr.t) : Value.t =
     Value.set
       (List.map
          (fun v ->
-           Counters.tick "nl_pred_eval";
+           M.incr c_pred_eval;
            eval cat ((var, visit v) :: env) body)
          elems)
   | Select { var; pred; src } ->
@@ -79,7 +86,7 @@ let rec eval (cat : Catalog.t) (env : env) (e : Expr.t) : Value.t =
     Value.set
       (List.filter
          (fun v ->
-           Counters.tick "nl_pred_eval";
+           M.incr c_pred_eval;
            Value.as_bool (eval cat ((var, visit v) :: env) pred))
          elems)
   | Project (attrs, src) ->
@@ -104,7 +111,7 @@ let rec eval (cat : Catalog.t) (env : env) (e : Expr.t) : Value.t =
       let matches =
         List.filter_map
           (fun y ->
-            Counters.tick "nl_pred_eval";
+            M.incr c_pred_eval;
             let env' = (xvar, x) :: (yvar, visit y) :: env in
             if Value.as_bool (eval cat env' pred) then
               Some (eval cat env' body)
@@ -156,7 +163,7 @@ and eval_join cat env kind xvar yvar pred left right =
   let matches x =
     List.filter
       (fun y ->
-        Counters.tick "nl_pred_eval";
+        M.incr c_pred_eval;
         Value.as_bool (eval cat ((xvar, x) :: (yvar, visit y) :: env) pred))
       ys
   in
@@ -230,7 +237,7 @@ and eval_divide a b =
     let holds q =
       List.for_all
         (fun y ->
-          Counters.tick "nl_pred_eval";
+          M.incr c_pred_eval;
           List.exists (fun x -> Value.equal x (Value.concat q y)) xs)
         ys
     in

@@ -86,7 +86,13 @@ let equal a b = compare a b = 0
    set values physically, hashes of [VSet] nodes are memoized in an
    ephemeron keyed on physical identity: the entry neither keeps the value
    alive nor survives it, and re-hashing a shared set is a bounded-depth
-   bucket lookup instead of a full traversal. *)
+   bucket lookup instead of a full traversal.
+
+   The memo table is *domain-local* ([Domain.DLS]): the engine's parallel
+   operators hash values from pool domains, and a single global ephemeron
+   would be a data race the moment two domains touch it.  Each domain
+   memoizes independently — the hash function is pure, so the tables can
+   only ever disagree about what is cached, never about a hash. *)
 
 let hash_combine acc h = (acc * 31) + h
 
@@ -100,11 +106,13 @@ module Hash_memo = Ephemeron.K1.Make (struct
   let hash = Stdlib.Hashtbl.hash
 end)
 
-let hash_memo : int Hash_memo.t = Hash_memo.create 4096
+let hash_memo_key : int Hash_memo.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hash_memo.create 4096)
 
 let rec hash v =
   match v with
   | VSet _ ->
+    let hash_memo = Domain.DLS.get hash_memo_key in
     (match Hash_memo.find_opt hash_memo v with
      | Some h -> h
      | None ->

@@ -123,7 +123,15 @@ let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
   | Plan.UnnestOp (_, input) -> assumed_fanout *. rows_out cat input
   | Plan.NestOp { input; _ } -> 0.5 *. rows_out cat input
   | Plan.DivideOp (a, _) -> Float.max 1.0 (0.1 *. rows_out cat a)
-  | Plan.Pnhl { left; _ } -> rows_out cat left
+  | Plan.Pnhl { left; _ } | Plan.ParPnhl { left; _ } -> rows_out cat left
+  | Plan.ParJoinOp { kind; left; right; _ } ->
+    let l = rows_out cat left and r = rows_out cat right in
+    (match kind with
+     | Expr.Inner | Expr.LeftOuter _ -> Float.max 1.0 (l *. r /. Float.max l r)
+     | Expr.Semi | Expr.Anti -> 0.5 *. l)
+  | Plan.ParNestjoinOp { left; _ } -> rows_out cat left
+  | Plan.ParFilter { pred; input; _ } -> selectivity pred *. rows_out cat input
+  | Plan.ParMapOp { input; _ } -> rows_out cat input
   | Plan.Assembly { input; _ } -> rows_out cat input
   | Plan.EvalOp _ -> 1.0
   | Plan.Materialized rows -> float_of_int (List.length rows)
@@ -186,6 +194,19 @@ let rec cost ?stats (cat : Catalog.t) (p : Plan.t) : float =
     let partitions = Float.max 1.0 (r /. float_of_int (max 1 mem_budget)) in
     cost cat left +. cost cat right +. r
     +. (partitions *. l *. assumed_fanout)
+  | Plan.ParPnhl { left; right; mem_budget; _ } ->
+    let l = rows_out cat left and r = rows_out cat right in
+    let partitions = Float.max 1.0 (r /. float_of_int (max 1 mem_budget)) in
+    cost cat left +. cost cat right +. r +. (partitions *. l *. assumed_fanout)
+  | Plan.ParJoinOp { left; right; _ } | Plan.ParNestjoinOp { left; right; _ }
+    ->
+    (* One partitioning pass over both inputs, then per-partition hash
+       joins whose work sums to one hash join of the full inputs. *)
+    let l = rows_out cat left and r = rows_out cat right in
+    cost cat left +. cost cat right +. l +. r +. join_algo_cost Plan.Hash l r
+    +. out
+  | Plan.ParFilter { input; _ } -> cost cat input +. rows_out cat input
+  | Plan.ParMapOp { input; _ } -> cost cat input +. rows_out cat input
   | Plan.Assembly { input; _ } -> cost cat input +. (2.0 *. rows_out cat input)
   | Plan.EvalOp _ -> 1000.0
   | Plan.Materialized rows -> float_of_int (List.length rows)

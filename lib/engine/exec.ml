@@ -74,6 +74,28 @@ let pred2 cat ~vars:((a, b) as vars) e =
   if !compile_params then Compile.pred2 cat ~vars e
   else fun va vb -> Eval.run_pred cat [ (a, va); (b, vb) ] e
 
+(* Spawner variants for the parallel operators: compiled closures carry a
+   per-instance slot buffer, so a partition task running on a pool domain
+   must mint its own instance ([Compile]'s spawners share the compiled
+   code, which is immutable).  The interpreted fallback is stateless and
+   spawns itself. *)
+
+let param1_spawner cat ~var e =
+  if !compile_params then Compile.expr1_spawner cat ~var e
+  else fun () v -> Eval.eval cat [ (var, v) ] e
+
+let pred1_spawner cat ~var e =
+  if !compile_params then Compile.pred1_spawner cat ~var e
+  else fun () v -> Eval.run_pred cat [ (var, v) ] e
+
+let param2_spawner cat ~vars:((a, b) as vars) e =
+  if !compile_params then Compile.expr2_spawner cat ~vars e
+  else fun () va vb -> Eval.eval cat [ (a, va); (b, vb) ] e
+
+let pred2_spawner cat ~vars:((a, b) as vars) e =
+  if !compile_params then Compile.pred2_spawner cat ~vars e
+  else fun () va vb -> Eval.run_pred cat [ (a, va); (b, vb) ] e
+
 (* Compiled extractor for one side of the equi-join keys. *)
 let key_fns cat var side keys =
   let fns =
@@ -88,6 +110,22 @@ let key_fns cat var side keys =
 let residual_fn cat xvar yvar residual =
   if Expr.is_true residual then fun _ _ -> true
   else pred2 cat ~vars:(xvar, yvar) residual
+
+let key_fns_spawner cat var side keys =
+  let spawners =
+    Array.of_list
+      (List.map
+         (fun (kx, ky) ->
+           param1_spawner cat ~var (match side with `Left -> kx | `Right -> ky))
+         keys)
+  in
+  fun () ->
+    let fns = Array.map (fun s -> s ()) spawners in
+    fun row -> Array.map (fun f -> f row) fns
+
+let residual_spawner cat xvar yvar residual =
+  if Expr.is_true residual then fun () _ _ -> true
+  else pred2_spawner cat ~vars:(xvar, yvar) residual
 
 (* Work counters, interned once into registry handles so the inner loops
    pay a flag read and a field add per tick instead of a string-hashtable
@@ -108,6 +146,38 @@ let c_grace_partition_row = M.counter "grace_partition_row"
 let c_pnhl_partition = M.counter "pnhl_partition"
 let c_pnhl_build = M.counter "pnhl_build"
 let c_pnhl_probe = M.counter "pnhl_probe"
+let c_par_partition = M.counter "par_partition"
+let c_par_partition_row = M.counter "par_partition_row"
+
+(* Non-negative partition index from a value hash ([Value.hash] can go
+   negative through multiplicative overflow). *)
+let bucket_of_hash h partitions = (h land max_int) mod partitions
+
+(* Split [rows] into [partitions] buckets by key hash, preserving the
+   relative order of rows within each bucket.  Runs on the main domain, so
+   its per-row tick stays independent of the pool size. *)
+let partition_by_key keyf partitions rows_list =
+  let parts = Array.make partitions [] in
+  List.iter
+    (fun row ->
+      M.incr c_par_partition_row;
+      let b = bucket_of_hash (Value.hash (keyf row)) partitions in
+      parts.(b) <- row :: parts.(b))
+    rows_list;
+  M.incr ~n:partitions c_par_partition;
+  Array.map List.rev parts
+
+(* Contiguous chunk boundaries for the parallel scan-shaped operators: the
+   chunk count adapts to the pool (it cannot affect results — chunks are
+   re-concatenated in order — only load balance). *)
+let par_chunks n =
+  let d = Pool.domains () in
+  if n <= 1 || d <= 1 then [| (0, n) |]
+  else begin
+    let k = min n (d * 4) in
+    let size = (n + k - 1) / k in
+    Array.init k (fun i -> (i * size, min n ((i + 1) * size)))
+  end
 
 (* --------------------------------------------------------------------- *)
 (* Non-perturbing per-operator profiling                                  *)
@@ -271,7 +341,7 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
     let bucket k row =
       M.incr c_grace_partition_row;
-      Value.hash (k row) mod partitions
+      bucket_of_hash (Value.hash (k row)) partitions
     in
     let xparts = Array.make partitions [] and yparts = Array.make partitions [] in
     List.iter
@@ -381,6 +451,101 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
         let obj = Catalog.deref cat cls (Value.field row ref_attr) in
         Value.except row [ (into, obj) ])
       (rows cat input)
+  | Plan.ParJoinOp { kind; xvar; yvar; keys; residual; partitions; left; right }
+    ->
+    let xs = rows cat left and ys = rows cat right in
+    let kx0, ky0 =
+      match keys with
+      | k :: _ -> k
+      | [] -> exec_error "parallel join without equi keys"
+    in
+    let partitions = max 1 partitions in
+    let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
+    let xparts = partition_by_key kx0 partitions xs
+    and yparts = partition_by_key ky0 partitions ys in
+    let xkey_s = key_fns_spawner cat xvar `Left keys
+    and ykey_s = key_fns_spawner cat yvar `Right keys in
+    let residual_s = residual_spawner cat xvar yvar residual in
+    let joined =
+      Pool.run partitions (fun b ->
+          hash_join_keyed kind ~xkey:(xkey_s ()) ~ykey:(ykey_s ())
+            ~residual:(residual_s ()) xparts.(b) yparts.(b))
+    in
+    dedup (List.concat (Array.to_list joined))
+  | Plan.ParNestjoinOp
+      { xvar; yvar; keys; residual; body; attr; partitions; left; right } ->
+    let xs = rows cat left and ys = rows cat right in
+    let kx0, ky0 =
+      match keys with
+      | k :: _ -> k
+      | [] -> exec_error "parallel nestjoin without equi keys"
+    in
+    let partitions = max 1 partitions in
+    let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
+    let xparts = partition_by_key kx0 partitions xs
+    and yparts = partition_by_key ky0 partitions ys in
+    let xkey_s = key_fns_spawner cat xvar `Left keys
+    and ykey_s = key_fns_spawner cat yvar `Right keys in
+    let residual_s = residual_spawner cat xvar yvar residual in
+    let body_s = param2_spawner cat ~vars:(xvar, yvar) body in
+    (* Every left row is in exactly one partition, and all right rows with
+       its key are in the same one, so its match group is complete there. *)
+    let parts_out =
+      Pool.run partitions (fun b ->
+          let xkey = xkey_s ()
+          and ykey = ykey_s ()
+          and residual = residual_s ()
+          and body = body_s () in
+          let ys_b = yparts.(b) in
+          let tbl = KTbl.create (max 16 (List.length ys_b)) in
+          List.iter
+            (fun y ->
+              M.incr c_hash_build;
+              KTbl.add tbl (ykey y) y)
+            ys_b;
+          List.map
+            (fun x ->
+              M.incr c_hash_probe;
+              let ms = List.filter (residual x) (KTbl.find_all tbl (xkey x)) in
+              let projected = List.map (fun y -> body x y) ms in
+              Value.concat x (Value.tuple [ (attr, Value.set projected) ]))
+            xparts.(b))
+    in
+    List.concat (Array.to_list parts_out)
+  | Plan.ParPnhl { attr; elem_key; row_key; into; mem_budget; left; right } ->
+    exec_par_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right
+  | Plan.ParFilter { var; pred; input } ->
+    let xs = Array.of_list (rows cat input) in
+    let pred_s = pred1_spawner cat ~var pred in
+    let chunks = par_chunks (Array.length xs) in
+    let outs =
+      Pool.run (Array.length chunks) (fun c ->
+          let pred = pred_s () in
+          let lo, hi = chunks.(c) in
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            let row = xs.(i) in
+            M.incr c_filter_eval;
+            if pred row then acc := row :: !acc
+          done;
+          !acc)
+    in
+    List.concat (Array.to_list outs)
+  | Plan.ParMapOp { var; body; input } ->
+    let xs = Array.of_list (rows cat input) in
+    let body_s = param1_spawner cat ~var body in
+    let chunks = par_chunks (Array.length xs) in
+    let outs =
+      Pool.run (Array.length chunks) (fun c ->
+          let body = body_s () in
+          let lo, hi = chunks.(c) in
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            acc := body xs.(i) :: !acc
+          done;
+          !acc)
+    in
+    dedup (List.concat (Array.to_list outs))
   | Plan.EvalOp e -> Value.as_set (Eval.run cat e)
   | Plan.Materialized rows -> rows
 
@@ -707,6 +872,62 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
   Array.to_list
     (Array.mapi
        (fun i x -> Value.except x [ (into, Value.set partial.(i)) ])
+       xs)
+
+(* Parallel PNHL: the algorithm's segments are independent — each builds
+   its own hash table and probes every left row against it — so they run
+   as pool tasks, one partial-match array per segment, merged in segment
+   order afterwards.  Per-segment work (builds, probes) is exactly the
+   sequential loop's, so counter totals match [exec_pnhl] on the same
+   budget; result rows canonicalize through [Value.set] per left row. *)
+and exec_par_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
+  if mem_budget <= 0 then exec_error "pnhl: memory budget must be positive";
+  let xs = rows cat left and ys = rows cat right in
+  let row_key_s = param1_spawner cat ~var:"row" row_key in
+  let elem_key_s = param1_spawner cat ~var:"elem" elem_key in
+  let xs = Array.of_list xs in
+  let rec segments = function
+    | [] -> []
+    | ys ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | y :: rest -> take (n - 1) (y :: acc) rest
+      in
+      let seg, rest = take mem_budget [] ys in
+      seg :: segments rest
+  in
+  let segs = Array.of_list (segments ys) in
+  let partials =
+    Pool.run (Array.length segs) (fun s ->
+        let row_key = row_key_s () and elem_key = elem_key_s () in
+        M.incr c_pnhl_partition;
+        let segment = segs.(s) in
+        let tbl = VTbl.create (max 16 (List.length segment)) in
+        List.iter
+          (fun y ->
+            M.incr c_pnhl_build;
+            VTbl.add tbl (row_key y) y)
+          segment;
+        let partial = Array.make (Array.length xs) [] in
+        Array.iteri
+          (fun i x ->
+            let elems = Value.as_set (Value.field x attr) in
+            List.iter
+              (fun e ->
+                M.incr c_pnhl_probe;
+                partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
+              elems)
+          xs;
+        partial)
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i x ->
+         let ms =
+           Array.fold_left (fun acc partial -> partial.(i) @ acc) [] partials
+         in
+         Value.except x [ (into, Value.set ms) ])
        xs)
 
 (* Execute a plan, returning its result as a canonical set value. *)

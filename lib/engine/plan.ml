@@ -113,6 +113,55 @@ type t =
       into : string; (* attribute receiving the referenced object *)
       input : t;
     }
+  | ParJoinOp of {
+      kind : Expr.join_kind;
+      xvar : string;
+      yvar : string;
+      keys : keys; (* at least one; partitioning hashes the first key *)
+      residual : Expr.t;
+      partitions : int; (* fixed in the plan, not derived from the pool *)
+      left : t;
+      right : t;
+    }
+      (* Partitioned parallel hash join: both operands are hash-partitioned
+         on the first key into [partitions] buckets, each bucket pair is
+         hash-joined on its own pool domain, and the per-partition results
+         are concatenated in partition order.  The partition count lives in
+         the plan so results and work counters are identical whatever the
+         domain count — parallelism only changes who runs which bucket. *)
+  | ParNestjoinOp of {
+      xvar : string;
+      yvar : string;
+      keys : keys;
+      residual : Expr.t;
+      body : Expr.t;
+      attr : string;
+      partitions : int;
+      left : t;
+      right : t;
+    }
+      (* Partitioned parallel hash nestjoin, same discipline as
+         [ParJoinOp]: every left row lands in exactly one partition (its
+         key hash), so its match group is complete within that bucket. *)
+  | ParPnhl of {
+      attr : string;
+      elem_key : Expr.t;
+      row_key : Expr.t;
+      into : string;
+      mem_budget : int; (* max right rows hashed at once (partitioning) *)
+      left : t;
+      right : t;
+    }
+      (* PNHL with the right-operand segments probed concurrently: each
+         pool domain builds the hash table of one segment and probes all
+         left rows against it; per-segment partial matches are merged in
+         segment order, exactly as the sequential loop would. *)
+  | ParFilter of { var : string; pred : Expr.t; input : t }
+      (* Chunked parallel filter: the input rows are split into contiguous
+         chunks, filtered concurrently, and re-concatenated in chunk order
+         — the same row list as the sequential filter. *)
+  | ParMapOp of { var : string; body : Expr.t; input : t }
+      (* Chunked parallel map, same discipline as [ParFilter]. *)
   | EvalOp of Expr.t (* fallback: reference (nested-loop) evaluation *)
   | Materialized of Value.t list
       (* an already-computed intermediate result; produced by the
@@ -177,6 +226,21 @@ let rec pp ppf = function
       left pp right
   | Assembly { cls; ref_attr; into; input } ->
     Fmt.pf ppf "@[<2>assembly[%s.%s→%s](@,%a)@]" cls ref_attr into pp input
+  | ParJoinOp { kind; keys; residual; partitions; left; right; _ } ->
+    Fmt.pf ppf "@[<2>par_%s[%d keys%s, %d part.](@,%a,@ %a)@]" (kind_name kind)
+      (List.length keys)
+      (if Expr.is_true residual then "" else "+residual")
+      partitions pp left pp right
+  | ParNestjoinOp { keys; attr; partitions; left; right; _ } ->
+    Fmt.pf ppf "@[<2>par_nestjoin[%d keys → %s, %d part.](@,%a,@ %a)@]"
+      (List.length keys) attr partitions pp left pp right
+  | ParPnhl { attr; into; mem_budget; left; right; _ } ->
+    Fmt.pf ppf "@[<2>par_pnhl[%s→%s, mem=%d](@,%a,@ %a)@]" attr into mem_budget
+      pp left pp right
+  | ParFilter { var; pred; input } ->
+    Fmt.pf ppf "@[<2>par_filter[%s: %a](@,%a)@]" var Pretty.pp pred pp input
+  | ParMapOp { var; body; input } ->
+    Fmt.pf ppf "@[<2>par_map[%s: %a](@,%a)@]" var Pretty.pp body pp input
   | EvalOp e -> Fmt.pf ppf "@[<2>eval(@,%a)@]" Pretty.pp e
   | Materialized rows -> Fmt.pf ppf "materialized(%d rows)" (List.length rows)
 
@@ -206,6 +270,11 @@ let node_label = function
   | DivideOp _ -> "divide"
   | Pnhl _ -> "pnhl"
   | Assembly { cls; _ } -> "assembly " ^ cls
+  | ParJoinOp { kind; _ } -> "par_" ^ kind_name kind
+  | ParNestjoinOp _ -> "par_nestjoin"
+  | ParPnhl _ -> "par_pnhl"
+  | ParFilter _ -> "par_filter"
+  | ParMapOp _ -> "par_map"
   | EvalOp _ -> "eval"
   | Materialized _ -> "materialized"
 
@@ -214,12 +283,15 @@ let children = function
   | Scan _ | EvalOp _ | Materialized _ -> []
   | Filter { input; _ } | MapOp { input; _ } | ProjectOp (_, input)
   | FlattenOp input | RenameOp (_, input) | UnnestOp (_, input)
-  | NestOp { input; _ } | Assembly { input; _ } -> [ input ]
+  | NestOp { input; _ } | Assembly { input; _ } | ParFilter { input; _ }
+  | ParMapOp { input; _ } -> [ input ]
   | UnionOp (a, b) | InterOp (a, b) | DiffOp (a, b) | ProductOp (a, b)
   | DivideOp (a, b) -> [ a; b ]
   | JoinOp { left; right; _ } | NestjoinOp { left; right; _ }
   | MemberJoin { left; right; _ } | Pnhl { left; right; _ }
-  | GraceJoin { left; right; _ } -> [ left; right ]
+  | GraceJoin { left; right; _ } | ParJoinOp { left; right; _ }
+  | ParNestjoinOp { left; right; _ } | ParPnhl { left; right; _ } ->
+    [ left; right ]
 
 (* Rebuild a node with new children (same arity as [children]). *)
 let with_children p cs =
@@ -243,4 +315,9 @@ let with_children p cs =
   | MemberJoin j, [ a; b ] -> MemberJoin { j with left = a; right = b }
   | Pnhl j, [ a; b ] -> Pnhl { j with left = a; right = b }
   | GraceJoin j, [ a; b ] -> GraceJoin { j with left = a; right = b }
+  | ParFilter f, [ c ] -> ParFilter { f with input = c }
+  | ParMapOp m, [ c ] -> ParMapOp { m with input = c }
+  | ParJoinOp j, [ a; b ] -> ParJoinOp { j with left = a; right = b }
+  | ParNestjoinOp j, [ a; b ] -> ParNestjoinOp { j with left = a; right = b }
+  | ParPnhl j, [ a; b ] -> ParPnhl { j with left = a; right = b }
   | _ -> invalid_arg "Plan.with_children: arity mismatch"

@@ -102,6 +102,50 @@ type t =
       input : t;
     }
       (** Pointer-based materialize (Section 6.2, [BlMG93]/[ShCa90]). *)
+  | ParJoinOp of {
+      kind : Expr.join_kind;
+      xvar : string;
+      yvar : string;
+      keys : keys;  (** at least one; partitioning hashes the first key *)
+      residual : Expr.t;
+      partitions : int;  (** fixed in the plan, not derived from the pool *)
+      left : t;
+      right : t;
+    }
+      (** Partitioned parallel hash join: both operands hash-partitioned on
+          the first key, each bucket pair hash-joined on its own pool
+          domain, results concatenated in partition order.  The partition
+          count lives in the plan so results and work counters are
+          identical whatever the domain count. *)
+  | ParNestjoinOp of {
+      xvar : string;
+      yvar : string;
+      keys : keys;
+      residual : Expr.t;
+      body : Expr.t;
+      attr : string;
+      partitions : int;
+      left : t;
+      right : t;
+    }
+      (** Partitioned parallel hash nestjoin (same discipline as
+          {!ParJoinOp}; each left row's match group is complete within its
+          partition). *)
+  | ParPnhl of {
+      attr : string;
+      elem_key : Expr.t;
+      row_key : Expr.t;
+      into : string;
+      mem_budget : int;
+      left : t;
+      right : t;
+    }
+      (** PNHL with the right-operand segments probed concurrently;
+          per-segment matches merge in segment order. *)
+  | ParFilter of { var : string; pred : Expr.t; input : t }
+      (** Chunked parallel filter; chunks re-concatenate in order. *)
+  | ParMapOp of { var : string; body : Expr.t; input : t }
+      (** Chunked parallel map; chunks re-concatenate in order. *)
   | EvalOp of Expr.t  (** fallback: reference (nested-loop) evaluation *)
   | Materialized of Value.t list
       (** an already-computed intermediate result; produced by the

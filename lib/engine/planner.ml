@@ -109,10 +109,29 @@ type cost_ctx = { cat : Catalog.t; stats : Stats.t Lazy.t }
 
 let plan_cost ctx p = Cost.cost ~stats:(Lazy.force ctx.stats) ctx.cat p
 
+(* PNHL memory budget: how many build-table rows the in-memory hash table
+   is assumed to hold at once (the |M| of Section 6.2).  The partition
+   count follows as ceil(|T| / budget), so a build table that fits is one
+   partition — BENCH_engine.json's b5 shows forcing 8 partitions on a
+   256-row table costs ~3.9x, which is what deriving the count from the
+   cardinality avoids. *)
+let pnhl_mem_rows = ref 4096
+
+let pnhl_budget ?cat table =
+  match cat with
+  | None -> max_int (* no cardinality to consult: keep one partition *)
+  | Some c ->
+    let card =
+      match Catalog.find_opt c table with
+      | Some tbl -> List.length tbl.Catalog.rows
+      | None -> 0
+    in
+    if card <= !pnhl_mem_rows then max_int else !pnhl_mem_rows
+
 (* Is this expression a set-producing operator we can plan, or a scalar /
    parameter expression that must stay in ADL? *)
-let rec plan_with ?ctx (choice : algo_choice) (e : Expr.t) : Plan.t =
-  let plan = plan_with ?ctx choice in
+let rec plan_with ?ctx ?cat (choice : algo_choice) (e : Expr.t) : Plan.t =
+  let plan = plan_with ?ctx ?cat choice in
   match e with
   | Table name -> Plan.Scan name
   | Select { var; pred; src } -> Plan.Filter { var; pred; input = plan src }
@@ -125,7 +144,7 @@ let rec plan_with ?ctx (choice : algo_choice) (e : Expr.t) : Plan.t =
         elem_key = Var "elem";
         row_key = Analysis.subst1 p (Var "row") g;
         into;
-        mem_budget = max_int;
+        mem_budget = pnhl_budget ?cat t;
         left = plan src;
         right = Plan.Scan t }
   | Map { var; body; src } -> Plan.MapOp { var; body; input = plan src }
@@ -243,7 +262,77 @@ let rec plan_with ?ctx (choice : algo_choice) (e : Expr.t) : Plan.t =
     (* Scalar or parameter-level expression: evaluate as-is. *)
     Plan.EvalOp e
 
-let plan ?(algo = Auto) e =
+(* ------------------------------------------------------------------ *)
+(* Parallelization post-pass                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimum estimated input rows before an operator is worth fanning out to
+   the domain pool: below it, partitioning and task hand-off cost more
+   than they save. *)
+let par_threshold = ref 256
+
+(* Ceiling on the partition count of one parallel join, so the plan never
+   schedules more buckets than a realistic pool can use at once. *)
+let max_par_partitions = 16
+
+let partitions_for l r =
+  let biggest = Float.max l r in
+  let parts = int_of_float (Float.ceil (biggest /. float_of_int !par_threshold)) in
+  max 2 (min max_par_partitions parts)
+
+(* Rewrite hot operators into their parallel variants where the
+   stats-derived input estimates clear the threshold.  The partition count
+   is fixed here, in the plan — execution only decides which domain runs
+   which partition, so results and counter totals cannot depend on the
+   pool size.  Applied only when the pool is configured for >= 2 domains
+   ([plan ~cat]); a 1-domain run plans, executes, and counts exactly as
+   the sequential engine. *)
+let parallelize ?stats cat p =
+  let est =
+    match stats with
+    | Some st -> fun node -> Cost.rows_out ~stats:st cat node
+    | None -> fun node -> Cost.rows_out cat node
+  in
+  let thresh = float_of_int !par_threshold in
+  let rec go p =
+    let p = Plan.with_children p (List.map go (Plan.children p)) in
+    match p with
+    | Plan.JoinOp
+        { algo = Plan.Hash;
+          kind = (Expr.Inner | Expr.Semi | Expr.Anti) as kind;
+          xvar; yvar;
+          keys = _ :: _ as keys;
+          residual; left; right } ->
+      let l = est left and r = est right in
+      if l >= thresh || r >= thresh then
+        Plan.ParJoinOp
+          { kind; xvar; yvar; keys; residual;
+            partitions = partitions_for l r; left; right }
+      else p
+    | Plan.NestjoinOp
+        { algo = Plan.Hash; xvar; yvar; keys = _ :: _ as keys; residual;
+          body; attr; left; right } ->
+      let l = est left and r = est right in
+      if l >= thresh || r >= thresh then
+        Plan.ParNestjoinOp
+          { xvar; yvar; keys; residual; body; attr;
+            partitions = partitions_for l r; left; right }
+      else p
+    | Plan.Pnhl { attr; elem_key; row_key; into; mem_budget; left; right } ->
+      (* Parallel PNHL pays off when there is more than one segment to
+         probe concurrently, or when a single probe pass is itself large. *)
+      if est left >= thresh || est right >= thresh then
+        Plan.ParPnhl { attr; elem_key; row_key; into; mem_budget; left; right }
+      else p
+    | Plan.Filter { var; pred; input } when est input >= thresh ->
+      Plan.ParFilter { var; pred; input }
+    | Plan.MapOp { var; body; input } when est input >= thresh ->
+      Plan.ParMapOp { var; body; input }
+    | p -> p
+  in
+  go p
+
+let plan ?(algo = Auto) ?cat e =
   let algo_label =
     match algo with
     | Auto -> "auto"
@@ -257,7 +346,14 @@ let plan ?(algo = Auto) e =
     | Cost_based cat -> Some { cat; stats = lazy (Stats.analyze cat) }
     | Auto | Force _ -> None
   in
-  plan_with ?ctx algo e
+  let p = plan_with ?ctx ?cat algo e in
+  match cat with
+  | Some c when Pool.domains () >= 2 ->
+    let stats =
+      match ctx with Some { stats; _ } -> Lazy.force stats | None -> Stats.analyze c
+    in
+    parallelize ~stats c p
+  | _ -> p
 
 (* End-to-end convenience: hoist uncorrelated subqueries, plan, execute. *)
-let run ?algo cat e = Exec.run cat (plan ?algo (Consthoist.hoist cat e))
+let run ?algo cat e = Exec.run cat (plan ?algo ~cat (Consthoist.hoist cat e))

@@ -26,10 +26,31 @@ type algo_choice =
           swap inner-join operands so the smaller side is the hash build
           side *)
 
+(** PNHL memory budget in build-table rows (Section 6.2's |M|); the
+    planner derives the partition count as ceil(cardinality / budget), so
+    tables that fit run as a single partition. *)
+val pnhl_mem_rows : int ref
+
+(** Minimum estimated input rows before the {!parallelize} pass rewrites
+    an operator to its parallel variant. *)
+val par_threshold : int ref
+
+(** Rewrite hot operators (hash join/semijoin/antijoin/nestjoin, PNHL,
+    filter, map) into their parallel variants where stats-derived input
+    estimates clear {!par_threshold}.  Partition counts are fixed in the
+    plan, so results and counter totals are independent of the pool size.
+    [plan ~cat] applies this automatically when {!Pool.domains} is at
+    least 2. *)
+val parallelize : ?stats:Stats.t -> Catalog.t -> Plan.t -> Plan.t
+
 (** Plan an expression.  [algo] forces a join algorithm everywhere (used by
     the benchmarks to compare algorithms on identical logical plans);
-    forcing hash/sort-merge degrades to nested loop where no keys exist. *)
-val plan : ?algo:algo_choice -> Expr.t -> Plan.t
+    forcing hash/sort-merge degrades to nested loop where no keys exist.
+    [cat] lets the planner consult cardinalities: it sizes PNHL memory
+    budgets and, when the domain pool is configured for >= 2 domains,
+    applies {!parallelize}. *)
+val plan : ?algo:algo_choice -> ?cat:Catalog.t -> Expr.t -> Plan.t
 
-(** Hoist uncorrelated subqueries ({!Consthoist}), plan, and execute. *)
+(** Hoist uncorrelated subqueries ({!Consthoist}), plan (with [~cat]), and
+    execute. *)
 val run : ?algo:algo_choice -> Catalog.t -> Expr.t -> Value.t

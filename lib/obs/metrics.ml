@@ -10,12 +10,26 @@
    sites and the [Counters] facade keep working unchanged.
 
    Counters hold plain [int]s (work units); timers accumulate nanoseconds
-   and an event count.  The registry is process-global and single-threaded,
-   like the engine. *)
+   and an event count.
 
-type counter = { c_name : string; mutable c_value : int }
+   Domain safety.  The registry's *main cells* belong to the main domain:
+   reads (snapshots) and resets happen there, and so do the hot-path
+   increments of sequential execution, which stay a single unsynchronized
+   add.  Under the engine's parallel sections ([Njq_engine.Pool]), every
+   increment is redirected to a per-domain *shard* — a domain-local table
+   of pending deltas keyed by the handle's id — and shards are flushed
+   into the main cells (under the registry mutex) when each domain
+   finishes its part of the job, before the pool join returns.  Counter
+   and timer totals are therefore exact under parallelism: nothing is
+   dropped, double-counted, or torn.  The redirect is armed by
+   [enter_parallel]/[exit_parallel], which only the pool calls; the main
+   domain also shards while armed, because its increments would otherwise
+   race with worker flushes. *)
+
+type counter = { c_id : int; c_name : string; mutable c_value : int }
 
 type timer = {
+  t_id : int;
   t_name : string;
   mutable t_total_ns : int;
   mutable t_events : int;
@@ -25,35 +39,111 @@ type timer = {
    oracle computations inside measured regions. *)
 let enabled = ref true
 
+(* Interning and shard flushes synchronize on one mutex.  Hot paths never
+   take it: they go through pre-interned handles, and the sharded-add path
+   touches only domain-local state. *)
+let reg_mu = Mutex.create ()
+
+let with_reg f =
+  Mutex.lock reg_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mu) f
+
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+let next_id = ref 0
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; c_value = 0 } in
-    Hashtbl.add counters name c;
-    c
+  with_reg (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c = { c_id = !next_id; c_name = name; c_value = 0 } in
+        incr next_id;
+        Hashtbl.add counters name c;
+        c)
 
-let incr ?(n = 1) c = if !enabled then c.c_value <- c.c_value + n
+let timer name =
+  with_reg (fun () ->
+      match Hashtbl.find_opt timers name with
+      | Some t -> t
+      | None ->
+        let t = { t_id = !next_id; t_name = name; t_total_ns = 0; t_events = 0 } in
+        incr next_id;
+        Hashtbl.add timers name t;
+        t)
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain shards                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type shard_cell = C of counter * int ref | T of timer * int ref * int ref
+
+(* Pending deltas of this domain, keyed by handle id. *)
+let shard_key : (int, shard_cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+(* Armed by the pool around parallel sections.  Written only by the main
+   domain while no worker runs; workers observe the [true] value through
+   the happens-before edge of the pool's job hand-off. *)
+let sharded = ref false
+
+let shard_counter_add c n =
+  let tbl = Domain.DLS.get shard_key in
+  match Hashtbl.find_opt tbl c.c_id with
+  | Some (C (_, r)) -> r := !r + n
+  | Some (T _) | None -> Hashtbl.replace tbl c.c_id (C (c, ref n))
+
+let shard_timer_add t ns =
+  let tbl = Domain.DLS.get shard_key in
+  match Hashtbl.find_opt tbl t.t_id with
+  | Some (T (_, total, events)) ->
+    total := !total + ns;
+    Stdlib.incr events
+  | Some (C _) | None -> Hashtbl.replace tbl t.t_id (T (t, ref ns, ref 1))
+
+(* Flush this domain's pending deltas into the main cells.  Called by each
+   pool participant when it finishes its share of a job — always
+   before the pool join returns, so the main domain never reads a cell
+   while another domain still holds deltas for it. *)
+let flush_local () =
+  let tbl = Domain.DLS.get shard_key in
+  if Hashtbl.length tbl > 0 then begin
+    with_reg (fun () ->
+        Hashtbl.iter
+          (fun _ cell ->
+            match cell with
+            | C (c, r) -> c.c_value <- c.c_value + !r
+            | T (t, total, events) ->
+              t.t_total_ns <- t.t_total_ns + !total;
+              t.t_events <- t.t_events + !events)
+          tbl);
+    Hashtbl.reset tbl
+  end
+
+let enter_parallel () = sharded := true
+
+let exit_parallel () =
+  sharded := false;
+  flush_local ()
+
+(* ------------------------------------------------------------------ *)
+(* Ticks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(n = 1) c =
+  if !enabled then
+    if not !sharded then c.c_value <- c.c_value + n else shard_counter_add c n
 
 let value c = c.c_value
 let counter_name c = c.c_name
 
-let timer name =
-  match Hashtbl.find_opt timers name with
-  | Some t -> t
-  | None ->
-    let t = { t_name = name; t_total_ns = 0; t_events = 0 } in
-    Hashtbl.add timers name t;
-    t
-
 let record t ns =
-  if !enabled then begin
-    t.t_total_ns <- t.t_total_ns + ns;
-    t.t_events <- t.t_events + 1
-  end
+  if !enabled then
+    if not !sharded then begin
+      t.t_total_ns <- t.t_total_ns + ns;
+      t.t_events <- t.t_events + 1
+    end
+    else shard_timer_add t ns
 
 let time t f =
   let start = Clock.now_ns () in

@@ -4,7 +4,14 @@
     Interning a name once yields a handle holding the mutable cell
     directly, so hot paths pay one flag read and one add per tick instead
     of a string-hashtable probe.  The registry is process-global; the
-    legacy {!Njq_adl.Counters} facade delegates here. *)
+    legacy {!Njq_adl.Counters} facade delegates here.
+
+    Domain safety: sequential execution increments the main cells
+    directly; inside a parallel section (bracketed by {!enter_parallel} /
+    {!exit_parallel}, which only the engine's domain pool calls) every
+    increment lands in a per-domain shard, and each participating domain
+    flushes its shard ({!flush_local}) into the main cells before the pool
+    join returns — totals stay exact under parallelism. *)
 
 type counter
 type timer
@@ -47,3 +54,21 @@ val timer_snapshot : unit -> (string * (int * int)) list
 
 (** Run with the registry ignoring increments and records. *)
 val with_disabled : (unit -> 'a) -> 'a
+
+(** {2 Parallel sections}
+
+    For the engine's domain pool only.  While armed, increments and
+    records on every domain (including the main one) accumulate in
+    domain-local shards instead of the main cells. *)
+
+(** Arm the per-domain redirect.  Call from the main domain, before any
+    worker starts on the job. *)
+val enter_parallel : unit -> unit
+
+(** Disarm the redirect and flush the calling (main) domain's shard. *)
+val exit_parallel : unit -> unit
+
+(** Flush the calling domain's pending deltas into the main cells (takes
+    the registry mutex).  Each pool participant calls this when it
+    finishes its share of a job. *)
+val flush_local : unit -> unit

@@ -9,7 +9,16 @@
    whatever is currently open.
 
    Tracing is off by default; every entry point checks one flag so the
-   instrumented pipeline costs nothing when no one is listening. *)
+   instrumented pipeline costs nothing when no one is listening.
+
+   The collector is deliberately main-domain only: spans describe the
+   pipeline's phases, which run on the main domain, while the engine's
+   parallel operators fan partition work out to pool domains
+   ([Njq_engine.Pool]).  Every recording entry point therefore no-ops off
+   the main domain (checked only when tracing is on), so a traced parallel
+   run keeps a well-nested single-threaded span tree instead of racing on
+   the open-span stack.  Per-partition work still shows up exactly in the
+   counters, which shard per domain (see [Metrics]). *)
 
 type attr =
   | ABool of bool
@@ -34,7 +43,11 @@ let next_id = ref 0
 let open_stack : span list ref = ref []
 let completed : span list ref = ref []
 
-let tracing () = !tracing_on
+(* Recording is active only where the collector's state may be touched:
+   tracing on, and on the main domain. *)
+let recording () = !tracing_on && Domain.is_main_domain ()
+
+let tracing () = recording ()
 
 let reset () =
   next_id := 0;
@@ -90,20 +103,20 @@ let pop s =
   completed := s :: !completed
 
 let with_span ?attrs name f =
-  if not !tracing_on then f ()
+  if not (recording ()) then f ()
   else begin
     let s = push ?attrs name in
     Fun.protect ~finally:(fun () -> pop s) f
   end
 
 let add_attr key value =
-  if !tracing_on then
+  if recording () then
     match !open_stack with
     | [] -> ()
     | s :: _ -> s.attrs <- (key, value) :: s.attrs
 
 let emit ?(attrs = []) ~start_ns name =
-  if !tracing_on then begin
+  if recording () then begin
     let parent, depth =
       match !open_stack with
       | [] -> None, 0

@@ -1,0 +1,222 @@
+(* Tests for the multicore execution layer: the domain pool, the
+   parallelize planner pass, and the domain-safety of shared engine state.
+
+   The contract under test (DESIGN.md section 7): partition counts are
+   fixed in the plan, not derived from the pool, so for a fixed plan both
+   the result value and the full counter snapshot are independent of the
+   pool size; and with the pool at one domain the planner emits exactly
+   the sequential plans it emitted before this layer existed. *)
+
+open Njq_adl
+open Dsl
+module Gen = Njq_workload.Generator
+module Queries = Njq_workload.Queries
+module Strategy = Njq_core.Strategy
+module Plan = Njq_engine.Plan
+module Exec = Njq_engine.Exec
+module Planner = Njq_engine.Planner
+module Pool = Njq_engine.Pool
+
+let with_domains k f =
+  let prev = Pool.domains () in
+  Pool.set_domains k;
+  Fun.protect ~finally:(fun () -> Pool.set_domains prev) f
+
+let with_par_threshold t f =
+  let prev = !Planner.par_threshold in
+  Planner.par_threshold := t;
+  Fun.protect ~finally:(fun () -> Planner.par_threshold := prev) f
+
+let pool_sizes = [ 1; 2; 4 ]
+let snapshot = Alcotest.(list (pair string int))
+
+(* Counters introduced by the parallel operators themselves (partitioning
+   passes); everything else must agree with the sequential run exactly. *)
+let drop_par_counters =
+  List.filter (fun (name, _) ->
+      not (String.length name >= 4 && String.sub name 0 4 = "par_"))
+
+let plan_string p = Fmt.str "%a" Plan.pp p
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Paper workload: every corpus query, optimized, planned sequentially,
+   then run through the parallelize pass at several pool sizes. *)
+
+let test_workload_parallel_matches_sequential () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:7 48) with Gen.dangling_rate = 0.0 } in
+  List.iter
+    (fun (q : Queries.query) ->
+      let rewritten = Strategy.optimize cat (Queries.to_adl q) in
+      let seq_plan = Planner.plan rewritten in
+      Counters.reset ();
+      let expected = Exec.run cat seq_plan in
+      let seq_counters = Counters.snapshot () in
+      let par_plan =
+        with_par_threshold 1 (fun () -> Planner.parallelize cat seq_plan)
+      in
+      let reference = ref None in
+      List.iter
+        (fun k ->
+          with_domains k (fun () ->
+              Counters.reset ();
+              let got = Exec.run cat par_plan in
+              let snap = Counters.snapshot () in
+              Alcotest.check Util.value
+                (Printf.sprintf "%s value at %d domains" q.Queries.id k)
+                expected got;
+              Alcotest.check snapshot
+                (Printf.sprintf "%s work counters at %d domains" q.Queries.id k)
+                seq_counters
+                (drop_par_counters snap);
+              match !reference with
+              | None -> reference := Some snap
+              | Some s ->
+                Alcotest.check snapshot
+                  (Printf.sprintf "%s full snapshot at %d domains" q.Queries.id
+                     k)
+                  s snap))
+        pool_sizes)
+    (Queries.all @ Queries.extended)
+
+(* ------------------------------------------------------------------ *)
+(* A fixed parallel plan (partitioned semijoin + parallel PNHL, the b12
+   shape): identical values and identical full counter snapshots across
+   pool sizes, including the partitioning counters. *)
+
+let test_fixed_plan_pool_invariance () =
+  let cat =
+    Gen.catalog
+      { (Gen.scaled ~seed:3 96) with
+        Gen.dangling_rate = 0.0;
+        Gen.empty_rate = 0.0 }
+  in
+  let join_plan =
+    Plan.ParJoinOp
+      { kind = Expr.Semi; xvar = "s"; yvar = "d";
+        keys = [ (var "s" $. "oid", var "d" $. "supplier") ];
+        residual = Expr.true_; partitions = 8;
+        left = Plan.Scan "SUPPLIER"; right = Plan.Scan "DELIVERY" }
+  in
+  let pnhl_plan =
+    Plan.ParPnhl
+      { attr = "parts_supplied"; elem_key = var "elem";
+        row_key = var "row" $. "oid"; into = "parts_supplied";
+        mem_budget = 12; left = Plan.Scan "SUPPLIER";
+        right = Plan.Scan "PART" }
+  in
+  let outcomes =
+    List.map
+      (fun k ->
+        with_domains k (fun () ->
+            Counters.reset ();
+            let v =
+              Value.set [ Exec.run cat join_plan; Exec.run cat pnhl_plan ]
+            in
+            (k, v, Counters.snapshot ())))
+      pool_sizes
+  in
+  match outcomes with
+  | [] -> assert false
+  | (_, v0, s0) :: rest ->
+    List.iter
+      (fun (k, v, s) ->
+        Alcotest.check Util.value (Printf.sprintf "value at %d domains" k) v0 v;
+        Alcotest.check snapshot
+          (Printf.sprintf "counter snapshot at %d domains" k)
+          s0 s)
+      rest
+
+(* ------------------------------------------------------------------ *)
+(* Planner gating: with one domain, [plan ~cat] is exactly the sequential
+   plan; with two domains and inputs above the threshold it rewrites the
+   hot operators to their parallel variants. *)
+
+let test_domains1_plans_identical () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:7 300) with Gen.dangling_rate = 0.0 } in
+  List.iter
+    (fun (q : Queries.query) ->
+      let rewritten = Strategy.optimize cat (Queries.to_adl q) in
+      let seq = plan_string (Planner.plan rewritten) in
+      let gated =
+        with_domains 1 (fun () -> plan_string (Planner.plan ~cat rewritten))
+      in
+      Alcotest.(check string) q.Queries.id seq gated)
+    (Queries.all @ Queries.extended)
+
+let test_parallelize_applies_above_threshold () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:7 300) with Gen.dangling_rate = 0.0 } in
+  let rewritten = Strategy.optimize cat (Queries.to_adl (Queries.find "EQ5")) in
+  let planned =
+    with_domains 2 (fun () -> plan_string (Planner.plan ~cat rewritten))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel operator in %s" planned)
+    true
+    (contains planned "par_");
+  (* Below the threshold nothing is rewritten, even with a large pool. *)
+  let small = Gen.catalog { (Gen.scaled ~seed:7 16) with Gen.dangling_rate = 0.0 } in
+  let rewritten = Strategy.optimize small (Queries.to_adl (Queries.find "EQ5")) in
+  let planned =
+    with_domains 4 (fun () -> plan_string (Planner.plan ~cat:small rewritten))
+  in
+  Alcotest.(check bool) "small inputs stay sequential" false
+    (contains planned "par_")
+
+(* ------------------------------------------------------------------ *)
+(* Domain-safety of shared state: concurrent Value.hash calls against the
+   domain-local memo agree with the main domain's hashes. *)
+
+let test_hash_memo_across_domains () =
+  let values =
+    List.init 64 (fun i ->
+        Value.set
+          [ Value.int i; Value.set [ Value.int (i * 7); Value.string "x" ] ])
+  in
+  let expected = List.map Value.hash values in
+  let arr = Array.of_list values in
+  with_domains 4 (fun () ->
+      let got = Pool.run (Array.length arr) (fun i -> Value.hash arr.(i)) in
+      List.iteri
+        (fun i h -> Alcotest.(check int) (Printf.sprintf "hash %d" i) h got.(i))
+        expected)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random rewritten query plans, parallelized with threshold 1,
+   agree with the sequential engine at every pool size. *)
+
+let prop_parallel_differential =
+  Util.qcheck ~count:100 "parallelized plans match the sequential engine"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let q = select "x" (table "X") pred in
+      let rewritten = Strategy.optimize cat q in
+      let seq_plan = Planner.plan rewritten in
+      let expected = Exec.run cat seq_plan in
+      let par_plan =
+        with_par_threshold 1 (fun () -> Planner.parallelize cat seq_plan)
+      in
+      List.for_all
+        (fun k ->
+          with_domains k (fun () -> Value.equal expected (Exec.run cat par_plan)))
+        [ 2; 4 ])
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "engine",
+        [ Alcotest.test_case "workload parallel matches sequential" `Quick
+            test_workload_parallel_matches_sequential;
+          Alcotest.test_case "fixed plan pool invariance" `Quick
+            test_fixed_plan_pool_invariance;
+          Alcotest.test_case "domains=1 plans identical" `Quick
+            test_domains1_plans_identical;
+          Alcotest.test_case "parallelize above threshold only" `Quick
+            test_parallelize_applies_above_threshold;
+          Alcotest.test_case "hash memo across domains" `Quick
+            test_hash_memo_across_domains ] );
+      ("properties", [ prop_parallel_differential ]) ]

@@ -1,0 +1,81 @@
+(* Formatting hygiene check, wired to the @fmt alias (and from there into
+   @runtest).  The build image carries no ocamlformat binary, so instead of
+   a full reformat this enforces the invariants the codebase already
+   follows and that a formatter would keep: no tab characters, no trailing
+   whitespace, and a final newline in every OCaml source file.  It walks
+   the directories given on the command line and exits non-zero listing
+   every violation. *)
+
+let ocaml_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+let rec walk dir acc =
+  Array.fold_left
+    (fun acc entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then
+        if String.length entry > 0 && entry.[0] = '.' then acc
+        else walk path acc
+      else if ocaml_source entry then path :: acc
+      else acc)
+    acc (Sys.readdir dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let check path =
+  let s = read_file path in
+  let violations = ref [] in
+  let add line msg = violations := (line, msg) :: !violations in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let end_line i =
+    (* i is the index of '\n' (or length at EOF); flag trailing blanks. *)
+    if i > !line_start then begin
+      let last = s.[i - 1] in
+      if last = ' ' || last = '\t' then add !line "trailing whitespace"
+    end;
+    incr line;
+    line_start := i + 1
+  in
+  String.iteri
+    (fun i c ->
+      if c = '\t' then add !line "tab character"
+      else if c = '\n' then end_line i)
+    s;
+  if String.length s > 0 then begin
+    if s.[String.length s - 1] <> '\n' then begin
+      end_line (String.length s);
+      add (!line - 1) "no final newline"
+    end
+  end;
+  List.rev !violations
+
+let () =
+  let dirs =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> [ "." ]
+    | dirs -> dirs
+  in
+  let files =
+    List.sort String.compare
+      (List.concat_map (fun d -> walk d []) dirs)
+  in
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      List.iter
+        (fun (line, msg) ->
+          failed := true;
+          Printf.eprintf "%s:%d: %s\n" path line msg)
+        (check path))
+    files;
+  if !failed then begin
+    Printf.eprintf "fmt check failed\n";
+    exit 1
+  end
+  else Printf.printf "fmt check: %d files clean\n" (List.length files)
