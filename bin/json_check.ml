@@ -1,6 +1,14 @@
 (* CI smoke validator: parse a JSON file with the observability reader and
    assert the presence of required top-level keys.  Exits non-zero with a
-   message on malformed JSON or a missing key. *)
+   message on malformed JSON or a missing key.
+
+   With --bench, the file is a BENCH_engine.json document instead: every
+   experiment's work rows must carry per-variant "totals", "minor_words"
+   and "major_words" arrays, and the b13 mode-contrast experiment must
+   show, for every "group:mat"/"group:pipe" variant pair at every scale,
+   identical counter totals and strictly fewer minor words pipelined. *)
+
+module Json = Njq_obs.Json
 
 let fail fmt =
   Printf.ksprintf
@@ -9,17 +17,109 @@ let fail fmt =
       exit 1)
     fmt
 
+let parse file =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  match Json.of_string src with
+  | exception Json.Parse_error msg -> fail "%s: invalid JSON: %s" file msg
+  | doc -> doc
+
+let check_keys file keys =
+  let doc = parse file in
+  List.iter
+    (fun k ->
+      if Json.member k doc = None then fail "%s: missing top-level key %S" file k)
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* --bench                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_bench file =
+  let doc = parse file in
+  let get what k o =
+    match Json.member k o with
+    | Some v -> v
+    | None -> fail "%s: %s: missing key %S" file what k
+  in
+  let as_list what = function
+    | Json.List l -> l
+    | _ -> fail "%s: %s is not an array" file what
+  in
+  let as_str what = function
+    | Json.Str s -> s
+    | _ -> fail "%s: %s is not a string" file what
+  in
+  let as_num what = function
+    | Json.Int n -> float_of_int n
+    | Json.Float f -> f
+    | _ -> fail "%s: %s is not a number" file what
+  in
+  List.iter
+    (fun k -> if Json.member k doc = None then fail "%s: missing top-level key %S" file k)
+    [ "bench_scale"; "scales"; "experiments" ];
+  let experiments = as_list "experiments" (get "document" "experiments" doc) in
+  let b13_rows = ref 0 in
+  List.iter
+    (fun exp ->
+      let id = as_str "id" (get "experiment" "id" exp) in
+      let ctx = Printf.sprintf "experiment %s" id in
+      let variants =
+        List.map (as_str (ctx ^ " variant")) (as_list (ctx ^ " variants") (get ctx "variants" exp))
+      in
+      let nv = List.length variants in
+      let index_of name =
+        let rec go i = function
+          | [] -> None
+          | v :: _ when String.equal v name -> Some i
+          | _ :: rest -> go (i + 1) rest
+        in
+        go 0 variants
+      in
+      List.iter
+        (fun row ->
+          let cells what =
+            let xs = List.map (as_num what) (as_list what (get ctx what row)) in
+            if List.length xs <> nv then
+              fail "%s: %s: %s has %d cells, expected %d per variant" file ctx
+                what (List.length xs) nv;
+            xs
+          in
+          let totals = cells "totals" in
+          let minor = cells "minor_words" in
+          let major = cells "major_words" in
+          List.iter
+            (fun w -> if w < 0.0 then fail "%s: %s: negative allocation" file ctx)
+            (minor @ major);
+          if String.equal id "b13" then begin
+            incr b13_rows;
+            List.iteri
+              (fun i v ->
+                match String.index_opt v ':' with
+                | Some c when String.equal (String.sub v c (String.length v - c)) ":mat"
+                  ->
+                  let group = String.sub v 0 c in
+                  (match index_of (group ^ ":pipe") with
+                   | None -> fail "%s: %s: %s has no :pipe twin" file ctx v
+                   | Some j ->
+                     if List.nth totals i <> List.nth totals j then
+                       fail "%s: %s: %s work total differs between modes" file
+                         ctx group;
+                     if not (List.nth minor j < List.nth minor i) then
+                       fail
+                         "%s: %s: %s:pipe minor words (%.0f) not strictly below \
+                          %s:mat (%.0f)"
+                         file ctx group (List.nth minor j) group
+                         (List.nth minor i))
+                | _ -> ())
+              variants
+          end)
+        (as_list (ctx ^ " work") (get ctx "work" exp)))
+    experiments;
+  if !b13_rows = 0 then
+    fail "%s: no b13 work rows (mode-contrast experiment missing or empty)" file
+
 let () =
   match Array.to_list Sys.argv with
-  | _ :: file :: keys ->
-    let src = In_channel.with_open_text file In_channel.input_all in
-    (match Njq_obs.Json.of_string src with
-     | exception Njq_obs.Json.Parse_error msg ->
-       fail "%s: invalid JSON: %s" file msg
-     | doc ->
-       List.iter
-         (fun k ->
-           if Njq_obs.Json.member k doc = None then
-             fail "%s: missing top-level key %S" file k)
-         keys)
-  | _ -> fail "usage: json_check FILE [REQUIRED_KEY...]"
+  | _ :: "--bench" :: [ file ] -> check_bench file
+  | _ :: file :: keys when file <> "--bench" -> check_keys file keys
+  | _ -> fail "usage: json_check FILE [REQUIRED_KEY...] | json_check --bench FILE"

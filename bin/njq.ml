@@ -253,6 +253,8 @@ let explain_cmd =
                  ("seed", Json.Int seed);
                  ("phases", Json.List phases);
                  ("plan", Json.Str (Fmt.str "%a" Njq_engine.Plan.pp plan));
+                 ("pipelines",
+                  Json.Str (Fmt.str "%a" Njq_engine.Plan.pp_pipelines plan));
                  ("derivation", Njq_obs.Export.spans_to_json spans) ]
               @
               match analysis with
@@ -270,6 +272,8 @@ let explain_cmd =
         else begin
           Fmt.pr "%a@.@.plan:@.%a@." Strategy.pp_report report
             Njq_engine.Plan.pp plan;
+          Fmt.pr "@.pipelines (~> fused edge, => materialized edge):@.%a"
+            Njq_engine.Plan.pp_pipelines plan;
           match analysis with
           | None -> ()
           | Some (v, prof) ->

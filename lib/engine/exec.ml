@@ -13,6 +13,22 @@
    are deduplicated with a hash set over the memoized [Value.hash] instead
    of a full sort.
 
+   Execution is push-based and pipelined by default: every operator that
+   can stream ([Plan.streams_output]) compiles to an emitter that pushes
+   rows into its consumer's callback, so a Scan -> Filter -> Map -> probe
+   chain runs as one fused loop with no intermediate lists.  Pipeline
+   breakers materialize only where semantics demand it: hash build sides
+   (straight into the table, no build list), sort-merge inputs, NestOp
+   grouping, division, PNHL/Grace partitioning and the parallel operators'
+   partition buffers.  Flipping [pipeline_exec] reverts to
+   materialize-every-edge execution; both modes produce identical row
+   lists (same rows, same order) and identical counter totals, which the
+   bench harness and the agreement test suite assert.
+
+   Work counters tick exactly once per logical event in either mode, so
+   counter totals are mode-invariant and remain pool-size-invariant (see
+   DESIGN.md sections 7 and 8).
+
    Work counters (see [Njq_adl.Counters]): "scan_row", "filter_eval",
    "hash_build", "hash_probe", "nl_pair", "sm_cmp", "pnhl_partition",
    "pnhl_build", "pnhl_probe", plus "oid_lookup" from [Catalog.deref]. *)
@@ -57,6 +73,13 @@ module KTbl = Hashtbl.Make (Key)
    per-tuple reference evaluation.  The bench harness flips the flag to
    measure the compiled layer's win on identical plans. *)
 let compile_params = ref true
+
+(* Execution mode: [true] (default) pushes rows through fused operator
+   chains; [false] materializes every operator boundary as a full list,
+   as the engine did before the pipelined executor existed.  Results and
+   counter totals are identical either way — the flag exists so the bench
+   harness can contrast the two modes on identical plans (b13). *)
+let pipeline_exec = ref true
 
 let param1 cat ~var e =
   if !compile_params then Compile.expr1 cat ~var e
@@ -153,20 +176,6 @@ let c_par_partition_row = M.counter "par_partition_row"
    negative through multiplicative overflow). *)
 let bucket_of_hash h partitions = (h land max_int) mod partitions
 
-(* Split [rows] into [partitions] buckets by key hash, preserving the
-   relative order of rows within each bucket.  Runs on the main domain, so
-   its per-row tick stays independent of the pool size. *)
-let partition_by_key keyf partitions rows_list =
-  let parts = Array.make partitions [] in
-  List.iter
-    (fun row ->
-      M.incr c_par_partition_row;
-      let b = bucket_of_hash (Value.hash (keyf row)) partitions in
-      parts.(b) <- row :: parts.(b))
-    rows_list;
-  M.incr ~n:partitions c_par_partition;
-  Array.map List.rev parts
-
 (* Contiguous chunk boundaries for the parallel scan-shaped operators: the
    chunk count adapts to the pool (it cannot affect results — chunks are
    re-concatenated in order — only load balance). *)
@@ -179,17 +188,41 @@ let par_chunks n =
     Array.init k (fun i -> (i * size, min n ((i + 1) * size)))
   end
 
+(* Initial hash-table size for a build side, from the planner's cardinality
+   estimate instead of an extra O(n) [List.length] pass over the already
+   materialized build list.  Clamped: at least 16 buckets (the former fixed
+   floor), at most 1M so a wild estimate (or a [max_int] memory budget used
+   as a cap) cannot pre-allocate an absurd bucket array. *)
+let tbl_size ?cap cat p =
+  let est = int_of_float (Float.min 1_000_000.0 (Cost.rows_out cat p)) in
+  let est = match cap with Some c -> min est c | None -> est in
+  max 16 est
+
+(* Allocation counters: cumulative minor- and major-heap words (the major
+   figure includes promotions, like [Gc.stat]'s); [Gc.counters] reads
+   three globals without walking the heap, so the brackets themselves
+   perturb nothing. *)
+let alloc_words () =
+  let minor, _promoted, major = Gc.counters () in
+  (minor, major)
+
 (* --------------------------------------------------------------------- *)
 (* Non-perturbing per-operator profiling                                  *)
 (*                                                                        *)
 (* When a collector is installed (see [collect]), the [rows] dispatcher   *)
-(* brackets every plan-node execution with clock and counter readings     *)
-(* and records one [node_sample] per node — the plan tree itself          *)
+(* brackets every plan-node execution with clock, counter and allocation  *)
+(* readings and records one [node_sample] per node — the plan tree itself *)
 (* executes unchanged, so row counts, counter totals and algorithmic      *)
 (* behaviour are exactly those of an unprofiled run.  Children charge     *)
-(* their inclusive totals to the parent frame, so exclusive (self) time   *)
-(* and work fall out by subtraction.  Samples are keyed by the physical   *)
-(* identity of the [Plan.t] node; [Profile] joins them back to the tree.  *)
+(* their inclusive totals to the parent frame, so exclusive (self) time,  *)
+(* work and allocation fall out by subtraction.  Under pipelined          *)
+(* execution a fused chain runs as one loop: the node that owns the loop  *)
+(* (the one [rows] was called on) gets the bracketed sample, and every    *)
+(* operator fused into it still records a sample with its exact output    *)
+(* row count but zero time/work/allocation — the owner's exclusive        *)
+(* figures cover the whole fused loop (documented in [Profile]).          *)
+(* Samples are keyed by the physical identity of the [Plan.t] node;       *)
+(* [Profile] joins them back to the tree.                                 *)
 (* --------------------------------------------------------------------- *)
 
 type node_sample = {
@@ -200,12 +233,16 @@ type node_sample = {
   incl_wall_ns : int;
   incl_cpu_s : float;
   work : (string * int) list;  (* exclusive counter deltas, sorted *)
+  minor_words : float;  (* Gc.minor_words delta, exclusive of children *)
+  major_words : float;  (* Gc.major_words delta, exclusive of children *)
 }
 
 type frame = {
   mutable f_child_wall : int;
   mutable f_child_cpu : float;
   mutable f_child_work : (string * int) list;  (* children-inclusive, summed *)
+  mutable f_child_minor : float;
+  mutable f_child_major : float;
 }
 
 type collector = {
@@ -260,13 +297,27 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     dedup (List.map (fun row -> Value.project row attrs) (rows cat input))
   | Plan.FlattenOp input ->
     dedup (List.concat_map Value.as_set (rows cat input))
-  | Plan.UnionOp (a, b) -> dedup (rows cat a @ rows cat b)
+  | Plan.UnionOp (a, b) ->
+    (* Both sides feed one dedup sink: the former [rows a @ rows b]
+       re-consed the entire left result just to glue the lists before a
+       separate dedup pass. *)
+    let seen = VTbl.create 64 in
+    let acc = ref [] in
+    let add v =
+      if not (VTbl.mem seen v) then begin
+        VTbl.add seen v ();
+        acc := v :: !acc
+      end
+    in
+    push cat a add;
+    push cat b add;
+    List.rev !acc
   | Plan.InterOp (a, b) ->
-    let tbl = VTbl.create 64 in
+    let tbl = VTbl.create (tbl_size cat b) in
     List.iter (fun v -> VTbl.replace tbl v ()) (rows cat b);
     List.filter (VTbl.mem tbl) (rows cat a)
   | Plan.DiffOp (a, b) ->
-    let tbl = VTbl.create 64 in
+    let tbl = VTbl.create (tbl_size cat b) in
     List.iter (fun v -> VTbl.replace tbl v ()) (rows cat b);
     List.filter (fun v -> not (VTbl.mem tbl v)) (rows cat a)
   | Plan.ProductOp (a, b) ->
@@ -285,7 +336,7 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let ykey = param1 cat ~var:yvar ykey in
     let xset = param1 cat ~var:xvar xset in
     let elem_key = param2 cat ~vars:(elem_var, xvar) elem_key in
-    let tbl = VTbl.create (max 16 (List.length ys)) in
+    let tbl = VTbl.create (tbl_size cat right) in
     List.iter
       (fun y ->
         M.incr c_hash_build;
@@ -358,12 +409,15 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     (* Compile keys and residual once; every partition pair reuses them. *)
     let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
     let residual = residual_fn cat xvar yvar residual in
+    (* Each partition's build side holds at most [mem_budget] rows. *)
+    let build_hint = tbl_size ~cap:mem_budget cat right in
     let out = ref [] in
     for b = 0 to partitions - 1 do
       (* Anti joins must also emit left rows whose partition has no right
          rows at all, so every partition pair is processed. *)
       let joined =
-        hash_join_keyed kind ~xkey ~ykey ~residual (List.rev xparts.(b))
+        hash_join_keyed kind ~xkey ~ykey ~residual ~build_hint
+          (List.rev xparts.(b))
           (List.rev yparts.(b))
       in
       out := List.rev_append joined !out
@@ -395,27 +449,31 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
              (Value.as_set (Value.field row a)))
          (rows cat input))
   | Plan.NestOp { attrs; into; input } ->
-    (match rows cat input with
-     | [] -> []
-     | first :: _ as elems ->
-       let all_fields = Value.field_names first in
-       let group_by = List.filter (fun f -> not (List.mem f attrs)) all_fields in
-       let groups = VTbl.create 64 in
-       let order = ref [] in
-       List.iter
-         (fun row ->
-           let k = Value.project row group_by in
-           let member = Value.project row attrs in
-           match VTbl.find_opt groups k with
-           | Some members -> members := member :: !members
-           | None ->
-             VTbl.add groups k (ref [ member ]);
-             order := k :: !order)
-         elems;
-       List.rev_map
-         (fun k ->
-           Value.concat k (Value.tuple [ (into, Value.set !(VTbl.find groups k)) ]))
-         !order)
+    (* Grouping is a breaker (all input must arrive before any group is
+       complete), but the input still streams straight into the group
+       tables — no materialized input list.  The grouping attributes come
+       from the first row pushed, as before. *)
+    let groups = VTbl.create 64 in
+    let order = ref [] in
+    let group_by = ref [] in
+    let seen_first = ref false in
+    push cat input (fun row ->
+        if not !seen_first then begin
+          seen_first := true;
+          let all_fields = Value.field_names row in
+          group_by := List.filter (fun f -> not (List.mem f attrs)) all_fields
+        end;
+        let k = Value.project row !group_by in
+        let member = Value.project row attrs in
+        match VTbl.find_opt groups k with
+        | Some members -> members := member :: !members
+        | None ->
+          VTbl.add groups k (ref [ member ]);
+          order := k :: !order);
+    List.rev_map
+      (fun k ->
+        Value.concat k (Value.tuple [ (into, Value.set !(VTbl.find groups k)) ]))
+      !order
   | Plan.DivideOp (a, b) ->
     (* Hash-based relational division: index the dividend, test each
        candidate quotient row against every divisor row by lookup. *)
@@ -428,7 +486,7 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
        let a_attrs =
          List.filter (fun f -> not (List.mem f b_attrs)) (Value.field_names x0)
        in
-       let pair_index = VTbl.create (max 16 (List.length xs)) in
+       let pair_index = VTbl.create (tbl_size cat a) in
        List.iter
          (fun x ->
            M.incr c_hash_build;
@@ -453,7 +511,6 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
       (rows cat input)
   | Plan.ParJoinOp { kind; xvar; yvar; keys; residual; partitions; left; right }
     ->
-    let xs = rows cat left and ys = rows cat right in
     let kx0, ky0 =
       match keys with
       | k :: _ -> k
@@ -461,20 +518,20 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     in
     let partitions = max 1 partitions in
     let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
-    let xparts = partition_by_key kx0 partitions xs
-    and yparts = partition_by_key ky0 partitions ys in
+    let xparts = partition_push cat kx0 partitions left
+    and yparts = partition_push cat ky0 partitions right in
     let xkey_s = key_fns_spawner cat xvar `Left keys
     and ykey_s = key_fns_spawner cat yvar `Right keys in
     let residual_s = residual_spawner cat xvar yvar residual in
+    let build_hint = max 16 (tbl_size cat right / partitions) in
     let joined =
       Pool.run partitions (fun b ->
           hash_join_keyed kind ~xkey:(xkey_s ()) ~ykey:(ykey_s ())
-            ~residual:(residual_s ()) xparts.(b) yparts.(b))
+            ~residual:(residual_s ()) ~build_hint xparts.(b) yparts.(b))
     in
     dedup (List.concat (Array.to_list joined))
   | Plan.ParNestjoinOp
       { xvar; yvar; keys; residual; body; attr; partitions; left; right } ->
-    let xs = rows cat left and ys = rows cat right in
     let kx0, ky0 =
       match keys with
       | k :: _ -> k
@@ -482,12 +539,13 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     in
     let partitions = max 1 partitions in
     let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
-    let xparts = partition_by_key kx0 partitions xs
-    and yparts = partition_by_key ky0 partitions ys in
+    let xparts = partition_push cat kx0 partitions left
+    and yparts = partition_push cat ky0 partitions right in
     let xkey_s = key_fns_spawner cat xvar `Left keys
     and ykey_s = key_fns_spawner cat yvar `Right keys in
     let residual_s = residual_spawner cat xvar yvar residual in
     let body_s = param2_spawner cat ~vars:(xvar, yvar) body in
+    let build_hint = max 16 (tbl_size cat right / partitions) in
     (* Every left row is in exactly one partition, and all right rows with
        its key are in the same one, so its match group is complete there. *)
     let parts_out =
@@ -497,7 +555,7 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
           and residual = residual_s ()
           and body = body_s () in
           let ys_b = yparts.(b) in
-          let tbl = KTbl.create (max 16 (List.length ys_b)) in
+          let tbl = KTbl.create build_hint in
           List.iter
             (fun y ->
               M.incr c_hash_build;
@@ -552,7 +610,331 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
 (* Dispatch through the collector when one is installed; the common case
    costs one flag-and-deref test per node, and nothing per tuple. *)
 and rows cat p =
-  match !collector with None -> exec_node cat p | Some c -> profiled c cat p
+  match !collector with None -> execute cat p | Some c -> profiled c cat p
+
+(* Mode dispatch for a node whose full row list is required.  Leaf-shaped
+   nodes return an existing list for free from [exec_node]; collecting
+   them through a push loop would only copy it.  Streamable non-leaf
+   nodes run as one fused push loop ([gather]); breakers and
+   materializing mode use the list-at-a-time implementations. *)
+and execute cat p =
+  if !pipeline_exec then
+    match p with
+    | Plan.Scan _ | Plan.EvalOp _ | Plan.Materialized _ -> exec_node cat p
+    | _ when Plan.streams_output p -> gather cat p
+    | _ -> exec_node cat p
+  else exec_node cat p
+
+(* Collect a fused chain's output into a list (the only materialization
+   the chain performs). *)
+and gather cat p =
+  let acc = ref [] in
+  push_node cat p (fun v -> acc := v :: !acc);
+  List.rev !acc
+
+(* Feed [p]'s rows to [sink], fusing when the node can stream.  A fused
+   node inside a collected run still records its output row count — with
+   zero time/work/allocation, since the loop owner's exclusive figures
+   cover the whole fused chain (see [Profile]). *)
+and push cat p sink =
+  if !pipeline_exec && Plan.streams_output p then (
+    match !collector with
+    | None -> push_node cat p sink
+    | Some c ->
+      let n = ref 0 in
+      push_node cat p (fun v ->
+          incr n;
+          sink v);
+      record_streamed c p !n)
+  else List.iter sink (rows cat p)
+
+and record_streamed c p n =
+  let sample =
+    {
+      sample_plan = p;
+      out_rows = n;
+      wall_ns = 0;
+      cpu_s = 0.0;
+      incl_wall_ns = 0;
+      incl_cpu_s = 0.0;
+      work = [];
+      minor_words = 0.0;
+      major_words = 0.0;
+    }
+  in
+  c.samples <- sample :: c.samples
+
+(* Order-preserving dedup as a sink transformer: the streaming counterpart
+   of [dedup], one membership test per pushed row. *)
+and dedup_sink sink =
+  let seen = VTbl.create 64 in
+  fun v ->
+    if not (VTbl.mem seen v) then begin
+      VTbl.add seen v ();
+      sink v
+    end
+
+(* Hash-partition a sub-plan's rows by key without forming the input list
+   first; same ticks as the former list-based partitioning. *)
+and partition_push cat keyf partitions plan =
+  let parts = Array.make partitions [] in
+  push cat plan (fun row ->
+      M.incr c_par_partition_row;
+      let b = bucket_of_hash (Value.hash (keyf row)) partitions in
+      parts.(b) <- row :: parts.(b));
+  M.incr ~n:partitions c_par_partition;
+  Array.map List.rev parts
+
+(* Streaming implementations.  Each case must emit exactly the rows (and
+   tick exactly the counters, in the same per-row pattern) of the
+   corresponding [exec_node] case — the agreement suite in
+   test/test_pipeline.ml holds both modes to that contract.  Only called
+   on nodes for which [Plan.streams_output] is true. *)
+and push_node cat (p : Plan.t) (sink : Value.t -> unit) : unit =
+  match p with
+  | Plan.Scan name ->
+    let rs = Catalog.rows cat name in
+    M.incr ~n:(List.length rs) c_scan_row;
+    List.iter sink rs
+  | Plan.Filter { var; pred; input } ->
+    let pred = pred1 cat ~var pred in
+    push cat input (fun row ->
+        M.incr c_filter_eval;
+        if pred row then sink row)
+  | Plan.MapOp { var; body; input } ->
+    let body = param1 cat ~var body in
+    let sink = dedup_sink sink in
+    push cat input (fun row -> sink (body row))
+  | Plan.ProjectOp (attrs, input) ->
+    let sink = dedup_sink sink in
+    push cat input (fun row -> sink (Value.project row attrs))
+  | Plan.FlattenOp input ->
+    let sink = dedup_sink sink in
+    push cat input (fun row -> List.iter sink (Value.as_set row))
+  | Plan.UnionOp (a, b) ->
+    let sink = dedup_sink sink in
+    push cat a sink;
+    push cat b sink
+  | Plan.InterOp (a, b) ->
+    let tbl = VTbl.create (tbl_size cat b) in
+    push cat b (fun v -> VTbl.replace tbl v ());
+    push cat a (fun v -> if VTbl.mem tbl v then sink v)
+  | Plan.DiffOp (a, b) ->
+    let tbl = VTbl.create (tbl_size cat b) in
+    push cat b (fun v -> VTbl.replace tbl v ());
+    push cat a (fun v -> if not (VTbl.mem tbl v) then sink v)
+  | Plan.ProductOp (a, b) ->
+    let ys = rows cat b in
+    let sink = dedup_sink sink in
+    push cat a (fun x -> List.iter (fun y -> sink (Value.concat x y)) ys)
+  | Plan.JoinOp { algo = Plan.Hash; kind; xvar; yvar; keys; residual; left; right }
+    ->
+    (match keys with
+     | [] -> exec_error "hash/sort-merge join without equi keys"
+     | _ :: _ -> ());
+    let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+    let residual = residual_fn cat xvar yvar residual in
+    (* Build rows go straight into the table — no build-side list. *)
+    let tbl = KTbl.create (tbl_size cat right) in
+    push cat right (fun y ->
+        M.incr c_hash_build;
+        KTbl.add tbl (ykey y) y);
+    let matches x =
+      M.incr c_hash_probe;
+      List.filter (residual x) (KTbl.find_all tbl (xkey x))
+    in
+    let has_match x =
+      M.incr c_hash_probe;
+      List.exists (residual x) (KTbl.find_all tbl (xkey x))
+    in
+    (match kind with
+     | Expr.Inner ->
+       let sink = dedup_sink sink in
+       push cat left (fun x ->
+           List.iter (fun y -> sink (Value.concat x y)) (matches x))
+     | Expr.Semi -> push cat left (fun x -> if has_match x then sink x)
+     | Expr.Anti -> push cat left (fun x -> if not (has_match x) then sink x)
+     | Expr.LeftOuter pad ->
+       let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
+       let sink = dedup_sink sink in
+       push cat left (fun x ->
+           match matches x with
+           | [] -> sink (Value.concat x null_row)
+           | ms -> List.iter (fun y -> sink (Value.concat x y)) ms))
+  | Plan.JoinOp
+      { algo = Plan.Nested_loop; kind; xvar; yvar; keys; residual; left; right }
+    ->
+    let ys = rows cat right in
+    let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+    let residual = residual_fn cat xvar yvar residual in
+    let full_pred x kx y =
+      M.incr c_nl_pair;
+      Key.equal kx (ykey y) && residual x y
+    in
+    (match kind with
+     | Expr.Inner ->
+       let sink = dedup_sink sink in
+       push cat left (fun x ->
+           let kx = xkey x in
+           List.iter (fun y -> if full_pred x kx y then sink (Value.concat x y)) ys)
+     | Expr.Semi ->
+       push cat left (fun x -> if List.exists (full_pred x (xkey x)) ys then sink x)
+     | Expr.Anti ->
+       push cat left (fun x ->
+           if not (List.exists (full_pred x (xkey x)) ys) then sink x)
+     | Expr.LeftOuter pad ->
+       let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
+       let sink = dedup_sink sink in
+       push cat left (fun x ->
+           match List.filter (full_pred x (xkey x)) ys with
+           | [] -> sink (Value.concat x null_row)
+           | ms -> List.iter (fun y -> sink (Value.concat x y)) ms))
+  | Plan.NestjoinOp
+      {
+        algo = (Plan.Hash | Plan.Nested_loop) as algo;
+        xvar;
+        yvar;
+        keys;
+        residual;
+        body;
+        attr;
+        left;
+        right;
+      } ->
+    let body = param2 cat ~vars:(xvar, yvar) body in
+    let residual = residual_fn cat xvar yvar residual in
+    let attach x ms =
+      let projected = List.map (fun y -> body x y) ms in
+      Value.concat x (Value.tuple [ (attr, Value.set projected) ])
+    in
+    let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
+    (match algo, keys with
+     | Plan.Hash, _ :: _ ->
+       let tbl = KTbl.create (tbl_size cat right) in
+       push cat right (fun y ->
+           M.incr c_hash_build;
+           KTbl.add tbl (ykey y) y);
+       push cat left (fun x ->
+           M.incr c_hash_probe;
+           let ms = List.filter (residual x) (KTbl.find_all tbl (xkey x)) in
+           sink (attach x ms))
+     | _ ->
+       (* Hash without equi keys degrades to nested loops, exactly as the
+          materializing implementation does. *)
+       let ys = rows cat right in
+       push cat left (fun x ->
+           let kx = xkey x in
+           let ms =
+             List.filter
+               (fun y ->
+                 M.incr c_nl_pair;
+                 Key.equal kx (ykey y) && residual x y)
+               ys
+           in
+           sink (attach x ms)))
+  | Plan.MemberJoin { kind; xvar; yvar; xset; elem_var; elem_key; ykey; left; right }
+    ->
+    let ykey = param1 cat ~var:yvar ykey in
+    let xset = param1 cat ~var:xvar xset in
+    let elem_key = param2 cat ~vars:(elem_var, xvar) elem_key in
+    let tbl = VTbl.create (tbl_size cat right) in
+    push cat right (fun y ->
+        M.incr c_hash_build;
+        VTbl.add tbl (ykey y) y);
+    let matches x =
+      List.concat_map
+        (fun e ->
+          M.incr c_hash_probe;
+          VTbl.find_all tbl (elem_key e x))
+        (Value.as_set (xset x))
+    in
+    let has_match x =
+      List.exists
+        (fun e ->
+          M.incr c_hash_probe;
+          VTbl.mem tbl (elem_key e x))
+        (Value.as_set (xset x))
+    in
+    (match kind with
+     | Plan.MSemi -> push cat left (fun x -> if has_match x then sink x)
+     | Plan.MAnti -> push cat left (fun x -> if not (has_match x) then sink x)
+     | Plan.MInner ->
+       let sink = dedup_sink sink in
+       push cat left (fun x -> List.iter (fun y -> sink (Value.concat x y)) (matches x))
+     | Plan.MNest { body; attr } ->
+       let body = param2 cat ~vars:(xvar, yvar) body in
+       push cat left (fun x ->
+           let ms = dedup (matches x) in
+           let projected = List.map (fun y -> body x y) ms in
+           sink (Value.concat x (Value.tuple [ (attr, Value.set projected) ]))))
+  | Plan.RenameOp (pairs, input) ->
+    push cat input (fun row ->
+        sink
+          (Value.tuple
+             (List.map
+                (fun (n, v) ->
+                  match List.assoc_opt n pairs with
+                  | Some n' -> (n', v)
+                  | None -> (n, v))
+                (Value.as_tuple row))))
+  | Plan.UnnestOp (a, input) ->
+    let as_row inner =
+      match inner with
+      | Value.VTuple _ -> inner
+      | atom -> Value.tuple [ (a, atom) ]
+    in
+    let sink = dedup_sink sink in
+    push cat input (fun row ->
+        let rest = Value.project_away row [ a ] in
+        List.iter
+          (fun inner -> sink (Value.concat (as_row inner) rest))
+          (Value.as_set (Value.field row a)))
+  | Plan.Assembly { cls; ref_attr; into; input } ->
+    push cat input (fun row ->
+        let obj = Catalog.deref cat cls (Value.field row ref_attr) in
+        sink (Value.except row [ (into, obj) ]))
+  | Plan.ParFilter { var; pred; input } ->
+    (* The input buffers into a chunk array (a pipeline breaker by
+       necessity — chunks are claimed concurrently), but the chunk outputs
+       stream to the consumer in order with no concatenated result list. *)
+    let xs = Array.of_list (rows cat input) in
+    let pred_s = pred1_spawner cat ~var pred in
+    let chunks = par_chunks (Array.length xs) in
+    let outs =
+      Pool.run (Array.length chunks) (fun c ->
+          let pred = pred_s () in
+          let lo, hi = chunks.(c) in
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            let row = xs.(i) in
+            M.incr c_filter_eval;
+            if pred row then acc := row :: !acc
+          done;
+          !acc)
+    in
+    Array.iter (fun out -> List.iter sink out) outs
+  | Plan.ParMapOp { var; body; input } ->
+    let xs = Array.of_list (rows cat input) in
+    let body_s = param1_spawner cat ~var body in
+    let chunks = par_chunks (Array.length xs) in
+    let outs =
+      Pool.run (Array.length chunks) (fun c ->
+          let body = body_s () in
+          let lo, hi = chunks.(c) in
+          let acc = ref [] in
+          for i = hi - 1 downto lo do
+            acc := body xs.(i) :: !acc
+          done;
+          !acc)
+    in
+    let sink = dedup_sink sink in
+    Array.iter (fun out -> List.iter sink out) outs
+  | Plan.EvalOp e -> List.iter sink (Value.as_set (Eval.run cat e))
+  | Plan.Materialized rs -> List.iter sink rs
+  | p ->
+    (* Pipeline breakers never reach here ([push] checks
+       [Plan.streams_output] first); materialize defensively. *)
+    List.iter sink (rows cat p)
 
 and profiled c cat p =
   if Span.tracing () then
@@ -561,29 +943,43 @@ and profiled c cat p =
 
 and profiled_run c cat p =
   let snap0 = M.counter_snapshot () in
+  let minor0, major0 = alloc_words () in
   let cpu0 = Clock.cpu_seconds () in
   let t0 = Clock.now_ns () in
-  let fr = { f_child_wall = 0; f_child_cpu = 0.0; f_child_work = [] } in
+  let fr =
+    {
+      f_child_wall = 0;
+      f_child_cpu = 0.0;
+      f_child_work = [];
+      f_child_minor = 0.0;
+      f_child_major = 0.0;
+    }
+  in
   c.stack <- fr :: c.stack;
   let pop () =
     match c.stack with
     | top :: rest when top == fr -> c.stack <- rest
     | other -> c.stack <- (match other with _ :: r -> r | [] -> [])
   in
-  match exec_node cat p with
+  match execute cat p with
   | exception e ->
     pop ();
     raise e
   | result ->
     let incl_wall = Clock.elapsed_ns t0 in
     let incl_cpu = Clock.cpu_seconds () -. cpu0 in
+    let minor1, major1 = alloc_words () in
+    let incl_minor = minor1 -. minor0 in
+    let incl_major = major1 -. major0 in
     let incl_work = sub_work (M.counter_snapshot ()) snap0 in
     pop ();
     (match c.stack with
      | parent :: _ ->
        parent.f_child_wall <- parent.f_child_wall + incl_wall;
        parent.f_child_cpu <- parent.f_child_cpu +. incl_cpu;
-       parent.f_child_work <- add_work parent.f_child_work incl_work
+       parent.f_child_work <- add_work parent.f_child_work incl_work;
+       parent.f_child_minor <- parent.f_child_minor +. incl_minor;
+       parent.f_child_major <- parent.f_child_major +. incl_major
      | [] -> ());
     let sample =
       {
@@ -594,6 +990,8 @@ and profiled_run c cat p =
         incl_wall_ns = incl_wall;
         incl_cpu_s = incl_cpu;
         work = sub_work incl_work fr.f_child_work;
+        minor_words = incl_minor -. fr.f_child_minor;
+        major_words = incl_major -. fr.f_child_major;
       }
     in
     c.samples <- sample :: c.samples;
@@ -621,7 +1019,9 @@ and dedup vs =
 and exec_join cat algo kind xvar yvar keys residual left right =
   let xs = rows cat left and ys = rows cat right in
   match algo, keys with
-  | Plan.Hash, _ :: _ -> hash_join cat kind xvar yvar keys residual xs ys
+  | Plan.Hash, _ :: _ ->
+    hash_join cat kind xvar yvar keys residual ~build_hint:(tbl_size cat right)
+      xs ys
   | Plan.Sort_merge, (kx, ky) :: _ ->
     (match kind with
      | Expr.Inner -> sort_merge_join cat xvar yvar (kx, ky) residual keys xs ys
@@ -663,13 +1063,16 @@ and nested_loop_join cat kind xvar yvar keys residual xs ys =
            | ms -> List.map (Value.concat x) ms)
          xs)
 
-and hash_join cat kind xvar yvar keys residual xs ys =
+and hash_join cat kind xvar yvar keys residual ~build_hint xs ys =
   let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
   let residual = residual_fn cat xvar yvar residual in
-  hash_join_keyed kind ~xkey ~ykey ~residual xs ys
+  hash_join_keyed kind ~xkey ~ykey ~residual ~build_hint xs ys
 
-and hash_join_keyed kind ~xkey ~ykey ~residual xs ys =
-  let tbl = KTbl.create (max 16 (List.length ys)) in
+(* [build_hint] is a capacity estimate for the build table (from the
+   planner's [Cost.rows_out], never a [List.length] pass over the build
+   rows); it cannot affect results, only rehash count. *)
+and hash_join_keyed ?(build_hint = 16) kind ~xkey ~ykey ~residual xs ys =
+  let tbl = KTbl.create (max 16 build_hint) in
   List.iter
     (fun y ->
       M.incr c_hash_build;
@@ -797,7 +1200,7 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
   | Plan.Sort_merge, [] -> exec_error "sort-merge nestjoin without equi keys"
   | Plan.Hash, _ :: _ ->
     let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
-    let tbl = KTbl.create (max 16 (List.length ys)) in
+    let tbl = KTbl.create (tbl_size cat right) in
     List.iter
       (fun y ->
         M.incr c_hash_build;
@@ -850,10 +1253,11 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
       let seg, rest = take mem_budget [] ys in
       seg :: partitions rest
   in
+  let seg_hint = tbl_size ~cap:mem_budget cat right in
   List.iter
     (fun segment ->
       M.incr c_pnhl_partition;
-      let tbl = VTbl.create (max 16 (List.length segment)) in
+      let tbl = VTbl.create seg_hint in
       List.iter
         (fun y ->
           M.incr c_pnhl_build;
@@ -898,12 +1302,13 @@ and exec_par_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
       seg :: segments rest
   in
   let segs = Array.of_list (segments ys) in
+  let seg_hint = tbl_size ~cap:mem_budget cat right in
   let partials =
     Pool.run (Array.length segs) (fun s ->
         let row_key = row_key_s () and elem_key = elem_key_s () in
         M.incr c_pnhl_partition;
         let segment = segs.(s) in
-        let tbl = VTbl.create (max 16 (List.length segment)) in
+        let tbl = VTbl.create seg_hint in
         List.iter
           (fun y ->
             M.incr c_pnhl_build;

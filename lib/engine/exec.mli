@@ -7,6 +7,15 @@
     sort-merge alternative, PNHL with memory-budget partitioning, and
     assembly for pointer dereferencing.
 
+    Execution is push-based and pipelined by default: operators for which
+    {!Plan.streams_output} holds push rows into their consumer's callback,
+    so chains like [Scan -> Filter -> Map -> hash probe] run as single
+    fused loops with no intermediate lists; pipeline breakers (hash build
+    sides, sort-merge inputs, grouping, division, PNHL/Grace partitioning,
+    the parallel operators' partition buffers) materialize only what their
+    semantics require.  Both execution modes produce identical row lists
+    (same rows, same order) and identical counter totals.
+
     Counters ticked (see {!Njq_adl.Counters}): ["scan_row"],
     ["filter_eval"], ["hash_build"], ["hash_probe"], ["nl_pair"],
     ["sm_cmp"], ["pnhl_partition"], ["pnhl_build"], ["pnhl_probe"], plus
@@ -23,6 +32,14 @@ exception Exec_error of string
     benchmark harness can compare both modes on identical plans. *)
 val compile_params : bool ref
 
+(** When [true] (the default), streamable operator chains fuse into
+    push-based loops with no intermediate lists; when [false], every
+    operator boundary materializes a full row list, as the engine did
+    before the pipelined executor existed.  Results and counter totals
+    are identical either way — the flag exists so the benchmark harness
+    can contrast the two modes on identical plans (experiment b13). *)
+val pipeline_exec : bool ref
+
 (** Execute a plan, returning its rows (not canonicalized). *)
 val rows : Catalog.t -> Plan.t -> Value.t list
 
@@ -34,8 +51,13 @@ val run : Catalog.t -> Plan.t -> Value.t
     One measurement per plan-node execution, taken around a normal
     {!rows} run — the plan executes unchanged, so row counts and counter
     totals are exactly those of an unprofiled run (contrast
-    {!Instrument}, which materializes children).  See {!Profile} for the
-    tree-shaped report. *)
+    {!Instrument}, which materializes children).  Under pipelined
+    execution ({!pipeline_exec}) a fused chain runs as one loop: the
+    node that owns the loop gets the measured sample, and each operator
+    fused into it records its exact output row count with zero
+    time/work/allocation (the owner's exclusive figures cover the whole
+    chain; see {!Profile}).  See {!Profile} for the tree-shaped
+    report. *)
 
 type node_sample = {
   sample_plan : Plan.t;
@@ -47,6 +69,10 @@ type node_sample = {
   incl_cpu_s : float;
   work : (string * int) list;
       (** Counter deltas exclusive of children, sorted by name. *)
+  minor_words : float;
+      (** [Gc.minor_words] delta exclusive of children. *)
+  major_words : float;
+      (** [Gc.major_words] delta exclusive of children. *)
 }
 
 (** [collect f] runs [f] with a collector installed and returns its result

@@ -18,7 +18,13 @@ type node_report = {
   work : (string * int) list; (* counters ticked by this node alone *)
   seconds : float; (* CPU time for this node alone *)
   wall_ns : int; (* monotonic wall time for this node alone *)
+  minor_words : float; (* minor-heap words this node alone allocated *)
+  major_words : float; (* major-heap words (incl. promotions) *)
 }
+
+let alloc_words () =
+  let minor, _promoted, major = Gc.counters () in
+  (minor, major)
 
 (* Counter snapshot difference. *)
 let diff_snapshots before after =
@@ -38,11 +44,13 @@ let rec exec cat depth (p : Plan.t) : Value.t list * node_report list =
     Plan.with_children p (List.map (fun r -> Plan.Materialized r) child_rows)
   in
   let before_counters = Counters.snapshot () in
+  let before_minor, before_major = alloc_words () in
   let before_cpu = Clock.cpu_seconds () in
   let before_ns = Clock.now_ns () in
   let result = Exec.rows cat shallow in
   let wall_ns = Clock.elapsed_ns before_ns in
   let seconds = Clock.cpu_seconds () -. before_cpu in
+  let after_minor, after_major = alloc_words () in
   let work = diff_snapshots before_counters (Counters.snapshot ()) in
   let report =
     {
@@ -52,6 +60,8 @@ let rec exec cat depth (p : Plan.t) : Value.t list * node_report list =
       work;
       seconds;
       wall_ns;
+      minor_words = after_minor -. before_minor;
+      major_words = after_major -. before_major;
     }
   in
   (result, report :: child_reports)

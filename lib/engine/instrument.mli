@@ -11,6 +11,8 @@ type node_report = {
   work : (string * int) list;  (** counters ticked by this node alone *)
   seconds : float;  (** CPU time for this node alone *)
   wall_ns : int;  (** monotonic wall time for this node alone *)
+  minor_words : float;  (** minor-heap words this node alone allocated *)
+  major_words : float;  (** major-heap words (incl. promotions) *)
 }
 
 (** Execute a plan, returning the result and one report per node in

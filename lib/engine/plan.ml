@@ -293,6 +293,78 @@ let children = function
   | ParNestjoinOp { left; right; _ } | ParPnhl { left; right; _ } ->
     [ left; right ]
 
+(* ------------------------------------------------------------------ *)
+(* Pipeline shape of the push-based executor (see [Exec]).  The two     *)
+(* predicates below are the single source of truth for which edges the  *)
+(* pipelined executor fuses; EXPLAIN renders them and [Exec.push]       *)
+(* consults [streams_output] to decide fusion, so the annotation cannot *)
+(* drift from the execution.                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the node stream its output rows one at a time into its consumer
+   (true), or is it a pipeline breaker that materializes its full result
+   before the consumer sees a row (false)?  Breakers are exactly the
+   operators whose semantics need the whole input: sort-merge runs,
+   grouping, division, PNHL/Grace partitioning, and the parallel
+   operators' partition buffers. *)
+let streams_output = function
+  | Scan _ | Filter _ | MapOp _ | ProjectOp _ | FlattenOp _ | UnionOp _
+  | InterOp _ | DiffOp _ | ProductOp _ | MemberJoin _ | RenameOp _
+  | UnnestOp _ | Assembly _ | ParFilter _ | ParMapOp _ | EvalOp _
+  | Materialized _ ->
+    true
+  | JoinOp { algo = Nested_loop | Hash; _ }
+  | NestjoinOp { algo = Nested_loop | Hash; _ } ->
+    true
+  | JoinOp { algo = Sort_merge; _ } | NestjoinOp { algo = Sort_merge; _ } ->
+    false
+  | GraceJoin _ | NestOp _ | DivideOp _ | Pnhl _ | ParJoinOp _
+  | ParNestjoinOp _ | ParPnhl _ ->
+    false
+
+(* Per child edge (parallel to [children]): [true] when the pipelined
+   executor consumes that child row by row without ever forming its result
+   list (a fused edge), [false] when the child's rows are materialized
+   first — into a hash build table, a sort buffer, a chunk array or a
+   partition buffer. *)
+let streamed_inputs = function
+  | Scan _ | EvalOp _ | Materialized _ -> []
+  | Filter _ | MapOp _ | ProjectOp (_, _) | FlattenOp _ | RenameOp (_, _)
+  | UnnestOp (_, _) | NestOp _ | Assembly _ ->
+    [ true ]
+  | ParFilter _ | ParMapOp _ -> [ false ]
+  | UnionOp (_, _) -> [ true; true ]
+  | InterOp (_, _) | DiffOp (_, _) | ProductOp (_, _) -> [ true; false ]
+  | JoinOp { algo = Nested_loop | Hash; _ }
+  | NestjoinOp { algo = Nested_loop | Hash; _ }
+  | MemberJoin _ ->
+    [ true; false ]
+  | JoinOp { algo = Sort_merge; _ } | NestjoinOp { algo = Sort_merge; _ }
+  | GraceJoin _ | DivideOp (_, _) | Pnhl _ | ParPnhl _ | ParJoinOp _
+  | ParNestjoinOp _ ->
+    [ false; false ]
+
+(* Pipeline-boundary view of a plan: one node per line, each child edge
+   marked "~>" (fused: rows flow one at a time into the parent's loop) or
+   "=>" (materialized: the parent buffers this input before producing
+   output).  Breaker nodes are suffixed with "[breaker]". *)
+let pp_pipelines ppf p =
+  let rec go depth edge p =
+    let indent = String.make (2 * depth) ' ' in
+    let marker =
+      match edge with
+      | None -> ""
+      | Some true -> "~> "
+      | Some false -> "=> "
+    in
+    Fmt.pf ppf "%s%s%s%s@." indent marker (node_label p)
+      (if streams_output p then "" else "  [breaker]");
+    List.iter2
+      (fun c streamed -> go (depth + 1) (Some streamed) c)
+      (children p) (streamed_inputs p)
+  in
+  go 0 None p
+
 (* Rebuild a node with new children (same arity as [children]). *)
 let with_children p cs =
   match p, cs with

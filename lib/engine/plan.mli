@@ -163,6 +163,25 @@ val node_label : t -> string
 (** Immediate sub-plans, left to right. *)
 val children : t -> t list
 
+(** Pipeline shape of the push-based executor ({!Njq_engine.Exec}): [true]
+    when the node streams its output rows one at a time into its consumer,
+    [false] when it is a pipeline breaker that materializes its full
+    result first (sort-merge inputs, grouping, division, PNHL/Grace
+    partitioning, the parallel operators' partition buffers).  This is the
+    predicate the executor consults to fuse edges, so EXPLAIN output
+    rendered from it cannot drift from the execution. *)
+val streams_output : t -> bool
+
+(** Per child edge (parallel to {!children}): [true] when the pipelined
+    executor consumes the child row by row without forming its result list
+    (fused), [false] when the child's rows are buffered first (hash build
+    table, sort buffer, chunk array, partition buffer). *)
+val streamed_inputs : t -> bool list
+
+(** Pipeline-boundary view: one node per line, child edges marked ["~>"]
+    (fused) or ["=>"] (materialized), breakers suffixed ["[breaker]"]. *)
+val pp_pipelines : Format.formatter -> t -> unit
+
 (** Rebuild a node with new children; raises [Invalid_argument] on arity
     mismatch. *)
 val with_children : t -> t list -> t

@@ -5,9 +5,18 @@
 
    Samples are keyed by the physical identity of the plan node.  A node
    that executes more than once (a physically shared subtree in a
-   hand-built plan) accumulates: [calls] counts executions, times and work
-   sum, and [actual_rows] keeps the last run's cardinality (identical runs
-   being deterministic). *)
+   hand-built plan) accumulates: [calls] counts executions, times, work
+   and allocation sum, and [actual_rows] keeps the last run's cardinality
+   (identical runs being deterministic).
+
+   Attribution under pipelined execution ([Exec.pipeline_exec], the
+   default): a fused chain runs as one loop owned by the node [Exec.rows]
+   was called on — that node's exclusive time/work/allocation covers the
+   whole chain, while each operator fused into it still reports its exact
+   [actual_rows] (and [calls]) with zeros elsewhere.  Pipeline breakers
+   keep per-node brackets.  Flip [Exec.pipeline_exec] off for the old
+   one-bracket-per-node attribution; row counts and total work are
+   identical in both modes. *)
 
 open Njq_adl
 
@@ -22,6 +31,8 @@ type node = {
   wall_ns : int;  (* exclusive of children, summed over calls *)
   cpu_s : float;
   work : (string * int) list;
+  minor_words : float;  (* Gc minor-heap words, exclusive, summed *)
+  major_words : float;
   children : node list;
 }
 
@@ -66,6 +77,16 @@ let run ?stats (cat : Catalog.t) (plan : Plan.t) : Value.t * node =
         (fun acc (s : Exec.node_sample) -> add_work acc s.work)
         [] mine
     in
+    let minor_words =
+      List.fold_left
+        (fun acc (s : Exec.node_sample) -> acc +. s.minor_words)
+        0.0 mine
+    in
+    let major_words =
+      List.fold_left
+        (fun acc (s : Exec.node_sample) -> acc +. s.major_words)
+        0.0 mine
+    in
     let est_rows = Cost.rows_out ?stats cat p in
     {
       plan = p;
@@ -78,6 +99,8 @@ let run ?stats (cat : Catalog.t) (plan : Plan.t) : Value.t * node =
       wall_ns;
       cpu_s;
       work;
+      minor_words;
+      major_words;
       children = List.map (build (depth + 1)) (Plan.children p);
     }
   in
@@ -90,18 +113,19 @@ let max_qerror root =
   List.fold_left (fun acc n -> Float.max acc n.qerror) 1.0 (preorder root)
 
 let pp ppf root =
-  Fmt.pf ppf "%-36s %10s %10s %8s %10s  %s@." "operator" "est" "actual"
-    "q-err" "ms" "work";
+  Fmt.pf ppf "%-36s %10s %10s %8s %10s %10s  %s@." "operator" "est" "actual"
+    "q-err" "ms" "minor_kw" "work";
   List.iter
     (fun n ->
       let indent = String.make (2 * n.depth) ' ' in
       let label =
         if n.calls > 1 then Fmt.str "%s (x%d)" n.label n.calls else n.label
       in
-      Fmt.pf ppf "%s%-*s %10.0f %10d %8.2f %10.3f  %s@." indent
+      Fmt.pf ppf "%s%-*s %10.0f %10d %8.2f %10.3f %10.1f  %s@." indent
         (max 1 (36 - String.length indent))
         label n.est_rows n.actual_rows n.qerror
         (Njq_obs.Clock.ns_to_ms n.wall_ns)
+        (n.minor_words /. 1000.0)
         (String.concat ", "
            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) n.work)))
     (preorder root)
@@ -117,6 +141,8 @@ let rec to_json n : Njq_obs.Json.t =
        ("calls", Int n.calls);
        ("wall_ns", Int n.wall_ns);
        ("cpu_s", Float n.cpu_s);
+       ("minor_words", Float n.minor_words);
+       ("major_words", Float n.major_words);
        ("work", Obj (List.map (fun (k, v) -> (k, Int v)) n.work));
      ]
     @

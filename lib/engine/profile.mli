@@ -1,6 +1,13 @@
 (** EXPLAIN ANALYZE: per-plan-node estimated vs actual cardinalities with
-    q-errors, work counters, and wall/CPU time, measured non-perturbingly
-    during a normal {!Exec} run (see {!Exec.collect}). *)
+    q-errors, work counters, wall/CPU time and heap allocation, measured
+    non-perturbingly during a normal {!Exec} run (see {!Exec.collect}).
+
+    Under pipelined execution ({!Exec.pipeline_exec}, the default) a
+    fused operator chain executes as one loop: its time, work and
+    allocation are attributed to the node that owns the loop, while the
+    operators fused into it still report exact [actual_rows] (with zero
+    time/work/allocation of their own).  Row counts and summed work are
+    identical in both modes. *)
 
 open Njq_adl
 
@@ -15,6 +22,10 @@ type node = {
   wall_ns : int;  (** Monotonic wall time exclusive of children. *)
   cpu_s : float;  (** CPU time exclusive of children. *)
   work : (string * int) list;  (** Counter deltas exclusive of children. *)
+  minor_words : float;
+      (** Minor-heap words allocated, exclusive of children, summed over
+          calls. *)
+  major_words : float;  (** Major-heap words (incl. promotions). *)
   children : node list;
 }
 
@@ -31,7 +42,7 @@ val preorder : node -> node list
 
 val max_qerror : node -> float
 
-(** Aligned table: operator, est, actual, q-err, ms, work. *)
+(** Aligned table: operator, est, actual, q-err, ms, minor_kw, work. *)
 val pp : Format.formatter -> node -> unit
 
 val to_json : node -> Njq_obs.Json.t

@@ -250,6 +250,83 @@ let test_assembly () =
   Alcotest.check Util.value "assembly materializes references" expected
     (Exec.run cat plan)
 
+(* Error paths: assembly must fail loudly — in both execution modes — on
+   dangling references and non-oid reference attributes, and [set_rows]
+   must invalidate the lazy oid index so later derefs see the new extent. *)
+
+let ref_row_type =
+  Vtype.TTuple [ ("part", Vtype.TRef "PART"); ("tag", Vtype.TString) ]
+
+let ref_catalog rows =
+  let cat = Util.small_catalog () in
+  Catalog.add_table cat ~name:"REF" ~row_type:ref_row_type rows;
+  cat
+
+let assemble_refs cat =
+  Exec.run cat
+    (Plan.Assembly
+       { cls = "PART"; ref_attr = "part"; into = "part_obj";
+         input = Plan.Scan "REF" })
+
+let in_both_modes f =
+  List.iter
+    (fun mode ->
+      let prev = !Exec.pipeline_exec in
+      Exec.pipeline_exec := mode;
+      Fun.protect ~finally:(fun () -> Exec.pipeline_exec := prev) (fun () ->
+          f (if mode then "pipelined" else "materializing")))
+    [ true; false ]
+
+let check_type_error name f =
+  match f () with
+  | v -> Alcotest.failf "%s: expected Type_error, got %a" name Value.pp v
+  | exception Value.Type_error _ -> ()
+
+let test_assembly_dangling_oid () =
+  let cat =
+    ref_catalog
+      [ Value.tuple [ ("part", Value.oid 1); ("tag", Value.string "ok") ];
+        Value.tuple [ ("part", Value.oid 77); ("tag", Value.string "bad") ] ]
+  in
+  in_both_modes (fun mode ->
+      check_type_error
+        (mode ^ ": dangling reference #77")
+        (fun () -> assemble_refs cat))
+
+let test_assembly_non_oid_ref () =
+  let cat =
+    ref_catalog
+      [ Value.tuple [ ("part", Value.int 1); ("tag", Value.string "notref") ] ]
+  in
+  in_both_modes (fun mode ->
+      check_type_error
+        (mode ^ ": non-oid reference attribute")
+        (fun () -> assemble_refs cat))
+
+let test_assembly_index_invalidation () =
+  let cat =
+    ref_catalog [ Value.tuple [ ("part", Value.oid 1); ("tag", Value.string "x") ] ]
+  in
+  (* First run resolves oid 1 and builds the lazy index as a side effect. *)
+  ignore (assemble_refs cat);
+  (* Rebinding PART without oid 1 must invalidate that index: the same
+     plan now sees a dangling reference, not a stale hit. *)
+  let keep =
+    List.filter
+      (fun row -> Value.as_oid (Value.field row "oid") <> 1)
+      (Catalog.rows cat "PART")
+  in
+  Catalog.set_rows cat "PART" keep;
+  in_both_modes (fun mode ->
+      check_type_error
+        (mode ^ ": deref after set_rows invalidation")
+        (fun () -> assemble_refs cat));
+  (* And restoring the row makes the deref succeed again. *)
+  Catalog.set_rows cat "PART"
+    (Util.part ~oid:1 ~pname:"bolt" ~price:10 ~color:"red" :: keep);
+  Alcotest.(check int) "resolves again after restore" 1
+    (List.length (Value.as_set (assemble_refs cat)))
+
 (* Counters sanity: hash joins do fewer pair tests than nested loops. *)
 let test_hash_beats_nl_on_counters () =
   let cat =
@@ -285,6 +362,12 @@ let () =
           Alcotest.test_case "keeps empty sets" `Quick test_pnhl_keeps_empty_sets;
           Alcotest.test_case "planner auto-PNHL" `Quick test_pnhl_autoplan ] );
       ( "assembly",
-        [ Alcotest.test_case "pointer materialization" `Quick test_assembly ] );
+        [ Alcotest.test_case "pointer materialization" `Quick test_assembly;
+          Alcotest.test_case "dangling oid raises" `Quick
+            test_assembly_dangling_oid;
+          Alcotest.test_case "non-oid ref_attr raises" `Quick
+            test_assembly_non_oid_ref;
+          Alcotest.test_case "set_rows invalidates oid index" `Quick
+            test_assembly_index_invalidation ] );
       ( "counters",
         [ Alcotest.test_case "hash beats nested loop" `Quick test_hash_beats_nl_on_counters ] ) ]

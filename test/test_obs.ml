@@ -272,8 +272,20 @@ let test_profile_hand_built () =
   let root_work = root.Profile.work in
   Alcotest.(check bool) "root ticks hash counters" true
     (List.mem_assoc "hash_build" root_work && List.mem_assoc "hash_probe" root_work);
-  Alcotest.(check bool) "scan work stays on the scan" true
-    (not (List.mem_assoc "scan_row" root_work))
+  (* Under pipelined execution the root owns the whole fused loop, so the
+     scans' ticks land on its exclusive work; flipping the mode off
+     restores the old one-node-one-bracket attribution. *)
+  Alcotest.(check bool) "fused scan work lands on the loop owner" true
+    (List.mem_assoc "scan_row" root_work);
+  Exec.pipeline_exec := false;
+  Fun.protect
+    ~finally:(fun () -> Exec.pipeline_exec := true)
+    (fun () ->
+      let _, root = Profile.run cat plan in
+      let root_work = root.Profile.work in
+      Alcotest.(check bool) "materializing mode: scan work stays on the scan"
+        true
+        (not (List.mem_assoc "scan_row" root_work)))
 
 (* The acceptance property: non-perturbing actuals equal the materializing
    Instrument oracle's per-node rows exactly, label by label in pre-order,

@@ -1,0 +1,198 @@
+(* Tests for the push-based pipelined executor (DESIGN.md section 8).
+
+   The contract under test: [Exec.pipeline_exec] selects between the
+   pipelined (push-based, default) and materializing executors, and the
+   two modes are observationally identical — same row lists (same rows in
+   the same order), same work-counter totals — for the whole paper
+   workload, for fixed plans with deep fused chains, for random plans,
+   and at every pool size when the plan contains parallel operators.
+   Only the allocation profile may differ (that difference is the point;
+   bench b13 measures it). *)
+
+open Njq_adl
+open Dsl
+module Gen = Njq_workload.Generator
+module Queries = Njq_workload.Queries
+module Strategy = Njq_core.Strategy
+module Plan = Njq_engine.Plan
+module Exec = Njq_engine.Exec
+module Planner = Njq_engine.Planner
+module Pool = Njq_engine.Pool
+
+let with_pipeline flag f =
+  let prev = !Exec.pipeline_exec in
+  Exec.pipeline_exec := flag;
+  Fun.protect ~finally:(fun () -> Exec.pipeline_exec := prev) f
+
+let with_domains k f =
+  let prev = Pool.domains () in
+  Pool.set_domains k;
+  Fun.protect ~finally:(fun () -> Pool.set_domains prev) f
+
+let with_par_threshold t f =
+  let prev = !Planner.par_threshold in
+  Planner.par_threshold := t;
+  Fun.protect ~finally:(fun () -> Planner.par_threshold := prev) f
+
+let snapshot = Alcotest.(list (pair string int))
+let row_list = Alcotest.(list Util.value)
+
+(* Run [plan] in one mode, returning the ordered row list and the full
+   counter snapshot of the run. *)
+let run_mode flag cat plan =
+  with_pipeline flag (fun () ->
+      Counters.reset ();
+      let rows = Exec.rows cat plan in
+      (rows, Counters.snapshot ()))
+
+let check_modes_agree name cat plan =
+  let mat_rows, mat_counters = run_mode false cat plan in
+  let pipe_rows, pipe_counters = run_mode true cat plan in
+  Alcotest.check row_list (name ^ ": rows (and their order)") mat_rows pipe_rows;
+  Alcotest.check snapshot (name ^ ": counter totals") mat_counters pipe_counters
+
+(* ------------------------------------------------------------------ *)
+(* Paper workload: every corpus query, optimized and planned, agrees
+   between the two modes on rows, order and counters. *)
+
+let test_workload_modes_agree () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:7 48) with Gen.dangling_rate = 0.0 } in
+  List.iter
+    (fun (q : Queries.query) ->
+      let plan = Planner.plan (Strategy.optimize cat (Queries.to_adl q)) in
+      check_modes_agree q.Queries.id cat plan)
+    (Queries.all @ Queries.extended)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed plans with deep fused chains (the b13 shapes): scan->filter->
+   map->project, hash join with both sides fused, union into one dedup
+   sink, flatten over a set-valued attribute, nestjoin grouping. *)
+
+let fused_plans () =
+  let chain =
+    Plan.ProjectOp
+      ( [ "oid"; "pp" ],
+        Plan.MapOp
+          { var = "p";
+            body =
+              tuple
+                [ ("oid", var "p" $. "oid");
+                  ("pp", mul (var "p" $. "price") (int 2));
+                  ("color", var "p" $. "color") ];
+            input =
+              Plan.Filter
+                { var = "p"; pred = gt (var "p" $. "price") (int 5);
+                  input = Plan.Scan "PART" } } )
+  in
+  let probe =
+    Plan.JoinOp
+      { algo = Plan.Hash; kind = Expr.Inner; xvar = "d"; yvar = "s";
+        keys = [ (var "d" $. "supplier", var "s" $. "soid") ];
+        residual = Expr.true_;
+        left =
+          Plan.Filter
+            { var = "d"; pred = ge (count (var "d" $. "supply")) (int 0);
+              input = Plan.Scan "DELIVERY" };
+        right =
+          Plan.MapOp
+            { var = "s";
+              body =
+                tuple
+                  [ ("soid", var "s" $. "oid"); ("sname", var "s" $. "sname") ];
+              input = Plan.Scan "SUPPLIER" } }
+  in
+  let union_plan =
+    Plan.UnionOp
+      ( Plan.Filter
+          { var = "p"; pred = eq (var "p" $. "color") (str "red");
+            input = Plan.Scan "PART" },
+        Plan.Filter
+          { var = "p"; pred = gt (var "p" $. "price") (int 10);
+            input = Plan.Scan "PART" } )
+  in
+  let flatten_plan =
+    Plan.FlattenOp
+      (Plan.MapOp
+         { var = "s"; body = var "s" $. "parts_supplied";
+           input =
+             Plan.Filter
+               { var = "s";
+                 pred = ge (count (var "s" $. "parts_supplied")) (int 1);
+                 input = Plan.Scan "SUPPLIER" } })
+  in
+  let nest_plan =
+    Plan.NestjoinOp
+      { algo = Plan.Hash; xvar = "s"; yvar = "d";
+        keys = [ (var "s" $. "oid", var "d" $. "supplier") ];
+        residual = Expr.true_; body = var "d" $. "date"; attr = "delivered";
+        left = Plan.Scan "SUPPLIER"; right = Plan.Scan "DELIVERY" }
+  in
+  [ ("chain", chain); ("probe", probe); ("union", union_plan);
+    ("flatten", flatten_plan); ("nest", nest_plan) ]
+
+let test_fused_chain_modes_agree () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:1 64) with Gen.dangling_rate = 0.0 } in
+  List.iter (fun (name, plan) -> check_modes_agree name cat plan) (fused_plans ())
+
+(* ------------------------------------------------------------------ *)
+(* Parallel interop: parallelized corpus plans plus a chunk-streaming
+   ParFilter chain agree between modes at every pool size. *)
+
+let test_parallel_modes_agree () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:3 48) with Gen.dangling_rate = 0.0 } in
+  let par_chain =
+    Plan.MapOp
+      { var = "p";
+        body =
+          tuple
+            [ ("oid", var "p" $. "oid"); ("pp", mul (var "p" $. "price") (int 2)) ];
+        input =
+          Plan.ParFilter
+            { var = "p"; pred = gt (var "p" $. "price") (int 5);
+              input = Plan.Scan "PART" } }
+  in
+  let corpus =
+    List.map
+      (fun (q : Queries.query) ->
+        let seq = Planner.plan (Strategy.optimize cat (Queries.to_adl q)) in
+        ( q.Queries.id,
+          with_par_threshold 1 (fun () -> Planner.parallelize cat seq) ))
+      Queries.all
+  in
+  List.iter
+    (fun k ->
+      with_domains k (fun () ->
+          List.iter
+            (fun (name, plan) ->
+              check_modes_agree (Printf.sprintf "%s at %d domains" name k) cat
+                plan)
+            (("par_chain", par_chain) :: corpus)))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Property: random rewritten query plans agree between the two modes on
+   the ordered row list. *)
+
+let prop_pipeline_differential =
+  Util.qcheck ~count:150 "pipelined executor matches materializing"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let q = select "x" (table "X") pred in
+      let plan = Planner.plan (Strategy.optimize cat q) in
+      let mat_rows, mat_counters = run_mode false cat plan in
+      let pipe_rows, pipe_counters = run_mode true cat plan in
+      List.length mat_rows = List.length pipe_rows
+      && List.for_all2 Value.equal mat_rows pipe_rows
+      && mat_counters = pipe_counters)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "modes",
+        [ Alcotest.test_case "workload modes agree" `Quick
+            test_workload_modes_agree;
+          Alcotest.test_case "fused chains agree (incl. order)" `Quick
+            test_fused_chain_modes_agree;
+          Alcotest.test_case "parallel interop at 1/2/4 domains" `Quick
+            test_parallel_modes_agree ] );
+      ("properties", [ prop_pipeline_differential ]) ]
