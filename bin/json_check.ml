@@ -4,9 +4,15 @@
 
    With --bench, the file is a BENCH_engine.json document instead: every
    experiment's work rows must carry per-variant "totals", "minor_words"
-   and "major_words" arrays, and the b13 mode-contrast experiment must
-   show, for every "group:mat"/"group:pipe" variant pair at every scale,
-   identical counter totals and strictly fewer minor words pipelined. *)
+   and "major_words" arrays; the b13 mode-contrast experiment must show,
+   for every "group:mat"/"group:pipe" variant pair at every scale,
+   identical counter totals and strictly fewer minor words pipelined; and
+   the b14 access-path experiment must show, for every "group|scan" /
+   "group|idx" variant pair at every scale, a strictly lower work total
+   on the index side, its "cache|hit" span summary must carry none of the
+   derivation spans (translate/rewrite/plan) that "cache|cold" pays, and
+   when wall-clock rows are present the cache hit must be faster than the
+   cold derivation. *)
 
 module Json = Njq_obs.Json
 
@@ -59,6 +65,7 @@ let check_bench file =
     [ "bench_scale"; "scales"; "experiments" ];
   let experiments = as_list "experiments" (get "document" "experiments" doc) in
   let b13_rows = ref 0 in
+  let b14_rows = ref 0 in
   List.iter
     (fun exp ->
       let id = as_str "id" (get "experiment" "id" exp) in
@@ -112,11 +119,82 @@ let check_bench file =
                          (List.nth minor i))
                 | _ -> ())
               variants
+          end;
+          if String.equal id "b14" then begin
+            incr b14_rows;
+            List.iteri
+              (fun i v ->
+                match String.index_opt v '|' with
+                | Some c
+                  when String.equal (String.sub v c (String.length v - c)) "|scan"
+                  ->
+                  let group = String.sub v 0 c in
+                  (match index_of (group ^ "|idx") with
+                   | None -> fail "%s: %s: %s has no |idx twin" file ctx v
+                   | Some j ->
+                     if not (List.nth totals j < List.nth totals i) then
+                       fail
+                         "%s: %s: %s|idx work total (%.0f) not strictly below \
+                          %s|scan (%.0f)"
+                         file ctx group (List.nth totals j) group
+                         (List.nth totals i))
+                | _ -> ())
+              variants
           end)
-        (as_list (ctx ^ " work") (get ctx "work" exp)))
+        (as_list (ctx ^ " work") (get ctx "work" exp));
+      if String.equal id "b14" then begin
+        (* Span summaries: a plan-cache hit must serve the compiled plan
+           without re-running any derivation phase. *)
+        let span_names variant =
+          List.filter_map
+            (fun entry ->
+              let v = as_str "span variant" (get ctx "variant" entry) in
+              if String.equal v variant then
+                Some
+                  (List.map
+                     (fun s -> as_str "span name" (get ctx "name" s))
+                     (as_list (ctx ^ " spans") (get ctx "spans" entry)))
+              else None)
+            (as_list (ctx ^ " spans") (get ctx "spans" exp))
+          |> List.concat
+        in
+        let hit = span_names "cache|hit" in
+        let cold = span_names "cache|cold" in
+        if cold <> [] || hit <> [] then begin
+          List.iter
+            (fun phase ->
+              if List.mem phase hit then
+                fail "%s: %s: cache|hit re-ran the %S phase on a cache hit"
+                  file ctx phase)
+            [ "translate"; "rewrite"; "plan" ];
+          if cold <> [] && not (List.mem "plan" cold) then
+            fail "%s: %s: cache|cold shows no \"plan\" span" file ctx
+        end;
+        (* Wall-clock (present unless --work-only): serving the cached
+           plan must beat re-deriving it. *)
+        let ns variant =
+          List.find_map
+            (fun row ->
+              let v = as_str "time variant" (get ctx "variant" row) in
+              if String.equal v variant then
+                Some (as_num "ns_per_run" (get ctx "ns_per_run" row))
+              else None)
+            (as_list (ctx ^ " time") (get ctx "time" exp))
+        in
+        match (ns "cache|hit", ns "cache|cold") with
+        | Some hit_ns, Some cold_ns ->
+          if not (hit_ns < cold_ns) then
+            fail
+              "%s: %s: cache|hit (%.0f ns) not faster than cache|cold (%.0f \
+               ns)"
+              file ctx hit_ns cold_ns
+        | _ -> ()
+      end)
     experiments;
   if !b13_rows = 0 then
-    fail "%s: no b13 work rows (mode-contrast experiment missing or empty)" file
+    fail "%s: no b13 work rows (mode-contrast experiment missing or empty)" file;
+  if !b14_rows = 0 then
+    fail "%s: no b14 work rows (access-path experiment missing or empty)" file
 
 let () =
   match Array.to_list Sys.argv with

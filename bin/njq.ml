@@ -87,6 +87,54 @@ let save_db_arg =
   let doc = "Save the (generated or loaded) database to a file." in
   Arg.(value & opt (some string) None & info [ "save-db" ] ~docv:"FILE" ~doc)
 
+let index_arg =
+  let doc =
+    "Declare an index before planning: TABLE.ATTR[,ATTR...][:hash|:sorted] \
+     (default hash; sorted indexes also answer range predicates on their \
+     first attribute).  The planner rewrites sargable filters and joins \
+     over the table into index access paths when the cost model prices \
+     them cheaper.  Repeatable."
+  in
+  Arg.(value & opt_all string [] & info [ "index" ] ~docv:"SPEC" ~doc)
+
+let apply_indexes cat specs =
+  List.iter
+    (fun spec ->
+      let spec, kind =
+        match String.rindex_opt spec ':' with
+        | Some i ->
+          let k = String.sub spec (i + 1) (String.length spec - i - 1) in
+          let kind =
+            match k with
+            | "hash" -> Catalog.Hash_index
+            | "sorted" -> Catalog.Sorted_index
+            | _ ->
+              Fmt.epr "--index: unknown kind %S (expected hash or sorted)@." k;
+              exit 1
+          in
+          (String.sub spec 0 i, kind)
+        | None -> (spec, Catalog.Hash_index)
+      in
+      match String.index_opt spec '.' with
+      | None ->
+        Fmt.epr "--index: expected TABLE.ATTRS, got %S@." spec;
+        exit 1
+      | Some i ->
+        let table = String.sub spec 0 i in
+        let attrs =
+          String.split_on_char ','
+            (String.sub spec (i + 1) (String.length spec - i - 1))
+        in
+        (match Catalog.create_index cat ~table ~kind ~attrs () with
+         | (_ : string) -> ()
+         | exception Invalid_argument msg ->
+           Fmt.epr "--index %s: %s@." spec msg;
+           exit 1
+         | exception Catalog.Unknown_table t ->
+           Fmt.epr "--index %s: unknown table %s@." spec t;
+           exit 1))
+    specs
+
 let load_schema = function
   | None -> schema
   | Some path ->
@@ -183,12 +231,14 @@ let trace_out_arg =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
 let explain_cmd =
-  let run q scale seed dangling empty mode analyze cost json trace_out domains =
+  let run q scale seed dangling empty mode analyze cost json trace_out domains
+      indexes =
     or_die (fun () ->
         apply_domains domains;
         let tracing = json || Option.is_some trace_out in
         if tracing then Span.start_tracing ();
         let cat = make_catalog scale seed dangling empty in
+        apply_indexes cat indexes;
         let report, plan, analysis =
           Span.with_span "explain" (fun () ->
               let adl, _ =
@@ -202,7 +252,7 @@ let explain_cmd =
                  Fmt.epr "warning: typecheck against catalog failed: %s@." msg);
               let report = Strategy.rewrite ~options:(options_of mode) cat adl in
               let stats =
-                if cost then Some (Njq_engine.Stats.analyze cat) else None
+                if cost then Some (Njq_engine.Stats.cached cat) else None
               in
               let algo =
                 if cost then Njq_engine.Planner.Cost_based cat
@@ -287,13 +337,18 @@ let explain_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg
-      $ domains_arg)
+      $ domains_arg $ index_arg)
+
+let refresh_arg =
+  let doc = "Recompute statistics even when a cached snapshot exists for \
+             the catalog's current epoch." in
+  Arg.(value & flag & info [ "refresh" ] ~doc)
 
 let stats_cmd =
-  let run scale seed dangling empty db schema_file json =
+  let run scale seed dangling empty db schema_file json refresh =
     or_die (fun () ->
         let cat = make_catalog ?db ?schema_file scale seed dangling empty in
-        let stats = Njq_engine.Stats.analyze cat in
+        let stats = Njq_engine.Stats.cached ~refresh cat in
         if json then begin
           let opt_int = function None -> Json.Null | Some n -> Json.Int n in
           let table t =
@@ -336,7 +391,7 @@ let stats_cmd =
              per-column NDV/min/max statistics")
     Term.(
       const run $ scale_arg $ seed_arg $ dangling_arg $ empty_arg $ db_arg
-      $ schema_arg $ json_arg)
+      $ schema_arg $ json_arg $ refresh_arg)
 
 let format_arg =
   let doc = "Output format: adl (value notation), json, or csv." in
@@ -345,10 +400,11 @@ let format_arg =
 
 let run_cmd =
   let run q scale seed dangling empty mode no_opt counters db save_db format
-      schema_file domains =
+      schema_file domains indexes =
     or_die (fun () ->
         apply_domains domains;
         let cat = make_catalog ?db ?save_db ?schema_file scale seed dangling empty in
+        apply_indexes cat indexes;
         let adl, _ =
           Njq_oosql.Translate.query (load_schema schema_file) (parse_query_text q)
         in
@@ -372,7 +428,7 @@ let run_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ save_db_arg
-      $ format_arg $ schema_arg $ domains_arg)
+      $ format_arg $ schema_arg $ domains_arg $ index_arg)
 
 let adl_cmd =
   let run q scale seed dangling empty mode no_opt counters db schema_file
@@ -433,10 +489,18 @@ let repl_cmd =
     let cat = make_catalog scale seed dangling empty in
     let mode = ref Strategy.Nestjoin_always in
     let views : (string * Njq_oosql.Ast.expr) list ref = ref [] in
+    (* Result types keyed like the plan cache, so repeated queries whose
+       derivation is skipped on a cache hit still print their type. *)
+    let types : (string * string, Vtype.t) Hashtbl.t = Hashtbl.create 16 in
+    let mode_name = function
+      | Strategy.Nestjoin_always -> "nestjoin"
+      | Strategy.Flat_join_when_safe -> "flatjoin"
+      | Strategy.Outerjoin -> "outerjoin"
+    in
     Fmt.pr
       "njq repl — supplier-part-delivery database with %d rows per extent.@.\
        Terminate queries with ';'.  Directives: :explain <query>;  \
-       :mode nestjoin|flatjoin|outerjoin;  :quit@."
+       :mode nestjoin|flatjoin|outerjoin;  :cache;  :quit@."
       scale;
     let buffer = Buffer.create 256 in
     let rec read_statement () =
@@ -461,13 +525,30 @@ let repl_cmd =
       match prog.Njq_oosql.Ast.query with
       | None -> List.iter (fun (n, _) -> Fmt.pr "view %s defined@." n) prog.Njq_oosql.Ast.defines
       | Some q ->
-        let q = Njq_oosql.Views.expand !views q in
-        let adl, ty = Njq_oosql.Translate.query schema q in
-        let final = Strategy.optimize ~options:(options_of !mode) cat adl in
+        let options =
+          Fmt.str "%s/v%d" (mode_name !mode) (List.length !views)
+        in
+        let tkey = (options, Njq_engine.Plancache.normalize text) in
+        let plan =
+          Njq_engine.Plancache.find_or_derive cat ~options text
+            ~derive:(fun () ->
+              let q = Njq_oosql.Views.expand !views q in
+              let adl, ty = Njq_oosql.Translate.query schema q in
+              Hashtbl.replace types tkey ty;
+              let final =
+                Strategy.optimize ~options:(options_of !mode) cat adl
+              in
+              Njq_engine.Planner.plan ~cat final)
+        in
         Counters.reset ();
-        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan ~cat final) in
-        Fmt.pr "%a@.(%d rows of type %a; work: %a)@." Value.pp v
-          (Value.set_size v) Vtype.pp ty Counters.pp_snapshot (Counters.snapshot ())
+        let v = Njq_engine.Exec.run cat plan in
+        let pp_ty ppf () =
+          match Hashtbl.find_opt types tkey with
+          | Some ty -> Fmt.pf ppf " of type %a" Vtype.pp ty
+          | None -> ()
+        in
+        Fmt.pr "%a@.(%d rows%a; work: %a)@." Value.pp v
+          (Value.set_size v) pp_ty () Counters.pp_snapshot (Counters.snapshot ())
     in
     let explain text =
       let q = Njq_oosql.Views.expand !views (parse_query_text text) in
@@ -481,6 +562,13 @@ let repl_cmd =
       | None -> ()
       | Some "" -> loop ()
       | Some ":quit" | Some ":q" -> ()
+      | Some ":cache" ->
+        Fmt.pr "plan cache: %d entries; hits %d  misses %d  evictions %d@."
+          (Njq_engine.Plancache.size ())
+          (Njq_engine.Plancache.hits ())
+          (Njq_engine.Plancache.misses ())
+          (Njq_engine.Plancache.evictions ());
+        loop ()
       | Some text ->
         (try
            if String.length text > 8 && String.sub text 0 8 = ":explain" then
@@ -511,10 +599,81 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive query loop against a generated database")
     Term.(const run $ scale_arg $ seed_arg $ dangling_arg $ empty_arg)
 
+(* ---------------- plan cache ---------------- *)
+
+let cache_query_arg =
+  let doc = "Prepare this query through the plan cache before reporting \
+             (repeat with --repeat to see hits)." in
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let repeat_arg =
+  let doc = "Derive the query's plan this many times; the first derivation \
+             is a compulsory miss, later ones hit the cache." in
+  Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+
+let capacity_arg =
+  let doc = "Plan cache capacity in entries (0 disables caching)." in
+  Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+
+let cache_stats_cmd =
+  let run q scale seed dangling empty mode json repeat capacity indexes =
+    or_die (fun () ->
+        Option.iter (fun n -> Njq_engine.Plancache.capacity := n) capacity;
+        let cat = make_catalog scale seed dangling empty in
+        apply_indexes cat indexes;
+        Option.iter
+          (fun q ->
+            for _ = 1 to max 1 repeat do
+              ignore
+                (Njq_engine.Plancache.find_or_derive cat ~options:"cli" q
+                   ~derive:(fun () ->
+                     let adl, _ =
+                       Njq_oosql.Translate.query schema (parse_query_text q)
+                     in
+                     let final =
+                       Strategy.optimize ~options:(options_of mode) cat adl
+                     in
+                     Njq_engine.Planner.plan ~cat final)
+                  : Njq_engine.Plan.t)
+            done)
+          q;
+        let hits = Njq_engine.Plancache.hits () in
+        let misses = Njq_engine.Plancache.misses () in
+        let evictions = Njq_engine.Plancache.evictions () in
+        let size = Njq_engine.Plancache.size () in
+        if json then
+          print_endline
+            (Json.to_string ~pretty:true
+               (Json.Obj
+                  [ ("hits", Json.Int hits); ("misses", Json.Int misses);
+                    ("evictions", Json.Int evictions);
+                    ("size", Json.Int size);
+                    ("capacity", Json.Int !Njq_engine.Plancache.capacity) ]))
+        else
+          Fmt.pr
+            "plan cache: %d entries (capacity %d)@.hits %d  misses %d  \
+             evictions %d@."
+            size !Njq_engine.Plancache.capacity hits misses evictions)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Report plan-cache hits, misses, evictions and occupancy; with \
+             -q, first prepare that query through the cache")
+    Term.(
+      const run $ cache_query_arg $ scale_arg $ seed_arg $ dangling_arg
+      $ empty_arg $ mode_arg $ json_arg $ repeat_arg $ capacity_arg
+      $ index_arg)
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Prepared-query plan cache (LRU over compiled physical plans)")
+    [ cache_stats_cmd ]
+
 let main =
   let doc = "nested-loop to join queries in OODB — OOSQL/ADL query pipeline" in
   Cmd.group (Cmd.info "njq" ~version:"1.0.0" ~doc)
     [ parse_cmd; translate_cmd; explain_cmd; run_cmd; adl_cmd; schema_cmd;
-      stats_cmd; repl_cmd ]
+      stats_cmd; repl_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,6 +1,8 @@
 (* The catalog: named base tables (class extents) with their row types and
    stored values, plus oid indexes supporting the materialize/assembly
-   operator (pointer-based dereferencing).
+   operator (pointer-based dereferencing) and user-declared attribute
+   indexes (hash for equality, sorted arrays for ranges) backing the
+   engine's index access paths.
 
    Per the paper's logical database design, every class extension is mapped
    to a table of (possibly complex) objects whose rows carry an [oid] field;
@@ -16,14 +18,60 @@ type table = {
          lost race rebuilds an identical index, never observes a torn one *)
 }
 
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type index_kind = Hash_index | Sorted_index
+
+(* Built index payload.  Hash buckets and sorted segments both keep their
+   rows in the table's canonical (sorted, duplicate-free) order, so a point
+   lookup returns exactly the row list a filtered scan would produce. *)
+type index_data =
+  | Dhash of Value.t list VH.t
+      (* key tuple (declared attrs, canonicalized) -> matching rows *)
+  | Dsorted of (Value.t array * Value.t) array
+      (* (key values in declared attr order, row), sorted lexicographically
+         by key with ties in canonical row order *)
+
+type index = {
+  idx_name : string;
+  idx_table : string;
+  idx_attrs : string list; (* one or more attributes, in declared order *)
+  idx_kind : index_kind;
+  idx_data : index_data option Atomic.t;
+      (* lazily built from the table rows, invalidated by [set_rows];
+         same Atomic publish discipline as [oid_index]: immutable after
+         publish, racing builders produce identical structures *)
+}
+
 type t = {
   tables : (string, table) Hashtbl.t;
   mutable next_oid : int;
+  cat_id : int; (* unique per catalog instance; keys external caches *)
+  mutable epoch : int;
+      (* bumped by every schema or data change ([add_table], [set_rows],
+         [create_index]) so plan and statistics caches can detect
+         staleness without diffing contents *)
+  indexes : (string, index) Hashtbl.t; (* by index name *)
 }
 
 exception Unknown_table of string
 
-let create () = { tables = Hashtbl.create 16; next_oid = 1 }
+let next_cat_id = Atomic.make 0
+
+let create () =
+  { tables = Hashtbl.create 16;
+    next_oid = 1;
+    cat_id = Atomic.fetch_and_add next_cat_id 1;
+    epoch = 0;
+    indexes = Hashtbl.create 8 }
+
+let id t = t.cat_id
+let epoch t = t.epoch
 
 let fresh_oid t =
   let o = t.next_oid in
@@ -41,6 +89,7 @@ let add_table t ~name ~row_type rows =
    | Vtype.TTuple _ -> ()
    | _ -> invalid_arg "Catalog.add_table: row type must be a tuple type");
   let rows = List.sort_uniq Value.compare rows in
+  t.epoch <- t.epoch + 1;
   Hashtbl.add t.tables name { name; row_type; rows; oid_index = Atomic.make None }
 
 let find_opt t name = Hashtbl.find_opt t.tables name
@@ -62,7 +111,14 @@ let table_type t name = Vtype.TSet (row_type t name)
 let set_rows t name rows =
   let tbl = find t name in
   tbl.rows <- List.sort_uniq Value.compare rows;
-  Atomic.set tbl.oid_index None
+  Atomic.set tbl.oid_index None;
+  (* Attribute indexes over this table are rebuilt from the new rows on
+     their next use. *)
+  Hashtbl.iter
+    (fun _ idx ->
+      if String.equal idx.idx_table name then Atomic.set idx.idx_data None)
+    t.indexes;
+  t.epoch <- t.epoch + 1
 
 let table_names t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort String.compare
@@ -104,3 +160,200 @@ let deref_opt t name oid_value =
   match deref t name oid_value with
   | row -> Some row
   | exception Value.Type_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Attribute indexes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let c_idx_build = Njq_obs.Metrics.counter "idx_build"
+let c_idx_probe = Njq_obs.Metrics.counter "idx_probe"
+let c_idx_row = Njq_obs.Metrics.counter "idx_row"
+
+let kind_name = function Hash_index -> "hash" | Sorted_index -> "sorted"
+
+let index_name i = i.idx_name
+let index_table i = i.idx_table
+let index_attrs i = i.idx_attrs
+let index_kind i = i.idx_kind
+
+(* Lexicographic comparison of composite keys in declared attribute
+   order (a [Value.tuple] would re-sort the attributes by name). *)
+let compare_keys a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec go i =
+    if i = n then compare la lb
+    else
+      match Value.compare a.(i) b.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let hash_key attrs values =
+  Value.tuple (List.map2 (fun a v -> (a, v)) attrs (Array.to_list values))
+
+let key_of_row attrs row =
+  Array.of_list (List.map (fun a -> Value.field row a) attrs)
+
+(* Build the index payload from the table's current rows.  One tick of
+   "idx_build" per row; the build happens at declaration and once after
+   each invalidation, so steady-state lookups pay only probes. *)
+let build t idx =
+  let rs = rows t idx.idx_table in
+  Njq_obs.Metrics.incr ~n:(List.length rs) c_idx_build;
+  match idx.idx_kind with
+  | Hash_index ->
+    let tbl = VH.create (max 16 (List.length rs)) in
+    List.iter
+      (fun row ->
+        let k = hash_key idx.idx_attrs (key_of_row idx.idx_attrs row) in
+        match VH.find_opt tbl k with
+        | Some bucket -> VH.replace tbl k (row :: bucket)
+        | None -> VH.add tbl k [ row ])
+      rs;
+    (* Buckets were consed in reverse; restore canonical row order. *)
+    VH.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) tbl;
+    Dhash tbl
+  | Sorted_index ->
+    let keyed = List.map (fun row -> (key_of_row idx.idx_attrs row, row)) rs in
+    (* Stable sort: rows with equal keys keep their canonical order. *)
+    let sorted =
+      List.stable_sort (fun (a, _) (b, _) -> compare_keys a b) keyed
+    in
+    Dsorted (Array.of_list sorted)
+
+let ensure_built t idx =
+  match Atomic.get idx.idx_data with
+  | Some d -> d
+  | None ->
+    let d = build t idx in
+    (* Publish whole; a racing domain may build an identical copy. *)
+    Atomic.set idx.idx_data (Some d);
+    d
+
+let default_index_name ~table ~kind ~attrs =
+  Printf.sprintf "%s_%s_%s" table (String.concat "_" attrs) (kind_name kind)
+
+let create_index t ?name ~table ~kind ~attrs () =
+  if attrs = [] then invalid_arg "Catalog.create_index: no attributes";
+  if List.sort_uniq String.compare attrs <> List.sort String.compare attrs then
+    invalid_arg "Catalog.create_index: duplicate attribute";
+  let tbl = find t table in
+  let fields =
+    match tbl.row_type with
+    | Vtype.TTuple fields -> List.map fst fields
+    | _ -> []
+  in
+  List.iter
+    (fun a ->
+      if not (List.mem a fields) then
+        invalid_arg
+          (Printf.sprintf "Catalog.create_index: %s has no attribute %s" table a))
+    attrs;
+  let name =
+    match name with Some n -> n | None -> default_index_name ~table ~kind ~attrs
+  in
+  if Hashtbl.mem t.indexes name then
+    invalid_arg (Printf.sprintf "Catalog.create_index: %s already exists" name);
+  let idx =
+    { idx_name = name; idx_table = table; idx_attrs = attrs; idx_kind = kind;
+      idx_data = Atomic.make None }
+  in
+  Hashtbl.add t.indexes name idx;
+  (* Index availability changes what the planner may emit: cached plans
+     derived before this declaration are stale. *)
+  t.epoch <- t.epoch + 1;
+  ignore (ensure_built t idx);
+  name
+
+let find_index t name = Hashtbl.find_opt t.indexes name
+
+let indexes_on t table =
+  Hashtbl.fold
+    (fun _ idx acc -> if String.equal idx.idx_table table then idx :: acc else acc)
+    t.indexes []
+  |> List.sort (fun a b -> String.compare a.idx_name b.idx_name)
+
+let has_indexes t = Hashtbl.length t.indexes > 0
+
+let index_names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.indexes [] |> List.sort String.compare
+
+let build_indexes t table = List.iter (fun i -> ignore (ensure_built t i)) (indexes_on t table)
+
+(* First position in the key-sorted array whose key satisfies [above]
+   (monotone: false then true). *)
+let partition_point arr above =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let k, _ = arr.(mid) in
+    if above k then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let index_lookup_eq t idx (key : Value.t array) =
+  if Array.length key <> List.length idx.idx_attrs then
+    invalid_arg "Catalog.index_lookup_eq: key arity mismatch";
+  Njq_obs.Metrics.incr c_idx_probe;
+  let matched =
+    match ensure_built t idx with
+    | Dhash tbl ->
+      (match VH.find_opt tbl (hash_key idx.idx_attrs key) with
+       | Some bucket -> bucket
+       | None -> [])
+    | Dsorted arr ->
+      let start = partition_point arr (fun k -> compare_keys k key >= 0) in
+      let stop = partition_point arr (fun k -> compare_keys k key > 0) in
+      let acc = ref [] in
+      for i = stop - 1 downto start do
+        acc := snd arr.(i) :: !acc
+      done;
+      !acc
+  in
+  Njq_obs.Metrics.incr ~n:(List.length matched) c_idx_row;
+  matched
+
+let index_lookup_range t idx ~lo ~hi =
+  (match idx.idx_kind with
+   | Sorted_index -> ()
+   | Hash_index ->
+     invalid_arg "Catalog.index_lookup_range: range lookup needs a sorted index");
+  Njq_obs.Metrics.incr c_idx_probe;
+  let matched =
+    match ensure_built t idx with
+    | Dhash _ -> assert false
+    | Dsorted arr ->
+      let first k = k.(0) in
+      let start =
+        match lo with
+        | None -> 0
+        | Some (v, inclusive) ->
+          let above =
+            if inclusive then fun k -> Value.compare (first k) v >= 0
+            else fun k -> Value.compare (first k) v > 0
+          in
+          partition_point arr above
+      in
+      let stop =
+        match hi with
+        | None -> Array.length arr
+        | Some (v, inclusive) ->
+          let above =
+            if inclusive then fun k -> Value.compare (first k) v > 0
+            else fun k -> Value.compare (first k) v >= 0
+          in
+          partition_point arr above
+      in
+      let acc = ref [] in
+      for i = stop - 1 downto start do
+        acc := snd arr.(i) :: !acc
+      done;
+      (* The segment is ordered by key; restore canonical row order so a
+         range scan emits exactly the rows of the filtered scan it
+         replaces, in the same order. *)
+      List.sort Value.compare !acc
+  in
+  Njq_obs.Metrics.incr ~n:(List.length matched) c_idx_row;
+  matched

@@ -17,9 +17,27 @@ type table = {
 
 type t
 
+(** Kind of attribute index: hash tables answer equality lookups, sorted
+    arrays answer equality and range lookups (on their leading attribute). *)
+type index_kind = Hash_index | Sorted_index
+
+(** An attribute index over a base table.  Built lazily from the table's
+    rows and invalidated by {!set_rows}; the built structure is immutable
+    and published atomically (same discipline as the oid index), so pool
+    domains may probe concurrently. *)
+type index
+
 exception Unknown_table of string
 
 val create : unit -> t
+
+(** Unique per catalog instance; keys external per-catalog caches. *)
+val id : t -> int
+
+(** Monotonic change counter, bumped by {!add_table}, {!set_rows} and
+    {!create_index}.  Plan and statistics caches compare epochs to detect
+    staleness without diffing catalog contents. *)
+val epoch : t -> int
 
 (** Allocate a fresh object identifier (unique per catalog). *)
 val fresh_oid : t -> int
@@ -42,7 +60,8 @@ val row_type : t -> string -> Vtype.t
 (** The type of the table as a whole: a set of its row type. *)
 val table_type : t -> string -> Vtype.t
 
-(** Replace a table's rows (canonicalizes, drops the oid index). *)
+(** Replace a table's rows (canonicalizes, drops the oid index and every
+    attribute index over the table; bumps the epoch). *)
 val set_rows : t -> string -> Value.t list -> unit
 
 (** All extent names, sorted. *)
@@ -57,3 +76,56 @@ val deref : t -> string -> Value.t -> Value.t
 
 (** Like {!deref} but [None] on dangling references. *)
 val deref_opt : t -> string -> Value.t -> Value.t option
+
+(** {1 Attribute indexes} *)
+
+(** [create_index t ?name ~table ~kind ~attrs ()] declares (and builds,
+    from the table's current rows) an index over [attrs] in the given
+    order, returning its name (default ["table_attrs_kind"]).  Bumps the
+    epoch.  Raises [Invalid_argument] on an unknown attribute, duplicate
+    attributes, an empty attribute list, or a taken index name. *)
+val create_index :
+  t ->
+  ?name:string ->
+  table:string ->
+  kind:index_kind ->
+  attrs:string list ->
+  unit ->
+  string
+
+val find_index : t -> string -> index option
+
+(** Indexes declared over the named table, sorted by index name. *)
+val indexes_on : t -> string -> index list
+
+(** Are any indexes declared at all?  (Planner fast path.) *)
+val has_indexes : t -> bool
+
+(** All index names, sorted. *)
+val index_names : t -> string list
+
+(** Force-build any unbuilt indexes over the named table (e.g. to fold the
+    build into a statistics pass already touching every row). *)
+val build_indexes : t -> string -> unit
+
+val index_name : index -> string
+val index_table : index -> string
+val index_attrs : index -> string list
+val index_kind : index -> index_kind
+val kind_name : index_kind -> string
+
+(** Point lookup: rows whose indexed attributes equal [key] (one value per
+    declared attribute, in declared order), in canonical row order — the
+    exact list a filtered scan would produce.  Works on both kinds.  Ticks
+    "idx_probe" once and "idx_row" per row returned. *)
+val index_lookup_eq : t -> index -> Value.t array -> Value.t list
+
+(** Range lookup on the leading attribute of a sorted index.  Bounds are
+    [(value, inclusive)]; [None] means unbounded.  Rows come back in
+    canonical row order.  Raises [Invalid_argument] on a hash index. *)
+val index_lookup_range :
+  t ->
+  index ->
+  lo:(Value.t * bool) option ->
+  hi:(Value.t * bool) option ->
+  Value.t list

@@ -42,6 +42,54 @@ let scan_column (input : Plan.t) var key =
     Some (table, attr)
   | _ -> None
 
+let const_int = function
+  | Expr.Const (Value.VInt n | Value.VDate n | Value.VOid n) -> Some n
+  | _ -> None
+
+(* Rows an index probe retrieves before the residual filter.  Point
+   lookups multiply 1/NDV per indexed attribute; range lookups interpolate
+   constant bounds against the column's stats range.  Fixed fallbacks
+   (0.1 per equality, 0.33 per range) mirror [selectivity]. *)
+let index_matches ?stats (cat : Catalog.t) ~table ~index
+    (lookup : Plan.index_lookup) (card : float) : float =
+  match Catalog.find_index cat index with
+  | None -> card
+  | Some idx ->
+    (match lookup with
+     | Plan.LPoint _ ->
+       let sel =
+         List.fold_left
+           (fun acc attr ->
+             acc
+             *. (match Option.bind stats (fun st ->
+                     Stats.eq_selectivity st ~table ~attr)
+                 with
+                | Some s -> s
+                | None -> 0.1))
+           1.0 (Catalog.index_attrs idx)
+       in
+       Float.max 1.0 (sel *. card)
+     | Plan.LRange { lo; hi } ->
+       let attr = List.hd (Catalog.index_attrs idx) in
+       let frac =
+         match Option.bind stats (fun st -> Stats.column st ~table ~attr) with
+         | Some { Stats.lo = Some clo; hi = Some chi; _ } when chi > clo ->
+           let clo = float_of_int clo and chi = float_of_int chi in
+           let lo_b =
+             match Option.bind lo (fun (e, _) -> const_int e) with
+             | Some v -> Float.max clo (float_of_int v)
+             | None -> clo
+           in
+           let hi_b =
+             match Option.bind hi (fun (e, _) -> const_int e) with
+             | Some v -> Float.min chi (float_of_int v)
+             | None -> chi
+           in
+           Float.max 0.0 (Float.min 1.0 ((hi_b -. lo_b) /. (chi -. clo)))
+         | _ -> 0.33
+       in
+       Float.max 1.0 (frac *. card))
+
 (* Estimated number of output rows of a plan.  With [stats], equality
    selectivities over direct scans use real NDV counts. *)
 let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
@@ -78,6 +126,28 @@ let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
         refined
     in
     sel *. rows_out cat input
+  | Plan.IndexScan { table; index; lookup; residual; _ } ->
+    let card =
+      match Catalog.find_opt cat table with
+      | Some t -> float_of_int (List.length t.rows)
+      | None -> 100.0
+    in
+    index_matches ?stats cat ~table ~index lookup card *. selectivity residual
+  | Plan.IndexJoin { kind; table; index; residual; left; _ } ->
+    let l = rows_out cat left in
+    (match kind with
+     | Expr.Inner | Expr.LeftOuter _ ->
+       let card =
+         match Catalog.find_opt cat table with
+         | Some t -> float_of_int (List.length t.rows)
+         | None -> 100.0
+       in
+       let per_probe =
+         index_matches ?stats cat ~table ~index (Plan.LPoint []) card
+       in
+       Float.max 1.0 (l *. per_probe *. selectivity residual)
+     | Expr.Semi -> 0.5 *. l
+     | Expr.Anti -> 0.5 *. l)
   | Plan.MapOp { input; _ } | Plan.ProjectOp (_, input) -> rows_out cat input
   | Plan.FlattenOp input -> assumed_fanout *. rows_out cat input
   | Plan.UnionOp (a, b) -> rows_out cat a +. rows_out cat b
@@ -160,6 +230,36 @@ let rec cost ?stats (cat : Catalog.t) (p : Plan.t) : float =
   let out = rows_out cat p in
   match p with
   | Plan.Scan _ -> out
+  | Plan.IndexScan { table; index; lookup; _ } ->
+    (* One probe (constant for hash, log for sorted) plus a weighted fetch
+       and residual check per retrieved row.  The 3.0/row weight is what
+       makes a full scan win back once the lookup stops being selective
+       (scan+filter costs ~2 units/row over the whole extent). *)
+    let card =
+      match Catalog.find_opt cat table with
+      | Some t -> float_of_int (List.length t.rows)
+      | None -> 100.0
+    in
+    let matched = index_matches ?stats cat ~table ~index lookup card in
+    let probe =
+      match Catalog.find_index cat index with
+      | Some idx when Catalog.index_kind idx = Catalog.Sorted_index ->
+        Float.max 1.0 (Float.log2 (Float.max 2.0 card))
+      | _ -> 1.0
+    in
+    probe +. (3.0 *. matched)
+  | Plan.IndexJoin { table; index; left; _ } ->
+    (* Per outer row: one probe plus the weighted per-match fetch.  No
+       build pass and no scan of the inner extent — that is the saving
+       over a hash join when the outer side is small or selective. *)
+    let l = rows_out cat left in
+    let card =
+      match Catalog.find_opt cat table with
+      | Some t -> float_of_int (List.length t.rows)
+      | None -> 100.0
+    in
+    let per_probe = index_matches ?stats cat ~table ~index (Plan.LPoint []) card in
+    cost cat left +. (l *. (1.0 +. (3.0 *. per_probe))) +. out
   | Plan.Filter { input; _ } -> cost cat input +. rows_out cat input
   | Plan.MapOp { input; _ } | Plan.ProjectOp (_, input) ->
     cost cat input +. rows_out cat input

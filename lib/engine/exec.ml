@@ -150,6 +150,40 @@ let residual_spawner cat xvar yvar residual =
   if Expr.is_true residual then fun () _ _ -> true
   else pred2_spawner cat ~vars:(xvar, yvar) residual
 
+(* Resolve the catalog index an access-path node refers to.  The planner
+   only emits nodes for indexes it found in the catalog, so a miss means
+   the plan outlived a catalog it was not derived from. *)
+let find_index cat name =
+  match Catalog.find_index cat name with
+  | Some idx -> idx
+  | None -> exec_error "unknown index %s" name
+
+(* Fetch the candidate rows of an [IndexScan]'s lookup.  The lookup
+   expressions are closed (the planner only extracts conjuncts with no
+   free variables), so they evaluate once per operator, not per row.
+   Probe/row counters tick inside the catalog. *)
+let index_fetch cat idx (lookup : Plan.index_lookup) =
+  match lookup with
+  | Plan.LPoint keys ->
+    Catalog.index_lookup_eq cat idx
+      (Array.of_list (List.map (fun e -> Eval.eval cat [] e) keys))
+  | Plan.LRange { lo; hi } ->
+    let bound = Option.map (fun (e, incl) -> (Eval.eval cat [] e, incl)) in
+    Catalog.index_lookup_range cat idx ~lo:(bound lo) ~hi:(bound hi)
+
+(* Per-row attribute rename for access paths that absorbed a [RenameOp]
+   over the scan they replaced; identity when the pair list is empty. *)
+let renamer pairs =
+  if pairs = [] then Fun.id
+  else fun row ->
+    Value.tuple
+      (List.map
+         (fun (n, v) ->
+           match List.assoc_opt n pairs with
+           | Some n' -> (n', v)
+           | None -> (n, v))
+         (Value.as_tuple row))
+
 (* Work counters, interned once into registry handles so the inner loops
    pay a flag read and a field add per tick instead of a string-hashtable
    probe (see [Njq_obs.Metrics]).  [Counters.get]/[snapshot] still see
@@ -290,6 +324,35 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
         M.incr c_filter_eval;
         pred row)
       (rows cat input)
+  | Plan.IndexScan { index; var; lookup; residual; rename; _ } ->
+    let ren = renamer rename in
+    let matched = List.map ren (index_fetch cat (find_index cat index) lookup) in
+    if Expr.is_true residual then matched
+    else begin
+      let pred = pred1 cat ~var residual in
+      List.filter
+        (fun row ->
+          M.incr c_filter_eval;
+          pred row)
+        matched
+    end
+  | Plan.IndexJoin { kind; xvar; yvar; index; keys; residual; rename; left; _ }
+    ->
+    let idx = find_index cat index in
+    let ren = renamer rename in
+    let xkey = key_fns cat xvar `Left (List.map (fun e -> (e, e)) keys) in
+    let residual = residual_fn cat xvar yvar residual in
+    let probe x = List.map ren (Catalog.index_lookup_eq cat idx (xkey x)) in
+    let matches x = List.filter (residual x) (probe x) in
+    let has_match x = List.exists (residual x) (probe x) in
+    let xs = rows cat left in
+    (match kind with
+     | Expr.Inner ->
+       dedup
+         (List.concat_map (fun x -> List.map (Value.concat x) (matches x)) xs)
+     | Expr.Semi -> List.filter has_match xs
+     | Expr.Anti -> List.filter (fun x -> not (has_match x)) xs
+     | Expr.LeftOuter _ -> exec_error "index join does not support outer joins")
   | Plan.MapOp { var; body; input } ->
     let body = param1 cat ~var body in
     dedup (List.map body (rows cat input))
@@ -620,7 +683,8 @@ and rows cat p =
 and execute cat p =
   if !pipeline_exec then
     match p with
-    | Plan.Scan _ | Plan.EvalOp _ | Plan.Materialized _ -> exec_node cat p
+    | Plan.Scan _ | Plan.EvalOp _ | Plan.Materialized _ | Plan.IndexScan _ ->
+      exec_node cat p
     | _ when Plan.streams_output p -> gather cat p
     | _ -> exec_node cat p
   else exec_node cat p
@@ -701,6 +765,35 @@ and push_node cat (p : Plan.t) (sink : Value.t -> unit) : unit =
     push cat input (fun row ->
         M.incr c_filter_eval;
         if pred row then sink row)
+  | Plan.IndexScan { index; var; lookup; residual; rename; _ } ->
+    let ren = renamer rename in
+    let matched = List.map ren (index_fetch cat (find_index cat index) lookup) in
+    if Expr.is_true residual then List.iter sink matched
+    else begin
+      let pred = pred1 cat ~var residual in
+      List.iter
+        (fun row ->
+          M.incr c_filter_eval;
+          if pred row then sink row)
+        matched
+    end
+  | Plan.IndexJoin { kind; xvar; yvar; index; keys; residual; rename; left; _ }
+    ->
+    let idx = find_index cat index in
+    let ren = renamer rename in
+    let xkey = key_fns cat xvar `Left (List.map (fun e -> (e, e)) keys) in
+    let residual = residual_fn cat xvar yvar residual in
+    let probe x = List.map ren (Catalog.index_lookup_eq cat idx (xkey x)) in
+    let matches x = List.filter (residual x) (probe x) in
+    let has_match x = List.exists (residual x) (probe x) in
+    (match kind with
+     | Expr.Inner ->
+       let sink = dedup_sink sink in
+       push cat left (fun x ->
+           List.iter (fun y -> sink (Value.concat x y)) (matches x))
+     | Expr.Semi -> push cat left (fun x -> if has_match x then sink x)
+     | Expr.Anti -> push cat left (fun x -> if not (has_match x) then sink x)
+     | Expr.LeftOuter _ -> exec_error "index join does not support outer joins")
   | Plan.MapOp { var; body; input } ->
     let body = param1 cat ~var body in
     let sink = dedup_sink sink in

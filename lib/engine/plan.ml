@@ -33,9 +33,45 @@ type member_kind =
    the conjunct f(x) = g(y) appeared in the predicate. *)
 type keys = (Expr.t * Expr.t) list
 
+(* How an [IndexScan] addresses its index: a point lookup supplies one
+   closed expression per indexed attribute; a range lookup bounds the
+   leading attribute of a sorted index ([(expr, inclusive)] endpoints). *)
+type index_lookup =
+  | LPoint of Expr.t list
+  | LRange of { lo : (Expr.t * bool) option; hi : (Expr.t * bool) option }
+
 type t =
   | Scan of string
   | Filter of { var : string; pred : Expr.t; input : t }
+  | IndexScan of {
+      table : string;
+      index : string; (* catalog index name *)
+      var : string;
+      lookup : index_lookup;
+      residual : Expr.t; (* conjuncts the index cannot answer *)
+      rename : (string * string) list; (* applied to fetched rows *)
+    }
+      (* Access-path replacement for Filter(Scan) — or Filter(Rename(Scan))
+         when [rename] is non-empty: fetch only the rows the index says can
+         match, rename their attributes, then apply the residual.  Emits
+         exactly the replaced subplan's row list (catalog indexes return
+         rows in canonical order). *)
+  | IndexJoin of {
+      kind : Expr.join_kind; (* Inner, Semi or Anti *)
+      xvar : string;
+      yvar : string;
+      table : string; (* inner base table *)
+      index : string; (* catalog index over [table] *)
+      keys : Expr.t list; (* left-side probe exprs, one per indexed attr *)
+      residual : Expr.t; (* join conjuncts beyond the indexed equalities *)
+      rename : (string * string) list; (* applied to fetched inner rows *)
+      left : t;
+    }
+      (* Index nested loops: for each left row, probe the inner table's
+         index with the evaluated key expressions instead of building a
+         hash table over the whole inner extent ([rename] absorbs a
+         Rename over the inner scan).  Streams per outer row in the
+         pipelined executor. *)
   | MapOp of { var : string; body : Expr.t; input : t }
   | ProjectOp of string list * t
   | FlattenOp of t
@@ -178,10 +214,30 @@ let kind_name = function
   | Expr.Anti -> "antijoin"
   | Expr.LeftOuter _ -> "outerjoin"
 
+let pp_lookup ppf = function
+  | LPoint keys ->
+    Fmt.pf ppf "=(%a)" (Fmt.list ~sep:Fmt.comma Pretty.pp) keys
+  | LRange { lo; hi } ->
+    let bound op ppf = function
+      | None -> ()
+      | Some (e, incl) -> Fmt.pf ppf " %s%s %a" op (if incl then "=" else "") Pretty.pp e
+    in
+    Fmt.pf ppf "range%a%a" (bound ">") lo (bound "<") hi
+
 let rec pp ppf = function
   | Scan t -> Fmt.pf ppf "scan(%s)" t
   | Filter { var; pred; input } ->
     Fmt.pf ppf "@[<2>filter[%s: %a](@,%a)@]" var Pretty.pp pred pp input
+  | IndexScan { table; index; lookup; residual; rename; _ } ->
+    Fmt.pf ppf "@[<2>idxscan[%s via %s: %a%s%s]@]" table index pp_lookup lookup
+      (if Expr.is_true residual then "" else "+residual")
+      (if rename = [] then "" else "+rename")
+  | IndexJoin { kind; table; index; keys; residual; rename; left; _ } ->
+    Fmt.pf ppf "@[<2>idx_%s[%s via %s, %d keys%s%s](@,%a)@]" (kind_name kind)
+      table index (List.length keys)
+      (if Expr.is_true residual then "" else "+residual")
+      (if rename = [] then "" else "+rename")
+      pp left
   | MapOp { var; body; input } ->
     Fmt.pf ppf "@[<2>map[%s: %a](@,%a)@]" var Pretty.pp body pp input
   | ProjectOp (attrs, input) ->
@@ -249,6 +305,8 @@ let to_string p = Fmt.str "@[%a@]" pp p
 (* Short operator label for instrumented reports. *)
 let node_label = function
   | Scan t -> "scan " ^ t
+  | IndexScan { table; _ } -> "idxscan " ^ table
+  | IndexJoin { kind; _ } -> "idx_" ^ kind_name kind
   | Filter _ -> "filter"
   | MapOp _ -> "map"
   | ProjectOp _ -> "project"
@@ -280,7 +338,8 @@ let node_label = function
 
 (* Immediate sub-plans, left to right. *)
 let children = function
-  | Scan _ | EvalOp _ | Materialized _ -> []
+  | Scan _ | EvalOp _ | Materialized _ | IndexScan _ -> []
+  | IndexJoin { left; _ } -> [ left ]
   | Filter { input; _ } | MapOp { input; _ } | ProjectOp (_, input)
   | FlattenOp input | RenameOp (_, input) | UnnestOp (_, input)
   | NestOp { input; _ } | Assembly { input; _ } | ParFilter { input; _ }
@@ -311,7 +370,7 @@ let streams_output = function
   | Scan _ | Filter _ | MapOp _ | ProjectOp _ | FlattenOp _ | UnionOp _
   | InterOp _ | DiffOp _ | ProductOp _ | MemberJoin _ | RenameOp _
   | UnnestOp _ | Assembly _ | ParFilter _ | ParMapOp _ | EvalOp _
-  | Materialized _ ->
+  | Materialized _ | IndexScan _ | IndexJoin _ ->
     true
   | JoinOp { algo = Nested_loop | Hash; _ }
   | NestjoinOp { algo = Nested_loop | Hash; _ } ->
@@ -328,9 +387,9 @@ let streams_output = function
    first — into a hash build table, a sort buffer, a chunk array or a
    partition buffer. *)
 let streamed_inputs = function
-  | Scan _ | EvalOp _ | Materialized _ -> []
+  | Scan _ | EvalOp _ | Materialized _ | IndexScan _ -> []
   | Filter _ | MapOp _ | ProjectOp (_, _) | FlattenOp _ | RenameOp (_, _)
-  | UnnestOp (_, _) | NestOp _ | Assembly _ ->
+  | UnnestOp (_, _) | NestOp _ | Assembly _ | IndexJoin _ ->
     [ true ]
   | ParFilter _ | ParMapOp _ -> [ false ]
   | UnionOp (_, _) -> [ true; true ]
@@ -368,7 +427,8 @@ let pp_pipelines ppf p =
 (* Rebuild a node with new children (same arity as [children]). *)
 let with_children p cs =
   match p, cs with
-  | (Scan _ | EvalOp _ | Materialized _), [] -> p
+  | (Scan _ | EvalOp _ | Materialized _ | IndexScan _), [] -> p
+  | IndexJoin j, [ c ] -> IndexJoin { j with left = c }
   | Filter f, [ c ] -> Filter { f with input = c }
   | MapOp m, [ c ] -> MapOp { m with input = c }
   | ProjectOp (attrs, _), [ c ] -> ProjectOp (attrs, c)

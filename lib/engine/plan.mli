@@ -21,9 +21,43 @@ type member_kind =
 (** Equi-join keys: pairs (f(x), g(y)) from conjuncts [f(x) = g(y)]. *)
 type keys = (Expr.t * Expr.t) list
 
+(** How an {!IndexScan} addresses its index: a point lookup supplies one
+    closed expression per indexed attribute; a range lookup bounds the
+    leading attribute of a sorted index ([(expr, inclusive)] endpoints). *)
+type index_lookup =
+  | LPoint of Expr.t list
+  | LRange of { lo : (Expr.t * bool) option; hi : (Expr.t * bool) option }
+
 type t =
   | Scan of string
   | Filter of { var : string; pred : Expr.t; input : t }
+  | IndexScan of {
+      table : string;
+      index : string;  (** catalog index name *)
+      var : string;
+      lookup : index_lookup;
+      residual : Expr.t;  (** conjuncts the index cannot answer *)
+      rename : (string * string) list;  (** applied to fetched rows *)
+    }
+      (** Access-path replacement for [Filter(Scan)] — or
+          [Filter(Rename(Scan))] when [rename] is non-empty: fetch only the
+          rows the index says can match, rename their attributes, then
+          apply the residual.  Emits exactly the replaced subplan's row
+          list. *)
+  | IndexJoin of {
+      kind : Expr.join_kind;  (** [Inner], [Semi] or [Anti] *)
+      xvar : string;
+      yvar : string;
+      table : string;  (** inner base table *)
+      index : string;  (** catalog index over [table] *)
+      keys : Expr.t list;  (** left probe exprs, one per indexed attr *)
+      residual : Expr.t;
+      rename : (string * string) list;  (** applied to fetched inner rows *)
+      left : t;
+    }
+      (** Index nested loops: each left row probes the inner table's index
+          with its evaluated keys instead of building a hash table over the
+          whole extent.  Streams per outer row when pipelined. *)
   | MapOp of { var : string; body : Expr.t; input : t }
   | ProjectOp of string list * t
   | FlattenOp of t

@@ -203,7 +203,7 @@ let rec plan_with ?ctx ?cat (choice : algo_choice) (e : Expr.t) : Plan.t =
           let cctx =
             match ctx with
             | Some c -> c
-            | None -> { cat; stats = lazy (Stats.analyze cat) }
+            | None -> { cat; stats = lazy (Stats.cached cat) }
           in
           List.fold_left
             (fun best cand ->
@@ -240,7 +240,7 @@ let rec plan_with ?ctx ?cat (choice : algo_choice) (e : Expr.t) : Plan.t =
           let cctx =
             match ctx with
             | Some c -> c
-            | None -> { cat; stats = lazy (Stats.analyze cat) }
+            | None -> { cat; stats = lazy (Stats.cached cat) }
           in
           List.fold_left
             (fun best cand ->
@@ -261,6 +261,202 @@ let rec plan_with ?ctx ?cat (choice : algo_choice) (e : Expr.t) : Plan.t =
   | Quant _ | Agg _ | Deref _ ->
     (* Scalar or parameter-level expression: evaluate as-is. *)
     Plan.EvalOp e
+
+(* ------------------------------------------------------------------ *)
+(* Access-path post-pass: sargable predicates onto catalog indexes      *)
+(* ------------------------------------------------------------------ *)
+
+(* Master switch for the index rewrite ([plan ~cat] consults it); off, the
+   planner emits exactly the full-scan plans of previous versions. *)
+let use_indexes = ref true
+
+(* A lookup expression must be closed: free variables would make the key
+   depend on an outer binding the index cannot see. *)
+let closed e = Analysis.S.is_empty (Analysis.free_vars e)
+
+(* [x.attr = e] (either orientation) with [e] closed: the sargable shape a
+   point lookup consumes. *)
+let eq_const var attr = function
+  | Cmp (Eq, Field (Var v, a), e)
+    when String.equal v var && String.equal a attr && closed e ->
+    Some e
+  | Cmp (Eq, e, Field (Var v, a))
+    when String.equal v var && String.equal a attr && closed e ->
+    Some e
+  | _ -> None
+
+(* An inequality between [x.attr] and a closed expression, normalized to a
+   bound on the attribute: [`Lo (e, inclusive)] or [`Hi (e, inclusive)]. *)
+let range_bound var attr c =
+  let bound op e =
+    match op with
+    | Lt -> Some (`Hi (e, false))
+    | Le -> Some (`Hi (e, true))
+    | Gt -> Some (`Lo (e, false))
+    | Ge -> Some (`Lo (e, true))
+    | Eq | Neq -> None
+  in
+  match c with
+  | Cmp (op, Field (Var v, a), e)
+    when String.equal v var && String.equal a attr && closed e ->
+    bound op e
+  | Cmp (op, e, Field (Var v, a))
+    when String.equal v var && String.equal a attr && closed e ->
+    (* e op x.a reads mirrored: e < x.a is a lower bound on x.a. *)
+    (match op with
+     | Lt -> bound Gt e
+     | Le -> bound Ge e
+     | Gt -> bound Lt e
+     | Ge -> bound Le e
+     | Eq | Neq -> None)
+  | _ -> None
+
+(* Index attributes are base-table names; when the replaced subplan
+   renames the scan, the predicate (or join keys) see the renamed
+   attribute instead. *)
+let renamed rename attr =
+  match List.assoc_opt attr rename with Some a -> a | None -> attr
+
+(* Point-lookup candidate: every indexed attribute must be pinned by an
+   equality conjunct; one conjunct is consumed per attribute, everything
+   else stays in the residual. *)
+let point_scan ~rename var table cs idx =
+  let rec cover keys remaining = function
+    | [] -> Some (List.rev keys, remaining)
+    | attr :: rest ->
+      let rec pick seen = function
+        | [] -> None
+        | c :: tl ->
+          (match eq_const var (renamed rename attr) c with
+           | Some e -> Some (e, List.rev_append seen tl)
+           | None -> pick (c :: seen) tl)
+      in
+      (match pick [] remaining with
+       | None -> None
+       | Some (e, remaining) -> cover (e :: keys) remaining rest)
+  in
+  match cover [] cs (Catalog.index_attrs idx) with
+  | None -> None
+  | Some (keys, residual_cs) ->
+    Some
+      (Plan.IndexScan
+         { table; index = Catalog.index_name idx; var;
+           lookup = Plan.LPoint keys; residual = conjoin residual_cs;
+           rename })
+
+(* Range candidate on the leading attribute of a sorted index: the first
+   lower and first upper bound found become the lookup, further bounds and
+   unrelated conjuncts stay in the residual. *)
+let range_scan ~rename var table cs idx =
+  match Catalog.index_kind idx with
+  | Catalog.Hash_index -> None
+  | Catalog.Sorted_index ->
+    let attr = renamed rename (List.hd (Catalog.index_attrs idx)) in
+    let lo, hi, residual_cs =
+      List.fold_left
+        (fun (lo, hi, rs) c ->
+          match range_bound var attr c with
+          | Some (`Lo b) when Option.is_none lo -> (Some b, hi, rs)
+          | Some (`Hi b) when Option.is_none hi -> (lo, Some b, rs)
+          | _ -> (lo, hi, c :: rs))
+        (None, None, []) cs
+    in
+    if Option.is_none lo && Option.is_none hi then None
+    else
+      Some
+        (Plan.IndexScan
+           { table; index = Catalog.index_name idx; var;
+             lookup = Plan.LRange { lo; hi };
+             residual = conjoin (List.rev residual_cs); rename })
+
+(* Index-nested-loop candidate: every indexed attribute of the inner table
+   must be the y side of some equi-key pair (syntactically [y.attr]); the
+   matched pairs' x sides become the probe keys, leftover pairs fold back
+   into the residual as equality conjuncts. *)
+let index_join ~rename kind xvar yvar table keys residual left idx =
+  let rec cover acc remaining = function
+    | [] -> Some (List.rev acc, remaining)
+    | attr :: rest ->
+      let attr = renamed rename attr in
+      let rec pick seen = function
+        | [] -> None
+        | ((kx, ky) as pair) :: tl ->
+          (match ky with
+           | Field (Var v, a) when String.equal v yvar && String.equal a attr ->
+             Some (kx, List.rev_append seen tl)
+           | _ -> pick (pair :: seen) tl)
+      in
+      (match pick [] remaining with
+       | None -> None
+       | Some (kx, remaining) -> cover (kx :: acc) remaining rest)
+  in
+  match cover [] keys (Catalog.index_attrs idx) with
+  | None -> None
+  | Some (kxs, leftover) ->
+    let extra = List.map (fun (kx, ky) -> Cmp (Eq, kx, ky)) leftover in
+    Some
+      (Plan.IndexJoin
+         { kind; xvar; yvar; table; index = Catalog.index_name idx;
+           keys = kxs; residual = conjoin (extra @ conjuncts residual);
+           rename; left })
+
+(* Rewrite full scans under sargable predicates into index access paths,
+   bottom-up, keeping a candidate only when the cost model prices it
+   strictly below the scan-based original — with statistics, that is what
+   makes index paths win only when selective. *)
+let access_paths ?stats cat p =
+  if not (Catalog.has_indexes cat) then p
+  else begin
+    let cost node =
+      match stats with
+      | Some st -> Cost.cost ~stats:st cat node
+      | None -> Cost.cost cat node
+    in
+    let best original candidates =
+      List.fold_left
+        (fun best cand -> if cost cand < cost best then cand else best)
+        original candidates
+    in
+    (* A bare scan, or a scan under an attribute rename — the only two
+       shapes the planner emits for base-extent access. *)
+    let scan_shape = function
+      | Plan.Scan table -> Some (table, [])
+      | Plan.RenameOp (pairs, Plan.Scan table) -> Some (table, pairs)
+      | _ -> None
+    in
+    let rec go p =
+      let p = Plan.with_children p (List.map go (Plan.children p)) in
+      match p with
+      | Plan.Filter { var; pred; input } when scan_shape input <> None ->
+        let table, rename = Option.get (scan_shape input) in
+        let cs = conjuncts pred in
+        let candidates =
+          List.concat_map
+            (fun idx ->
+              List.filter_map Fun.id
+                [ point_scan ~rename var table cs idx;
+                  range_scan ~rename var table cs idx ])
+            (Catalog.indexes_on cat table)
+        in
+        best p candidates
+      | Plan.JoinOp
+          { algo = Plan.Hash | Plan.Nested_loop;
+            kind = (Expr.Inner | Expr.Semi | Expr.Anti) as kind;
+            xvar; yvar;
+            keys = _ :: _ as keys;
+            residual; left; right }
+        when scan_shape right <> None ->
+        let table, rename = Option.get (scan_shape right) in
+        let candidates =
+          List.filter_map
+            (index_join ~rename kind xvar yvar table keys residual left)
+            (Catalog.indexes_on cat table)
+        in
+        best p candidates
+      | p -> p
+    in
+    go p
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Parallelization post-pass                                           *)
@@ -343,14 +539,23 @@ let plan ?(algo = Auto) ?cat e =
   @@ fun () ->
   let ctx =
     match algo with
-    | Cost_based cat -> Some { cat; stats = lazy (Stats.analyze cat) }
+    | Cost_based cat -> Some { cat; stats = lazy (Stats.cached cat) }
     | Auto | Force _ -> None
   in
   let p = plan_with ?ctx ?cat algo e in
+  let p =
+    (* Sargable predicates onto declared indexes — skipped under [Force],
+       whose callers want the named algorithm everywhere. *)
+    match cat, algo with
+    | Some c, (Auto | Cost_based _)
+      when !use_indexes && Catalog.has_indexes c ->
+      access_paths ~stats:(Stats.cached c) c p
+    | _ -> p
+  in
   match cat with
   | Some c when Pool.domains () >= 2 ->
     let stats =
-      match ctx with Some { stats; _ } -> Lazy.force stats | None -> Stats.analyze c
+      match ctx with Some { stats; _ } -> Lazy.force stats | None -> Stats.cached c
     in
     parallelize ~stats c p
   | _ -> p

@@ -35,6 +35,23 @@ val pnhl_mem_rows : int ref
     an operator to its parallel variant. *)
 val par_threshold : int ref
 
+(** Master switch for the {!access_paths} rewrite in {!plan} (default on);
+    off, the planner emits exactly the full-scan plans of previous
+    versions. *)
+val use_indexes : bool ref
+
+(** Rewrite full scans under sargable predicates into index access paths,
+    bottom-up: [Filter(Scan t)] whose conjuncts pin every attribute of an
+    index with closed-expression equalities (or bound the leading
+    attribute of a sorted index) becomes {!Plan.IndexScan}; a hash or
+    nested-loop join whose inner side scans an indexed table with every
+    indexed attribute covered by an equi-key pair becomes
+    {!Plan.IndexJoin}.  A candidate replaces the original only when the
+    cost model prices it strictly cheaper, so with statistics an index
+    path wins only when selective.  Applied by {!plan} automatically when
+    [cat] is given, indexes exist and the algorithm is not forced. *)
+val access_paths : ?stats:Stats.t -> Catalog.t -> Plan.t -> Plan.t
+
 (** Rewrite hot operators (hash join/semijoin/antijoin/nestjoin, PNHL,
     filter, map) into their parallel variants where stats-derived input
     estimates clear {!par_threshold}.  Partition counts are fixed in the

@@ -17,43 +17,91 @@ type t = {
   cardinalities : (string, int) Hashtbl.t;
 }
 
-module VSet = Set.Make (struct
+module VTbl = Hashtbl.Make (struct
   type t = Value.t
 
-  let compare = Value.compare
+  let equal = Value.equal
+  let hash = Value.hash
 end)
 
 let int_of_value = function
   | Value.VInt n | Value.VDate n | Value.VOid n -> Some n
   | _ -> None
 
-let analyze_table (t : t) name rows =
-  Hashtbl.replace t.cardinalities name (List.length rows);
-  match rows with
-  | [] -> ()
-  | first :: _ ->
-    List.iter
-      (fun attr ->
-        let values = List.map (fun row -> Value.field row attr) rows in
-        let distinct = VSet.of_list values in
-        let ints = List.filter_map int_of_value values in
-        let lo, hi =
-          match ints with
-          | [] -> (None, None)
-          | x :: rest ->
-            ( Some (List.fold_left min x rest),
-              Some (List.fold_left max x rest) )
-        in
-        Hashtbl.replace t.columns (name, attr)
-          { ndv = VSet.cardinal distinct; lo; hi })
-      (Value.field_names first)
+(* Per-column accumulator for the single-pass scan: a distinct-value set
+   plus running integer bounds. *)
+type accum = {
+  attr : string;
+  seen : unit VTbl.t;
+  mutable a_lo : int option;
+  mutable a_hi : int option;
+}
 
-(* Scan every extent once and collect statistics. *)
+let analyze_table (t : t) name rows =
+  match rows with
+  | [] -> Hashtbl.replace t.cardinalities name 0
+  | first :: _ ->
+    let accums =
+      Array.of_list
+        (List.map
+           (fun attr ->
+             { attr; seen = VTbl.create 64; a_lo = None; a_hi = None })
+           (Value.field_names first))
+    in
+    (* One pass over the rows updates every column's accumulator (the old
+       shape re-walked the whole table once per attribute, materializing a
+       value list each time). *)
+    let card = ref 0 in
+    List.iter
+      (fun row ->
+        incr card;
+        Array.iter
+          (fun acc ->
+            let v = Value.field row acc.attr in
+            if not (VTbl.mem acc.seen v) then VTbl.add acc.seen v ();
+            match int_of_value v with
+            | None -> ()
+            | Some n ->
+              (match acc.a_lo with
+               | Some lo when lo <= n -> ()
+               | _ -> acc.a_lo <- Some n);
+              (match acc.a_hi with
+               | Some hi when hi >= n -> ()
+               | _ -> acc.a_hi <- Some n))
+          accums)
+      rows;
+    Hashtbl.replace t.cardinalities name !card;
+    Array.iter
+      (fun acc ->
+        Hashtbl.replace t.columns (name, acc.attr)
+          { ndv = VTbl.length acc.seen; lo = acc.a_lo; hi = acc.a_hi })
+      accums
+
+(* Scan every extent once and collect statistics.  The same maintenance
+   pass force-builds any declared-but-unbuilt indexes over the extent, so
+   a fresh catalog pays one combined warm-up instead of two. *)
 let analyze (cat : Catalog.t) : t =
   let t = { columns = Hashtbl.create 64; cardinalities = Hashtbl.create 16 } in
-  List.iter (fun name -> analyze_table t name (Catalog.rows cat name))
+  List.iter
+    (fun name ->
+      analyze_table t name (Catalog.rows cat name);
+      Catalog.build_indexes cat name)
     (Catalog.table_names cat);
   t
+
+(* Statistics cache, one slot per catalog (keyed by Catalog.id), valid for
+   a single catalog epoch: any table/index/data change invalidates. *)
+let cache : (int, int * t) Hashtbl.t = Hashtbl.create 8
+
+let cached ?(refresh = false) (cat : Catalog.t) : t =
+  let key = Catalog.id cat in
+  let ep = Catalog.epoch cat in
+  match Hashtbl.find_opt cache key with
+  | Some (cached_ep, stats) when cached_ep = ep && not refresh -> stats
+  | _ ->
+    let stats = analyze cat in
+    Hashtbl.replace cache key (ep, stats);
+    stats
 
 let column t ~table ~attr = Hashtbl.find_opt t.columns (table, attr)
 

@@ -12,8 +12,15 @@ type column_stats = {
 
 type t
 
-(** Scan every extent of the catalog and collect statistics. *)
+(** Scan every extent of the catalog and collect statistics in a single
+    pass per table (all column accumulators updated per row); the pass
+    also force-builds any unbuilt catalog indexes. *)
 val analyze : Catalog.t -> t
+
+(** Like {!analyze}, but memoized per catalog ({!Catalog.id}) and valid
+    for one catalog epoch: any [add_table]/[set_rows]/[create_index]
+    triggers a rescan on next use.  [~refresh:true] forces a rescan. *)
+val cached : ?refresh:bool -> Catalog.t -> t
 
 val column : t -> table:string -> attr:string -> column_stats option
 val ndv : t -> table:string -> attr:string -> int option
