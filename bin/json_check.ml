@@ -6,7 +6,10 @@
    experiment's work rows must carry per-variant "totals", "minor_words"
    and "major_words" arrays; the b13 mode-contrast experiment must show,
    for every "group:mat"/"group:pipe" variant pair at every scale,
-   identical counter totals and strictly fewer minor words pipelined; and
+   identical counter totals and strictly fewer minor words pipelined;
+   the b15 batching experiment must show the same shape for every
+   "group:row"/"group:batch" pair (identical totals, strictly fewer
+   minor words batched); and
    the b14 access-path experiment must show, for every "group|scan" /
    "group|idx" variant pair at every scale, a strictly lower work total
    on the index side, its "cache|hit" span summary must carry none of the
@@ -66,6 +69,7 @@ let check_bench file =
   let experiments = as_list "experiments" (get "document" "experiments" doc) in
   let b13_rows = ref 0 in
   let b14_rows = ref 0 in
+  let b15_rows = ref 0 in
   List.iter
     (fun exp ->
       let id = as_str "id" (get "experiment" "id" exp) in
@@ -115,6 +119,29 @@ let check_bench file =
                        fail
                          "%s: %s: %s:pipe minor words (%.0f) not strictly below \
                           %s:mat (%.0f)"
+                         file ctx group (List.nth minor j) group
+                         (List.nth minor i))
+                | _ -> ())
+              variants
+          end;
+          if String.equal id "b15" then begin
+            incr b15_rows;
+            List.iteri
+              (fun i v ->
+                match String.index_opt v ':' with
+                | Some c when String.equal (String.sub v c (String.length v - c)) ":row"
+                  ->
+                  let group = String.sub v 0 c in
+                  (match index_of (group ^ ":batch") with
+                   | None -> fail "%s: %s: %s has no :batch twin" file ctx v
+                   | Some j ->
+                     if List.nth totals i <> List.nth totals j then
+                       fail "%s: %s: %s work total differs between modes" file
+                         ctx group;
+                     if not (List.nth minor j < List.nth minor i) then
+                       fail
+                         "%s: %s: %s:batch minor words (%.0f) not strictly below \
+                          %s:row (%.0f)"
                          file ctx group (List.nth minor j) group
                          (List.nth minor i))
                 | _ -> ())
@@ -194,7 +221,9 @@ let check_bench file =
   if !b13_rows = 0 then
     fail "%s: no b13 work rows (mode-contrast experiment missing or empty)" file;
   if !b14_rows = 0 then
-    fail "%s: no b14 work rows (access-path experiment missing or empty)" file
+    fail "%s: no b14 work rows (access-path experiment missing or empty)" file;
+  if !b15_rows = 0 then
+    fail "%s: no b15 work rows (batching experiment missing or empty)" file
 
 let () =
   match Array.to_list Sys.argv with

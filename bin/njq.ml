@@ -68,6 +68,24 @@ let domains_arg =
 
 let apply_domains k = if k > 0 then Njq_engine.Pool.set_domains k
 
+let batch_size_arg =
+  let doc =
+    "Rows per batch in the batched executor (defaults to the NJQ_BATCH \
+     environment variable, else 256).  0 (the default) keeps the current \
+     setting; 1 degenerates to single-row batches.  Results are \
+     identical at every size."
+  in
+  Arg.(value & opt int 0 & info [ "batch-size" ] ~docv:"N" ~doc)
+
+let apply_batch n = if n > 0 then Njq_engine.Batch.set_size n
+
+(* The active batch size for EXPLAIN's pipeline rendering, [None] when
+   the batched executor cannot engage (either flag off). *)
+let explain_batch () =
+  if !Njq_engine.Exec.pipeline_exec && !Njq_engine.Exec.batch_exec then
+    Some !Njq_engine.Batch.size
+  else None
+
 let counters_arg =
   let doc = "Print work counters after execution." in
   Arg.(value & flag & info [ "counters" ] ~doc)
@@ -232,9 +250,10 @@ let trace_out_arg =
 
 let explain_cmd =
   let run q scale seed dangling empty mode analyze cost json trace_out domains
-      indexes =
+      batch_size indexes =
     or_die (fun () ->
         apply_domains domains;
+        apply_batch batch_size;
         let tracing = json || Option.is_some trace_out in
         if tracing then Span.start_tracing ();
         let cat = make_catalog scale seed dangling empty in
@@ -304,7 +323,10 @@ let explain_cmd =
                  ("phases", Json.List phases);
                  ("plan", Json.Str (Fmt.str "%a" Njq_engine.Plan.pp plan));
                  ("pipelines",
-                  Json.Str (Fmt.str "%a" Njq_engine.Plan.pp_pipelines plan));
+                  Json.Str
+                    (Fmt.str "%a"
+                       (Njq_engine.Plan.pp_pipelines ?batch:(explain_batch ()))
+                       plan));
                  ("derivation", Njq_obs.Export.spans_to_json spans) ]
               @
               match analysis with
@@ -323,7 +345,8 @@ let explain_cmd =
           Fmt.pr "%a@.@.plan:@.%a@." Strategy.pp_report report
             Njq_engine.Plan.pp plan;
           Fmt.pr "@.pipelines (~> fused edge, => materialized edge):@.%a"
-            Njq_engine.Plan.pp_pipelines plan;
+            (Njq_engine.Plan.pp_pipelines ?batch:(explain_batch ()))
+            plan;
           match analysis with
           | None -> ()
           | Some (v, prof) ->
@@ -337,7 +360,7 @@ let explain_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg
-      $ domains_arg $ index_arg)
+      $ domains_arg $ batch_size_arg $ index_arg)
 
 let refresh_arg =
   let doc = "Recompute statistics even when a cached snapshot exists for \
@@ -400,9 +423,10 @@ let format_arg =
 
 let run_cmd =
   let run q scale seed dangling empty mode no_opt counters db save_db format
-      schema_file domains indexes =
+      schema_file domains batch_size indexes =
     or_die (fun () ->
         apply_domains domains;
+        apply_batch batch_size;
         let cat = make_catalog ?db ?save_db ?schema_file scale seed dangling empty in
         apply_indexes cat indexes;
         let adl, _ =
@@ -428,7 +452,7 @@ let run_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ save_db_arg
-      $ format_arg $ schema_arg $ domains_arg $ index_arg)
+      $ format_arg $ schema_arg $ domains_arg $ batch_size_arg $ index_arg)
 
 let adl_cmd =
   let run q scale seed dangling empty mode no_opt counters db schema_file

@@ -16,6 +16,11 @@ type table = {
       (* lazy index on the row's "oid" field, invalidated on updates;
          published atomically so pool domains can deref concurrently — a
          lost race rebuilds an identical index, never observes a torn one *)
+  rows_arr : Value.t array option Atomic.t;
+      (* lazy array view of [rows] backing the batched executor's scan
+         batches; invalidated by [set_rows], same Atomic publish discipline
+         as [oid_index] (immutable after publish, racing builders produce
+         identical arrays).  Readers must never mutate the array. *)
 }
 
 module VH = Hashtbl.Make (struct
@@ -90,7 +95,9 @@ let add_table t ~name ~row_type rows =
    | _ -> invalid_arg "Catalog.add_table: row type must be a tuple type");
   let rows = List.sort_uniq Value.compare rows in
   t.epoch <- t.epoch + 1;
-  Hashtbl.add t.tables name { name; row_type; rows; oid_index = Atomic.make None }
+  Hashtbl.add t.tables name
+    { name; row_type; rows; oid_index = Atomic.make None;
+      rows_arr = Atomic.make None }
 
 let find_opt t name = Hashtbl.find_opt t.tables name
 
@@ -103,6 +110,20 @@ let mem t name = Hashtbl.mem t.tables name
 
 let rows t name = (find t name).rows
 
+(* Array view of a table's canonical rows, built once and cached until the
+   next [set_rows]: the batched executor cuts its scan batches out of this
+   shared array, so a batched scan allocates no per-row structure at all.
+   The array is published whole and never mutated after publish; a racing
+   domain may build an identical copy. *)
+let rows_array t name =
+  let tbl = find t name in
+  match Atomic.get tbl.rows_arr with
+  | Some arr -> arr
+  | None ->
+    let arr = Array.of_list tbl.rows in
+    Atomic.set tbl.rows_arr (Some arr);
+    arr
+
 let row_type t name = (find t name).row_type
 
 (* Type of the table as a whole: a set of its row type. *)
@@ -112,6 +133,7 @@ let set_rows t name rows =
   let tbl = find t name in
   tbl.rows <- List.sort_uniq Value.compare rows;
   Atomic.set tbl.oid_index None;
+  Atomic.set tbl.rows_arr None;
   (* Attribute indexes over this table are rebuilt from the new rows on
      their next use. *)
   Hashtbl.iter

@@ -13,6 +13,9 @@ type table = {
   oid_index : (int, Value.t) Hashtbl.t option Atomic.t;
       (** lazy index on the [oid] field, invalidated by {!set_rows};
           published atomically for concurrent deref from pool domains *)
+  rows_arr : Value.t array option Atomic.t;
+      (** lazy array view of [rows] backing batched scans, invalidated by
+          {!set_rows}; published atomically, immutable after publish *)
 }
 
 type t
@@ -55,6 +58,12 @@ val find_opt : t -> string -> table option
 val find : t -> string -> table
 val mem : t -> string -> bool
 val rows : t -> string -> Value.t list
+
+(** Array view of the table's canonical rows, cached until the next
+    {!set_rows}.  The batched executor cuts scan batches out of this shared
+    array; callers must never mutate it. *)
+val rows_array : t -> string -> Value.t array
+
 val row_type : t -> string -> Vtype.t
 
 (** The type of the table as a whole: a set of its row type. *)

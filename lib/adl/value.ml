@@ -220,6 +220,32 @@ let project v attrs =
   in
   tuple picked
 
+(* Trusted variant of [tuple] for the engine's batch fast paths: the caller
+   guarantees the fields are already sorted by name and duplicate-free, so
+   no per-row sort or duplicate check runs.  Violating the invariant breaks
+   canonical equality — only construct from inputs whose order was
+   established once per operator (e.g. a compiled row-maker). *)
+let of_sorted_fields fields = VTuple fields
+
+(* [project] for attribute lists already sorted and duplicate-free: a single
+   merge walk over the (sorted) tuple fields, no per-row [List.assoc] scans
+   and no re-sort in [tuple].  The missing-field error reports the first
+   missing attribute in sorted order (callers that must reproduce
+   [project]'s source-order message fall back to it on failure). *)
+let project_sorted v attrs =
+  let fs = as_tuple v in
+  let rec go attrs fs =
+    match attrs, fs with
+    | [], _ -> []
+    | a :: _, [] -> type_error "projection: missing field %s" a
+    | a :: attrs', (n, x) :: fs' ->
+      let c = String.compare n a in
+      if c < 0 then go attrs fs'
+      else if c = 0 then (n, x) :: go attrs' fs'
+      else type_error "projection: missing field %s" a
+  in
+  VTuple (go attrs fs)
+
 (* Tuple subscription dropping attributes instead of keeping them. *)
 let project_away v attrs =
   let fs = as_tuple v in

@@ -80,6 +80,23 @@ val project : t -> string list -> t
 (** [project_away v attrs] keeps the complement fields. *)
 val project_away : t -> string list -> t
 
+(** {2 Trusted fast paths (engine batches)}
+
+    These skip the canonicalizing work of {!tuple} and {!project} under
+    invariants the physical engine establishes once per operator instead of
+    once per row. *)
+
+(** [of_sorted_fields fields] builds a tuple {e without} sorting or
+    checking: the caller guarantees [fields] is sorted by name and
+    duplicate-free.  Violating the invariant breaks canonical equality. *)
+val of_sorted_fields : (string * t) list -> t
+
+(** [project_sorted v attrs] is {!project} for an [attrs] list that is
+    already sorted and duplicate-free: one merge walk, no per-field assoc
+    scans, no re-sort.  Raises {!Type_error} on a missing field, reporting
+    the first missing attribute in sorted (not argument) order. *)
+val project_sorted : t -> string list -> t
+
 (** Tuple concatenation (the paper's [o]); fields must be disjoint. *)
 val concat : t -> t -> t
 

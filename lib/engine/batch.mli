@@ -1,0 +1,123 @@
+(** Column batches with selection vectors for the push-based executor.
+
+    A batch is a window of N physical [Value.t] rows flowing through a
+    fused pipeline in one push.  Filters mark survivors in a {e selection
+    vector} instead of copying rows; predicate comparison leaves run over
+    {e typed column buffers} ([Bigarray] payloads off the OCaml heap, one
+    unboxed [bool] per comparison — no [VBool] boxing per row).  Rows stay
+    [Value.t] throughout: batches materialize back to plain rows at
+    pipeline breakers and the result root, so the reference semantics of
+    {!Njq_adl.Value} is untouched. *)
+
+open Njq_adl
+
+(** {1 Batch size} *)
+
+val default_size : int
+
+(** Rows per batch.  Initialized from [NJQ_BATCH] when set (else
+    {!default_size}); [--batch-size] overrides via {!set_size}. *)
+val size : int ref
+
+(** Clamped to at least 1. *)
+val set_size : int -> unit
+
+(** {1 Batches}
+
+    Invariants: [rows] is shared and never mutated through the batch;
+    [nsel = -1] means no selection yet (all of [off, off+len) live);
+    otherwise [sel.(0 .. nsel-1)] holds strictly increasing physical
+    indices into [rows].  Selections only shrink ({!keep} compacts in
+    place), never grow or reorder. *)
+type t = private {
+  rows : Value.t array;
+  off : int;
+  len : int;
+  mutable sel : int array;
+  mutable nsel : int;
+}
+
+(** Zero-copy window over [rows.(off .. off+len-1)]. *)
+val view : Value.t array -> off:int -> len:int -> t
+
+val of_array : Value.t array -> t
+
+(** Number of surviving rows. *)
+val live : t -> int
+
+(** Row at live position [j], [0 <= j < live b]. *)
+val get : t -> int -> Value.t
+
+(** Iterate surviving rows in physical (hence canonical pipeline) order. *)
+val iter : (Value.t -> unit) -> t -> unit
+
+(** [keep b f] filters in place: live position [j] survives iff [f j].
+    Positions are tested in order; the selection vector is allocated on
+    the first filter and compacted in place thereafter. *)
+val keep : t -> (int -> bool) -> unit
+
+(** {!keep} over rows rather than positions. *)
+val keep_rows : t -> (Value.t -> bool) -> unit
+
+(** {1 Typed columns} *)
+
+type int_col = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type float_col =
+  (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** One attribute decoded densely over the live rows: position [j] of the
+    column is live position [j] of the batch.  [CBox] is the boxed column
+    for genuinely mixed-type attributes. *)
+type col =
+  | CInt of int_col
+  | CFloat of float_col
+  | COid of int_col
+  | CDate of int_col
+  | CBox of Value.t array
+
+(** [column b attr] decodes [attr] over the live rows, or [None] when
+    extraction raises anywhere in the batch (caller must fall back to
+    per-row evaluation so the error surfaces on the right row). *)
+val column : t -> string -> col option
+
+(** {1 Predicate kernels} *)
+
+(** [kernel b vp] compiles a {!Compile.vpred} against [b]: comparison
+    leaves decode their column once, And/Or/Not short-circuit per row
+    exactly like the compiled row closures.  The returned function answers
+    for live positions of [b] {e as at call time} — build the kernel
+    before mutating the selection it reads. *)
+val kernel : t -> Compile.vpred -> int -> bool
+
+(** [keep_vpred vp b] = [keep b (kernel b vp)]. *)
+val keep_vpred : Compile.vpred -> t -> unit
+
+(** {1 Builders} *)
+
+(** Accumulates produced rows into owned batches of (up to) [!size] rows,
+    emitting each as it fills. *)
+type builder
+
+val builder : (t -> unit) -> builder
+val add : builder -> Value.t -> unit
+
+(** Emit the partial tail batch, if any. *)
+val flush : builder -> unit
+
+(** {1 Pre-sized row vector}
+
+    The root materialization sink: pre-sized from the planner's
+    cardinality estimate, filled in push order, listed once. *)
+module Vec : sig
+  type batch := t
+  type t
+
+  val create : int -> t
+  val push : t -> Value.t -> unit
+
+  (** Append all surviving rows of a batch. *)
+  val push_batch : t -> batch -> unit
+
+  val to_list : t -> Value.t list
+end

@@ -81,6 +81,15 @@ let compile_params = ref true
    harness can contrast the two modes on identical plans (b13). *)
 let pipeline_exec = ref true
 
+(* Batch mode: [true] (default) moves rows through fused chains as
+   [Batch.t] column batches — scans cut zero-copy windows out of the
+   catalog's row array, filters mark survivors in selection vectors, and
+   comparison predicates run over decoded typed columns.  Only reachable
+   under [pipeline_exec]; rows, order and counter totals are identical to
+   the row-at-a-time pipelines (the b15 contract), so the flag exists for
+   the bench harness and as an escape hatch. *)
+let batch_exec = ref true
+
 let param1 cat ~var e =
   if !compile_params then Compile.expr1 cat ~var e
   else fun v -> Eval.eval cat [ (var, v) ] e
@@ -690,27 +699,58 @@ and execute cat p =
   else exec_node cat p
 
 (* Collect a fused chain's output into a list (the only materialization
-   the chain performs). *)
+   the chain performs).  The sink is a row vector pre-sized from the
+   planner's cardinality estimate and listed once at the end — not a
+   cons-accumulator reversed afterwards.  Calls [push_node]/[bpush_node]
+   directly rather than [push]: the root node's profile sample comes from
+   the [profiled] bracket around this call, not a streamed record. *)
 and gather cat p =
-  let acc = ref [] in
-  push_node cat p (fun v -> acc := v :: !acc);
-  List.rev !acc
+  let vec = Batch.Vec.create (tbl_size cat p) in
+  if !batch_exec then bpush_node cat p (Batch.Vec.push_batch vec)
+  else push_node cat p (Batch.Vec.push vec);
+  Batch.Vec.to_list vec
 
 (* Feed [p]'s rows to [sink], fusing when the node can stream.  A fused
    node inside a collected run still records its output row count — with
    zero time/work/allocation, since the loop owner's exclusive figures
    cover the whole fused chain (see [Profile]). *)
 and push cat p sink =
-  if !pipeline_exec && Plan.streams_output p then (
-    match !collector with
-    | None -> push_node cat p sink
-    | Some c ->
-      let n = ref 0 in
-      push_node cat p (fun v ->
-          incr n;
-          sink v);
-      record_streamed c p !n)
+  if !pipeline_exec && Plan.streams_output p then
+    if !batch_exec then bpush_stream cat p (Batch.iter sink)
+    else (
+      match !collector with
+      | None -> push_node cat p sink
+      | Some c ->
+        let n = ref 0 in
+        push_node cat p (fun v ->
+            incr n;
+            sink v);
+        record_streamed c p !n)
   else List.iter sink (rows cat p)
+
+(* Batched counterpart of [push] for a streamable node: run [bpush_node],
+   recording the streamed row count when a collector is installed. *)
+and bpush_stream cat p bsink =
+  match !collector with
+  | None -> bpush_node cat p bsink
+  | Some c ->
+    let n = ref 0 in
+    bpush_node cat p (fun b ->
+        n := !n + Batch.live b;
+        bsink b);
+    record_streamed c p !n
+
+(* Feed [p]'s rows to a batch sink: fused edges stream batches straight
+   through; breaker inputs materialize as a list and re-pack.  Only
+   reached from batched pipelines (batch mode implies pipeline mode). *)
+and bpush cat p bsink =
+  if !pipeline_exec && !batch_exec && Plan.streams_output p then
+    bpush_stream cat p bsink
+  else begin
+    let bld = Batch.builder bsink in
+    List.iter (Batch.add bld) (rows cat p);
+    Batch.flush bld
+  end
 
 and record_streamed c p n =
   let sample =
@@ -1028,6 +1068,302 @@ and push_node cat (p : Plan.t) (sink : Value.t -> unit) : unit =
     (* Pipeline breakers never reach here ([push] checks
        [Plan.streams_output] first); materialize defensively. *)
     List.iter sink (rows cat p)
+
+(* Batched streaming implementations.  The contract is the same as
+   [push_node]'s — emit exactly the rows, in exactly the order, ticking
+   exactly the counter totals of the corresponding [exec_node] case — plus
+   one batched refinement: filters and semi/anti probes narrow the
+   incoming batch's selection vector instead of copying survivors, and
+   producing operators build owned batches through [Batch.builder].
+   Counters tick per batch ([M.incr ~n] is k single ticks), so totals
+   match even though the tick pattern is coarser; on a mid-batch exception
+   a batch-granular tick may overcount relative to row mode — error paths
+   only, documented in DESIGN.md.  Only called on streamable nodes while
+   [batch_exec] is on. *)
+and bpush_node cat (p : Plan.t) (bsink : Batch.t -> unit) : unit =
+  (* Batched counterpart of [dedup_sink] feeding an owned-batch builder:
+     returns the per-row emitter and the final flush. *)
+  let dedup_builder () =
+    let seen = VTbl.create 64 in
+    let bld = Batch.builder bsink in
+    let emit v =
+      if not (VTbl.mem seen v) then begin
+        VTbl.add seen v ();
+        Batch.add bld v
+      end
+    in
+    (emit, fun () -> Batch.flush bld)
+  in
+  (* Batches narrowed to nothing die here rather than flowing on. *)
+  let emit_live b = if Batch.live b > 0 then bsink b in
+  match p with
+  | Plan.Scan name ->
+    (* Zero-copy: batches are windows into the catalog's cached row
+       array; nothing per row is allocated at the source. *)
+    let rs = Catalog.rows_array cat name in
+    let n = Array.length rs in
+    M.incr ~n c_scan_row;
+    let bs = !Batch.size in
+    let off = ref 0 in
+    while !off < n do
+      let len = min bs (n - !off) in
+      bsink (Batch.view rs ~off:!off ~len);
+      off := !off + len
+    done
+  | Plan.Filter { var; pred; input } ->
+    if !compile_params then begin
+      let vp = Compile.vectorize_pred cat ~var pred in
+      bpush cat input (fun b ->
+          M.incr ~n:(Batch.live b) c_filter_eval;
+          Batch.keep_vpred vp b;
+          emit_live b)
+    end
+    else
+      bpush cat input (fun b ->
+          M.incr ~n:(Batch.live b) c_filter_eval;
+          Batch.keep_rows b (fun row -> Eval.run_pred cat [ (var, row) ] pred);
+          emit_live b)
+  | Plan.MapOp { var; body; input } ->
+    let body =
+      if !compile_params then (
+        match Compile.expr1_rowmaker cat ~var body with
+        | Some f -> f
+        | None -> Compile.expr1 cat ~var body)
+      else fun v -> Eval.eval cat [ (var, v) ] body
+    in
+    let emit, flush = dedup_builder () in
+    bpush cat input (Batch.iter (fun row -> emit (body row)));
+    flush ()
+  | Plan.ProjectOp (attrs, input) ->
+    let sorted = List.sort_uniq String.compare attrs in
+    let proj =
+      if List.length sorted = List.length attrs then fun row ->
+        (* Sorted-merge projection; on a missing attribute re-project the
+           row-mode way so the error message names the same field. *)
+        (try Value.project_sorted row sorted
+         with Value.Type_error _ -> Value.project row attrs)
+      else fun row -> Value.project row attrs
+    in
+    let emit, flush = dedup_builder () in
+    bpush cat input (Batch.iter (fun row -> emit (proj row)));
+    flush ()
+  | Plan.FlattenOp input ->
+    let emit, flush = dedup_builder () in
+    bpush cat input (Batch.iter (fun row -> List.iter emit (Value.as_set row)));
+    flush ()
+  | Plan.UnionOp (a, b) ->
+    (* Both sides narrow through one shared dedup selection — no copy of
+       the surviving rows on either side. *)
+    let seen = VTbl.create 64 in
+    let dedup_batch bt =
+      Batch.keep_rows bt (fun v ->
+          if VTbl.mem seen v then false
+          else begin
+            VTbl.add seen v ();
+            true
+          end);
+      emit_live bt
+    in
+    bpush cat a dedup_batch;
+    bpush cat b dedup_batch
+  | Plan.InterOp (a, b) ->
+    let tbl = VTbl.create (tbl_size cat b) in
+    push cat b (fun v -> VTbl.replace tbl v ());
+    bpush cat a (fun bt ->
+        Batch.keep_rows bt (VTbl.mem tbl);
+        emit_live bt)
+  | Plan.DiffOp (a, b) ->
+    let tbl = VTbl.create (tbl_size cat b) in
+    push cat b (fun v -> VTbl.replace tbl v ());
+    bpush cat a (fun bt ->
+        Batch.keep_rows bt (fun v -> not (VTbl.mem tbl v));
+        emit_live bt)
+  | Plan.ProductOp (a, b) ->
+    let ys = rows cat b in
+    let emit, flush = dedup_builder () in
+    bpush cat a
+      (Batch.iter (fun x -> List.iter (fun y -> emit (Value.concat x y)) ys));
+    flush ()
+  | Plan.JoinOp { algo = Plan.Hash; kind; xvar; yvar; keys; residual; left; right }
+    ->
+    (match keys with
+     | [] -> exec_error "hash/sort-merge join without equi keys"
+     | _ :: _ -> ());
+    let residual = residual_fn cat xvar yvar residual in
+    let matches, has_match =
+      match keys with
+      | [ (kx, ky) ] ->
+        (* Single equi key: hash on the key value itself — no one-element
+           key array per row on either side.  [find_all] order (reverse
+           insertion) is key-equality driven, so match lists are identical
+           to the keyed-table path. *)
+        let xkey = param1 cat ~var:xvar kx and ykey = param1 cat ~var:yvar ky in
+        let tbl = VTbl.create (tbl_size cat right) in
+        push cat right (fun y ->
+            M.incr c_hash_build;
+            VTbl.add tbl (ykey y) y);
+        ( (fun x ->
+            M.incr c_hash_probe;
+            List.filter (residual x) (VTbl.find_all tbl (xkey x))),
+          fun x ->
+            M.incr c_hash_probe;
+            List.exists (residual x) (VTbl.find_all tbl (xkey x)) )
+      | _ ->
+        let xkey = key_fns cat xvar `Left keys
+        and ykey = key_fns cat yvar `Right keys in
+        let tbl = KTbl.create (tbl_size cat right) in
+        push cat right (fun y ->
+            M.incr c_hash_build;
+            KTbl.add tbl (ykey y) y);
+        ( (fun x ->
+            M.incr c_hash_probe;
+            List.filter (residual x) (KTbl.find_all tbl (xkey x))),
+          fun x ->
+            M.incr c_hash_probe;
+            List.exists (residual x) (KTbl.find_all tbl (xkey x)) )
+    in
+    (match kind with
+     | Expr.Inner ->
+       let emit, flush = dedup_builder () in
+       bpush cat left
+         (Batch.iter (fun x ->
+              List.iter (fun y -> emit (Value.concat x y)) (matches x)));
+       flush ()
+     | Expr.Semi ->
+       bpush cat left (fun b ->
+           Batch.keep_rows b has_match;
+           emit_live b)
+     | Expr.Anti ->
+       bpush cat left (fun b ->
+           Batch.keep_rows b (fun x -> not (has_match x));
+           emit_live b)
+     | Expr.LeftOuter pad ->
+       let null_row = Value.tuple (List.map (fun a -> (a, Value.VNull)) pad) in
+       let emit, flush = dedup_builder () in
+       bpush cat left
+         (Batch.iter (fun x ->
+              match matches x with
+              | [] -> emit (Value.concat x null_row)
+              | ms -> List.iter (fun y -> emit (Value.concat x y)) ms));
+       flush ())
+  | Plan.NestjoinOp
+      {
+        algo = Plan.Hash;
+        keys = _ :: _ as keys;
+        xvar;
+        yvar;
+        residual;
+        body;
+        attr;
+        left;
+        right;
+      } ->
+    let body = param2 cat ~vars:(xvar, yvar) body in
+    let residual = residual_fn cat xvar yvar residual in
+    let attach x ms =
+      let projected = List.map (fun y -> body x y) ms in
+      Value.concat x (Value.tuple [ (attr, Value.set projected) ])
+    in
+    let matches =
+      match keys with
+      | [ (kx, ky) ] ->
+        let xkey = param1 cat ~var:xvar kx and ykey = param1 cat ~var:yvar ky in
+        let tbl = VTbl.create (tbl_size cat right) in
+        push cat right (fun y ->
+            M.incr c_hash_build;
+            VTbl.add tbl (ykey y) y);
+        fun x ->
+          M.incr c_hash_probe;
+          List.filter (residual x) (VTbl.find_all tbl (xkey x))
+      | _ ->
+        let xkey = key_fns cat xvar `Left keys
+        and ykey = key_fns cat yvar `Right keys in
+        let tbl = KTbl.create (tbl_size cat right) in
+        push cat right (fun y ->
+            M.incr c_hash_build;
+            KTbl.add tbl (ykey y) y);
+        fun x ->
+          M.incr c_hash_probe;
+          List.filter (residual x) (KTbl.find_all tbl (xkey x))
+    in
+    let bld = Batch.builder bsink in
+    bpush cat left (Batch.iter (fun x -> Batch.add bld (attach x (matches x))));
+    Batch.flush bld
+  | Plan.RenameOp (pairs, input) ->
+    let ren row =
+      Value.tuple
+        (List.map
+           (fun (n, v) ->
+             match List.assoc_opt n pairs with
+             | Some n' -> (n', v)
+             | None -> (n, v))
+           (Value.as_tuple row))
+    in
+    let bld = Batch.builder bsink in
+    bpush cat input (Batch.iter (fun row -> Batch.add bld (ren row)));
+    Batch.flush bld
+  | Plan.ParFilter { var; pred; input } ->
+    (* Morsel-over-batch: buffer the input's batches (the breaker the
+       concurrent claim requires), filter each batch as one pool task,
+       then stream the narrowed batches onward in order. *)
+    let buf = ref [] in
+    bpush cat input (fun b -> buf := b :: !buf);
+    let batches = Array.of_list (List.rev !buf) in
+    let nb = Array.length batches in
+    if nb > 0 then begin
+      if !compile_params && Compile.vectorizable ~var pred then begin
+        (* The kernel closes over no per-instance slot buffer
+           ([Compile.vectorizable]), so every task shares it. *)
+        let vp = Compile.vectorize_pred cat ~var pred in
+        ignore
+          (Pool.run nb (fun i ->
+               let b = batches.(i) in
+               M.incr ~n:(Batch.live b) c_filter_eval;
+               Batch.keep_vpred vp b))
+      end
+      else begin
+        let pred_s = pred1_spawner cat ~var pred in
+        ignore
+          (Pool.run nb (fun i ->
+               let pred = pred_s () in
+               let b = batches.(i) in
+               M.incr ~n:(Batch.live b) c_filter_eval;
+               Batch.keep_rows b pred))
+      end;
+      Array.iter emit_live batches
+    end
+  | Plan.ParMapOp { var; body; input } ->
+    let buf = ref [] in
+    bpush cat input (fun b -> buf := b :: !buf);
+    let batches = Array.of_list (List.rev !buf) in
+    let nb = Array.length batches in
+    if nb > 0 then begin
+      let body_s = param1_spawner cat ~var body in
+      let outs =
+        Pool.run nb (fun i ->
+            let body = body_s () in
+            let b = batches.(i) in
+            let out = Array.make (Batch.live b) Value.VNull in
+            let j = ref 0 in
+            Batch.iter
+              (fun row ->
+                out.(!j) <- body row;
+                incr j)
+              b;
+            out)
+      in
+      let emit, flush = dedup_builder () in
+      Array.iter (fun out -> Array.iter emit out) outs;
+      flush ()
+    end
+  | p ->
+    (* No native batched form (index paths, member joins, nested-loop
+       joins, unnest, assembly, leaves): run the row-at-a-time emitter
+       into a builder.  Its fused inputs still stream batches — [push]
+       re-routes through this layer while batch mode is on. *)
+    let bld = Batch.builder bsink in
+    push_node cat p (Batch.add bld);
+    Batch.flush bld
 
 and profiled c cat p =
   if Span.tracing () then

@@ -40,6 +40,16 @@ val compile_params : bool ref
     can contrast the two modes on identical plans (experiment b13). *)
 val pipeline_exec : bool ref
 
+(** When [true] (the default), fused chains move rows as {!Batch} column
+    batches: scans emit zero-copy windows over the catalog's row array,
+    filters narrow selection vectors instead of copying survivors, and
+    constant-comparison predicates run over decoded typed columns.  Only
+    effective under {!pipeline_exec}.  Rows, order and counter totals are
+    identical to the row-at-a-time pipelines (experiment b15 and
+    test/test_batch.ml hold all modes to that contract); the batch size
+    is {!Batch.size}. *)
+val batch_exec : bool ref
+
 (** Execute a plan, returning its rows (not canonicalized). *)
 val rows : Catalog.t -> Plan.t -> Value.t list
 

@@ -406,8 +406,15 @@ let streamed_inputs = function
 (* Pipeline-boundary view of a plan: one node per line, each child edge
    marked "~>" (fused: rows flow one at a time into the parent's loop) or
    "=>" (materialized: the parent buffers this input before producing
-   output).  Breaker nodes are suffixed with "[breaker]". *)
-let pp_pipelines ppf p =
+   output).  Breaker nodes are suffixed with "[breaker]".  When [batch]
+   is given (the batched executor is active), a header line states the
+   batch size — fused "~>" edges then carry column batches of up to that
+   many rows instead of single rows, with the same boundaries. *)
+let pp_pipelines ?batch ppf p =
+  (match batch with
+   | Some n ->
+     Fmt.pf ppf "batched: fused edges carry up to %d rows per batch@." n
+   | None -> ());
   let rec go depth edge p =
     let indent = String.make (2 * depth) ' ' in
     let marker =

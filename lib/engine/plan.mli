@@ -213,8 +213,12 @@ val streams_output : t -> bool
 val streamed_inputs : t -> bool list
 
 (** Pipeline-boundary view: one node per line, child edges marked ["~>"]
-    (fused) or ["=>"] (materialized), breakers suffixed ["[breaker]"]. *)
-val pp_pipelines : Format.formatter -> t -> unit
+    (fused) or ["=>"] (materialized), breakers suffixed ["[breaker]"].
+    [?batch] (the active batch size, when the batched executor is on)
+    prepends a header line: fused edges then carry column batches of up
+    to that many rows rather than single rows, with identical
+    boundaries. *)
+val pp_pipelines : ?batch:int -> Format.formatter -> t -> unit
 
 (** Rebuild a node with new children; raises [Invalid_argument] on arity
     mismatch. *)

@@ -1,0 +1,372 @@
+(* Tests for the vectorized batch executor (DESIGN.md section 10).
+
+   The contract under test: [Exec.batch_exec] selects between the
+   row-at-a-time and batched push pipelines, and the three executor modes
+   (materializing, row pipelined, batch pipelined) are observationally
+   identical — same row lists (same rows in the same order), same
+   work-counter totals — for the whole paper workload, for fixed fused
+   plans, for random plans, at batch sizes 1/3/64 (singleton batches and
+   ragged tails included) and at every pool size when the plan contains
+   parallel operators.  Only the allocation profile may differ (bench b15
+   measures that difference). *)
+
+open Njq_adl
+open Dsl
+module Gen = Njq_workload.Generator
+module Queries = Njq_workload.Queries
+module Strategy = Njq_core.Strategy
+module Plan = Njq_engine.Plan
+module Exec = Njq_engine.Exec
+module Planner = Njq_engine.Planner
+module Pool = Njq_engine.Pool
+module Batch = Njq_engine.Batch
+
+let with_exec ~pipeline ~batch f =
+  let prev_p = !Exec.pipeline_exec and prev_b = !Exec.batch_exec in
+  Exec.pipeline_exec := pipeline;
+  Exec.batch_exec := batch;
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.pipeline_exec := prev_p;
+      Exec.batch_exec := prev_b)
+    f
+
+let with_batch_size n f =
+  let prev = !Batch.size in
+  Batch.set_size n;
+  Fun.protect ~finally:(fun () -> Batch.size := prev) f
+
+let with_domains k f =
+  let prev = Pool.domains () in
+  Pool.set_domains k;
+  Fun.protect ~finally:(fun () -> Pool.set_domains prev) f
+
+let with_par_threshold t f =
+  let prev = !Planner.par_threshold in
+  Planner.par_threshold := t;
+  Fun.protect ~finally:(fun () -> Planner.par_threshold := prev) f
+
+let snapshot = Alcotest.(list (pair string int))
+let row_list = Alcotest.(list Util.value)
+
+(* The three executor modes.  The batched paths only engage under the
+   pipelined executor, so "mat" doubles as the reference semantics. *)
+let modes =
+  [ ("mat", false, false); ("row", true, false); ("batch", true, true) ]
+
+let run_mode ~pipeline ~batch cat plan =
+  with_exec ~pipeline ~batch (fun () ->
+      Counters.reset ();
+      let rows = Exec.rows cat plan in
+      (rows, Counters.snapshot ()))
+
+(* Check that every mode, at every given batch size, produces the
+   reference mode's rows (in order) and counter totals. *)
+let check_modes_agree ?(sizes = [ 1; 3; 64 ]) name cat plan =
+  let ref_rows, ref_counters = run_mode ~pipeline:false ~batch:false cat plan in
+  List.iter
+    (fun bs ->
+      with_batch_size bs (fun () ->
+          List.iter
+            (fun (mode, pipeline, batch) ->
+              let rows, counters = run_mode ~pipeline ~batch cat plan in
+              let tag = Printf.sprintf "%s [%s, size %d]" name mode bs in
+              Alcotest.check row_list (tag ^ ": rows (and their order)")
+                ref_rows rows;
+              Alcotest.check snapshot (tag ^ ": counter totals") ref_counters
+                counters)
+            modes))
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* Paper workload: every corpus query, optimized and planned, agrees
+   across all three modes and batch sizes. *)
+
+let test_workload_modes_agree () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:7 48) with Gen.dangling_rate = 0.0 } in
+  List.iter
+    (fun (q : Queries.query) ->
+      let plan = Planner.plan (Strategy.optimize cat (Queries.to_adl q)) in
+      check_modes_agree q.Queries.id cat plan)
+    (Queries.all @ Queries.extended)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed fused plans covering the batch kernels: compiled column
+   predicates (int/float/string constants), the single-key hash join
+   specialization, semi/anti/outer joins, set ops through the shared
+   dedup sink, nestjoin grouping, renames, and a breaker (sort) fed by a
+   batched input. *)
+
+let fused_plans () =
+  let chain =
+    Plan.ProjectOp
+      ( [ "oid"; "pp" ],
+        Plan.MapOp
+          { var = "p";
+            body =
+              tuple
+                [ ("oid", var "p" $. "oid");
+                  ("pp", mul (var "p" $. "price") (int 2));
+                  ("color", var "p" $. "color") ];
+            input =
+              Plan.Filter
+                { var = "p"; pred = gt (var "p" $. "price") (int 5);
+                  input = Plan.Scan "PART" } } )
+  in
+  (* Column kernel on a string attribute plus a conjunction: exercises
+     the boxed-column fallback and per-row short-circuit. *)
+  let str_filter =
+    Plan.Filter
+      { var = "p";
+        pred =
+          eq (var "p" $. "color") (str "red")
+          &&& lt (var "p" $. "price") (int 9);
+        input = Plan.Scan "PART" }
+  in
+  (* Comparing an int column against a string constant: the kernel must
+     fold the rank comparison to a constant, same as Eval would. *)
+  let mixed_rank =
+    Plan.Filter
+      { var = "p"; pred = lt (var "p" $. "price") (str "zzz");
+        input = Plan.Scan "PART" }
+  in
+  let probe kind =
+    Plan.JoinOp
+      { algo = Plan.Hash; kind; xvar = "d"; yvar = "s";
+        keys = [ (var "d" $. "supplier", var "s" $. "soid") ];
+        residual = Expr.true_;
+        left =
+          Plan.Filter
+            { var = "d"; pred = ge (count (var "d" $. "supply")) (int 0);
+              input = Plan.Scan "DELIVERY" };
+        right =
+          Plan.MapOp
+            { var = "s";
+              body =
+                tuple
+                  [ ("soid", var "s" $. "oid"); ("sname", var "s" $. "sname") ];
+              input = Plan.Scan "SUPPLIER" } }
+  in
+  (* Multi-key join: takes the KTbl path rather than the single-key
+     specialization. *)
+  let two_key =
+    Plan.JoinOp
+      { algo = Plan.Hash; kind = Expr.Inner; xvar = "a"; yvar = "b";
+        keys =
+          [ (var "a" $. "oid", var "b" $. "k");
+            (var "a" $. "color", var "b" $. "kc") ];
+        residual = Expr.true_; left = Plan.Scan "PART";
+        right =
+          Plan.MapOp
+            { var = "q";
+              body =
+                tuple
+                  [ ("k", var "q" $. "oid"); ("kc", var "q" $. "color") ];
+              input = Plan.Scan "PART" } }
+  in
+  let union_plan =
+    Plan.UnionOp
+      ( Plan.Filter
+          { var = "p"; pred = eq (var "p" $. "color") (str "red");
+            input = Plan.Scan "PART" },
+        Plan.Filter
+          { var = "p"; pred = gt (var "p" $. "price") (int 10);
+            input = Plan.Scan "PART" } )
+  in
+  let diff_plan =
+    Plan.DiffOp
+      ( Plan.Scan "PART",
+        Plan.Filter
+          { var = "p"; pred = gt (var "p" $. "price") (int 5);
+            input = Plan.Scan "PART" } )
+  in
+  let nest_plan =
+    Plan.NestjoinOp
+      { algo = Plan.Hash; xvar = "s"; yvar = "d";
+        keys = [ (var "s" $. "oid", var "d" $. "supplier") ];
+        residual = Expr.true_; body = var "d" $. "date"; attr = "delivered";
+        left = Plan.Scan "SUPPLIER"; right = Plan.Scan "DELIVERY" }
+  in
+  let rename_plan =
+    Plan.RenameOp
+      ( [ ("pname", "part_name") ],
+        Plan.Filter
+          { var = "p"; pred = gt (var "p" $. "price") (int 3);
+            input = Plan.Scan "PART" } )
+  in
+  (* A breaker downstream of batched inputs: sort-merge buffers both
+     sides, so batches must materialize correctly at the boundary. *)
+  let sort_join =
+    Plan.JoinOp
+      { algo = Plan.Sort_merge; kind = Expr.Inner; xvar = "d"; yvar = "s";
+        keys = [ (var "d" $. "supplier", var "s" $. "soid") ];
+        residual = Expr.true_;
+        left =
+          Plan.Filter
+            { var = "d"; pred = ge (count (var "d" $. "supply")) (int 0);
+              input = Plan.Scan "DELIVERY" };
+        right =
+          Plan.MapOp
+            { var = "s";
+              body =
+                tuple
+                  [ ("soid", var "s" $. "oid"); ("sname", var "s" $. "sname") ];
+              input = Plan.Scan "SUPPLIER" } }
+  in
+  let flatten_plan =
+    Plan.FlattenOp
+      (Plan.MapOp
+         { var = "s"; body = var "s" $. "parts_supplied";
+           input =
+             Plan.Filter
+               { var = "s";
+                 pred = ge (count (var "s" $. "parts_supplied")) (int 1);
+                 input = Plan.Scan "SUPPLIER" } })
+  in
+  [ ("chain", chain); ("str_filter", str_filter); ("mixed_rank", mixed_rank);
+    ("probe_inner", probe Expr.Inner); ("probe_semi", probe Expr.Semi);
+    ("probe_anti", probe Expr.Anti);
+    ("probe_outer", probe (Expr.LeftOuter [ "soid"; "sname" ]));
+    ("two_key", two_key); ("union", union_plan); ("diff", diff_plan);
+    ("nest", nest_plan); ("rename", rename_plan); ("sort_join", sort_join);
+    ("flatten", flatten_plan) ]
+
+let test_fused_plans_agree () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:1 64) with Gen.dangling_rate = 0.0 } in
+  List.iter (fun (name, plan) -> check_modes_agree name cat plan) (fused_plans ())
+
+(* ------------------------------------------------------------------ *)
+(* Parallel interop: morsel-over-batch ParFilter/ParMapOp and the
+   parallelized corpus agree across modes at 1/2/4 domains.  A single
+   batch size keeps the pool matrix affordable; size 3 guarantees ragged
+   tails inside every chunk. *)
+
+let test_parallel_modes_agree () =
+  let cat = Gen.catalog { (Gen.scaled ~seed:3 48) with Gen.dangling_rate = 0.0 } in
+  let par_chain =
+    Plan.MapOp
+      { var = "p";
+        body =
+          tuple
+            [ ("oid", var "p" $. "oid"); ("pp", mul (var "p" $. "price") (int 2)) ];
+        input =
+          Plan.ParFilter
+            { var = "p"; pred = gt (var "p" $. "price") (int 5);
+              input = Plan.Scan "PART" } }
+  in
+  let par_map =
+    Plan.ParMapOp
+      { var = "p"; body = var "p" $. "pname";
+        input =
+          Plan.Filter
+            { var = "p"; pred = gt (var "p" $. "price") (int 2);
+              input = Plan.Scan "PART" } }
+  in
+  let corpus =
+    List.map
+      (fun (q : Queries.query) ->
+        let seq = Planner.plan (Strategy.optimize cat (Queries.to_adl q)) in
+        ( q.Queries.id,
+          with_par_threshold 1 (fun () -> Planner.parallelize cat seq) ))
+      Queries.all
+  in
+  List.iter
+    (fun k ->
+      with_domains k (fun () ->
+          List.iter
+            (fun (name, plan) ->
+              check_modes_agree ~sizes:[ 3 ]
+                (Printf.sprintf "%s at %d domains" name k)
+                cat plan)
+            (("par_chain", par_chain) :: ("par_map", par_map) :: corpus)))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Batch module unit tests: view windows, ragged builder tails,
+   selection-vector compaction. *)
+
+let test_batch_views () =
+  let rows = Array.init 10 (fun i -> Value.VInt i) in
+  (* Windowed views over a shared array reproduce the array. *)
+  let got = ref [] in
+  let off = ref 0 in
+  while !off < Array.length rows do
+    let len = min 3 (Array.length rows - !off) in
+    Batch.iter (fun v -> got := v :: !got) (Batch.view rows ~off:!off ~len);
+    off := !off + len
+  done;
+  Alcotest.check row_list "view windows cover the array (tail of 1)"
+    (Array.to_list rows) (List.rev !got)
+
+let test_batch_builder_tail () =
+  with_batch_size 4 (fun () ->
+      let emitted = ref [] in
+      let bld = Batch.builder (fun b -> emitted := Batch.live b :: !emitted) in
+      for i = 1 to 10 do
+        Batch.add bld (Value.VInt i)
+      done;
+      Batch.flush bld;
+      Alcotest.(check (list int))
+        "builder emits full batches then the ragged tail" [ 2; 4; 4 ]
+        !emitted)
+
+let test_batch_selection () =
+  let rows = Array.init 8 (fun i -> Value.VInt i) in
+  let b = Batch.of_array rows in
+  Batch.keep b (fun j -> j mod 2 = 0);
+  Alcotest.(check int) "first keep" 4 (Batch.live b);
+  (* Second keep compacts the existing selection in place. *)
+  Batch.keep_rows b (fun v -> Value.compare v (Value.VInt 2) > 0);
+  Alcotest.(check int) "second keep shrinks" 2 (Batch.live b);
+  let got = ref [] in
+  Batch.iter (fun v -> got := v :: !got) b;
+  Alcotest.check row_list "survivors in physical order"
+    [ Value.VInt 4; Value.VInt 6 ]
+    (List.rev !got)
+
+let test_project_sorted_agrees () =
+  let row =
+    Value.tuple
+      [ ("b", Value.VInt 2); ("a", Value.VInt 1); ("c", Value.VInt 3) ]
+  in
+  let attrs = [ "c"; "a" ] in
+  let sorted = List.sort_uniq String.compare attrs in
+  Alcotest.check Util.value "project_sorted matches project"
+    (Value.project row attrs)
+    (Value.project_sorted row sorted)
+
+(* ------------------------------------------------------------------ *)
+(* Property: random rewritten query plans agree across all three modes
+   on the ordered row list and counters, at a ragged batch size. *)
+
+let prop_batch_differential =
+  Util.qcheck ~count:150 "batched executor matches row-at-a-time"
+    Util.arbitrary_xy_pred_and_tables
+    (fun (pred, tables) ->
+      let cat = Util.xy_catalog tables in
+      let q = select "x" (table "X") pred in
+      let plan = Planner.plan (Strategy.optimize cat q) in
+      let row_rows, row_counters = run_mode ~pipeline:true ~batch:false cat plan in
+      with_batch_size 3 (fun () ->
+          let b_rows, b_counters = run_mode ~pipeline:true ~batch:true cat plan in
+          List.length row_rows = List.length b_rows
+          && List.for_all2 Value.equal row_rows b_rows
+          && row_counters = b_counters))
+
+let () =
+  Alcotest.run "batch"
+    [ ( "modes",
+        [ Alcotest.test_case "workload modes agree" `Quick
+            test_workload_modes_agree;
+          Alcotest.test_case "fused plans agree (incl. order)" `Quick
+            test_fused_plans_agree;
+          Alcotest.test_case "parallel interop at 1/2/4 domains" `Quick
+            test_parallel_modes_agree ] );
+      ( "batch module",
+        [ Alcotest.test_case "view windows" `Quick test_batch_views;
+          Alcotest.test_case "builder ragged tail" `Quick
+            test_batch_builder_tail;
+          Alcotest.test_case "selection compaction" `Quick test_batch_selection;
+          Alcotest.test_case "project_sorted agrees" `Quick
+            test_project_sorted_agrees ] );
+      ("properties", [ prop_batch_differential ]) ]
