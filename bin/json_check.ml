@@ -4,18 +4,31 @@
 
    With --bench, the file is a BENCH_engine.json document instead: every
    experiment's work rows must carry per-variant "totals", "minor_words"
-   and "major_words" arrays; the b13 mode-contrast experiment must show,
-   for every "group:mat"/"group:pipe" variant pair at every scale,
-   identical counter totals and strictly fewer minor words pipelined;
-   the b15 batching experiment must show the same shape for every
-   "group:row"/"group:batch" pair (identical totals, strictly fewer
-   minor words batched); and
-   the b14 access-path experiment must show, for every "group|scan" /
-   "group|idx" variant pair at every scale, a strictly lower work total
-   on the index side, its "cache|hit" span summary must carry none of the
-   derivation spans (translate/rewrite/plan) that "cache|cold" pays, and
-   when wall-clock rows are present the cache hit must be faster than the
-   cold derivation. *)
+   and "major_words" arrays; a "time" key, when present, must be non-empty
+   (an empty array is data that silently went missing — the harness omits
+   the key instead); every experiment must carry a non-empty "latency"
+   section whose variants match the experiment's and whose percentiles are
+   ordered (p50 <= p90 <= p99 <= max); the b13 mode-contrast experiment
+   must show, for every "group:mat"/"group:pipe" variant pair at every
+   scale, identical counter totals and strictly fewer minor words
+   pipelined; the b15 batching experiment must show the same shape for
+   every "group:row"/"group:batch" pair (identical totals, strictly fewer
+   minor words batched); and the b14 access-path experiment must show, for
+   every "group|scan"/"group|idx" variant pair at every scale, a strictly
+   lower work total on the index side, its "cache|hit" span summary must
+   carry none of the derivation spans (translate/rewrite/plan) that
+   "cache|cold" pays, and the cache hit must be faster than the cold
+   derivation — on bechamel wall-clock rows when "time" is present, on
+   latency p50 otherwise.
+
+   With --baseline BASE, the perf-regression gate: BASE and FILE are two
+   BENCH_engine.json documents; they must agree on experiment ids and
+   variant lists, every (experiment, scale, variant) work total in FILE
+   must not exceed BASE's (work counters are deterministic — any increase
+   is a real regression), and every latency p99 must stay within
+   max(BASE * (1 + band), BASE + 5ms) where band defaults to 3.0 (wall
+   clock is noisy; only order-of-magnitude blowups on meaningfully long
+   runs should fail CI). *)
 
 module Json = Njq_obs.Json
 
@@ -40,29 +53,61 @@ let check_keys file keys =
     keys
 
 (* ------------------------------------------------------------------ *)
+(* Shared accessors (fail with file context)                           *)
+(* ------------------------------------------------------------------ *)
+
+let get file what k o =
+  match Json.member k o with
+  | Some v -> v
+  | None -> fail "%s: %s: missing key %S" file what k
+
+let as_list file what = function
+  | Json.List l -> l
+  | _ -> fail "%s: %s is not an array" file what
+
+let as_str file what = function
+  | Json.Str s -> s
+  | _ -> fail "%s: %s is not a string" file what
+
+let as_num file what = function
+  | Json.Int n -> float_of_int n
+  | Json.Float f -> f
+  | _ -> fail "%s: %s is not a number" file what
+
+(* "latency" rows of one experiment, as (variant, p50, p99) keyed triples;
+   validates shape and percentile ordering on the way. *)
+let latency_rows file ctx exp =
+  match Json.member "latency" exp with
+  | None -> fail "%s: %s: missing \"latency\" section" file ctx
+  | Some (Json.List []) -> fail "%s: %s: empty \"latency\" section" file ctx
+  | Some l ->
+    List.map
+      (fun row ->
+        let v = as_str file (ctx ^ " latency variant") (get file ctx "variant" row) in
+        let num k = as_num file (ctx ^ " latency " ^ k) (get file ctx k row) in
+        let samples = num "samples" in
+        let p50 = num "p50_ns" and p90 = num "p90_ns" in
+        let p99 = num "p99_ns" and mx = num "max_ns" in
+        if samples <= 0.0 then
+          fail "%s: %s: latency %s has no samples" file ctx v;
+        if not (p50 <= p90 && p90 <= p99 && p99 <= mx) then
+          fail
+            "%s: %s: latency %s percentiles out of order \
+             (p50=%.0f p90=%.0f p99=%.0f max=%.0f)"
+            file ctx v p50 p90 p99 mx;
+        (v, p50, p99))
+      (as_list file (ctx ^ " latency") l)
+
+(* ------------------------------------------------------------------ *)
 (* --bench                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let check_bench file =
   let doc = parse file in
-  let get what k o =
-    match Json.member k o with
-    | Some v -> v
-    | None -> fail "%s: %s: missing key %S" file what k
-  in
-  let as_list what = function
-    | Json.List l -> l
-    | _ -> fail "%s: %s is not an array" file what
-  in
-  let as_str what = function
-    | Json.Str s -> s
-    | _ -> fail "%s: %s is not a string" file what
-  in
-  let as_num what = function
-    | Json.Int n -> float_of_int n
-    | Json.Float f -> f
-    | _ -> fail "%s: %s is not a number" file what
-  in
+  let get what k o = get file what k o in
+  let as_list what l = as_list file what l in
+  let as_str what s = as_str file what s in
+  let as_num what n = as_num file what n in
   List.iter
     (fun k -> if Json.member k doc = None then fail "%s: missing top-level key %S" file k)
     [ "bench_scale"; "scales"; "experiments" ];
@@ -86,6 +131,24 @@ let check_bench file =
         in
         go 0 variants
       in
+      (* An empty timing section is indistinguishable from lost data; the
+         harness omits the key when it has no rows, so empty = bug. *)
+      (match Json.member "time" exp with
+       | Some (Json.List []) ->
+         fail "%s: %s: \"time\" present but empty (omit the key instead)" file
+           ctx
+       | _ -> ());
+      let lat = latency_rows file ctx exp in
+      List.iter
+        (fun (v, _, _) ->
+          if not (List.mem v variants) then
+            fail "%s: %s: latency row for unknown variant %S" file ctx v)
+        lat;
+      List.iter
+        (fun v ->
+          if not (List.exists (fun (lv, _, _) -> String.equal lv v) lat) then
+            fail "%s: %s: variant %S has no latency row" file ctx v)
+        variants;
       List.iter
         (fun row ->
           let cells what =
@@ -197,16 +260,24 @@ let check_bench file =
           if cold <> [] && not (List.mem "plan" cold) then
             fail "%s: %s: cache|cold shows no \"plan\" span" file ctx
         end;
-        (* Wall-clock (present unless --work-only): serving the cached
-           plan must beat re-deriving it. *)
+        (* Serving the cached plan must beat re-deriving it: on bechamel
+           estimates when present, on latency-histogram p50 otherwise
+           (--work-only runs carry no "time" key). *)
         let ns variant =
-          List.find_map
-            (fun row ->
-              let v = as_str "time variant" (get ctx "variant" row) in
-              if String.equal v variant then
-                Some (as_num "ns_per_run" (get ctx "ns_per_run" row))
-              else None)
-            (as_list (ctx ^ " time") (get ctx "time" exp))
+          match Json.member "time" exp with
+          | Some t ->
+            List.find_map
+              (fun row ->
+                let v = as_str "time variant" (get ctx "variant" row) in
+                if String.equal v variant then
+                  Some (as_num "ns_per_run" (get ctx "ns_per_run" row))
+                else None)
+              (as_list (ctx ^ " time") t)
+          | None ->
+            List.find_map
+              (fun (v, p50, _) ->
+                if String.equal v variant then Some p50 else None)
+              lat
         in
         match (ns "cache|hit", ns "cache|cold") with
         | Some hit_ns, Some cold_ns ->
@@ -225,8 +296,146 @@ let check_bench file =
   if !b15_rows = 0 then
     fail "%s: no b15 work rows (batching experiment missing or empty)" file
 
+(* ------------------------------------------------------------------ *)
+(* --baseline: perf-regression gate                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One experiment, digested for comparison. *)
+type exp_digest = {
+  d_variants : string list;
+  d_work : (int * float list) list;  (* scale -> per-variant totals *)
+  d_p99 : (string * float) list;  (* variant -> latency p99 ns *)
+}
+
+let digest file doc =
+  let experiments =
+    as_list file "experiments" (get file "document" "experiments" doc)
+  in
+  List.map
+    (fun exp ->
+      let id = as_str file "id" (get file "experiment" "id" exp) in
+      let ctx = Printf.sprintf "experiment %s" id in
+      let d_variants =
+        List.map
+          (as_str file (ctx ^ " variant"))
+          (as_list file (ctx ^ " variants") (get file ctx "variants" exp))
+      in
+      let d_work =
+        List.map
+          (fun row ->
+            let n =
+              int_of_float (as_num file (ctx ^ " n") (get file ctx "n" row))
+            in
+            let totals =
+              List.map
+                (as_num file (ctx ^ " total"))
+                (as_list file (ctx ^ " totals") (get file ctx "totals" row))
+            in
+            (n, totals))
+          (as_list file (ctx ^ " work") (get file ctx "work" exp))
+      in
+      let d_p99 =
+        List.map (fun (v, _, p99) -> (v, p99)) (latency_rows file ctx exp)
+      in
+      (id, { d_variants; d_work; d_p99 }))
+    experiments
+
+let check_baseline ~band base_file file =
+  let base = digest base_file (parse base_file) in
+  let cur = digest file (parse file) in
+  let ids xs = List.map fst xs in
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id cur) then
+        fail "%s: experiment %s present in baseline but missing here" file id)
+    (ids base);
+  List.iter
+    (fun id ->
+      if not (List.mem_assoc id base) then
+        fail
+          "%s: experiment %s has no baseline row — regenerate %s (see \
+           tools/baseline_check)"
+          file id base_file)
+    (ids cur);
+  let regressions = ref 0 in
+  List.iter
+    (fun (id, b) ->
+      let c = List.assoc id cur in
+      if b.d_variants <> c.d_variants then
+        fail
+          "%s: experiment %s variant list differs from baseline — regenerate \
+           %s alongside the bench change"
+          file id base_file;
+      (* Work totals are deterministic operation counts: any increase over
+         the committed baseline is a genuine plan/executor regression. *)
+      List.iter
+        (fun (n, cur_totals) ->
+          match List.assoc_opt n b.d_work with
+          | None -> ()  (* scale not in baseline (e.g. different --scale) *)
+          | Some base_totals ->
+            if List.length base_totals <> List.length cur_totals then
+              fail "%s: experiment %s n=%d: work row width differs" file id n;
+            List.iteri
+              (fun i cur_t ->
+                let base_t = List.nth base_totals i in
+                if cur_t > base_t then begin
+                  incr regressions;
+                  Printf.eprintf
+                    "json_check: %s: experiment %s n=%d variant %s: work total \
+                     %.0f exceeds baseline %.0f\n"
+                    file id n
+                    (List.nth c.d_variants i)
+                    cur_t base_t
+                end)
+              cur_totals)
+        c.d_work;
+      (* Wall clock is noisy: only flag p99 beyond the band, and never
+         below an absolute floor — one scheduler preemption on a shared
+         single-CPU box costs milliseconds, far more than any
+         multiplicative band on a microsecond-scale variant.  The floor
+         makes the p99 gate meaningful only for runs long enough that
+         timeslice jitter is a fraction of the signal; work totals gate
+         the short ones exactly. *)
+      List.iter
+        (fun (v, cur_p99) ->
+          match List.assoc_opt v b.d_p99 with
+          | None -> ()
+          | Some base_p99 ->
+            let limit =
+              Float.max (base_p99 *. (1.0 +. band)) (base_p99 +. 5_000_000.0)
+            in
+            if cur_p99 > limit then begin
+              incr regressions;
+              Printf.eprintf
+                "json_check: %s: experiment %s variant %s: latency p99 %.0f ns \
+                 exceeds baseline %.0f ns * %.2f = %.0f ns\n"
+                file id v cur_p99 base_p99 (1.0 +. band) limit
+            end)
+        c.d_p99)
+    base;
+  if !regressions > 0 then
+    fail "%d perf regression(s) against baseline %s" !regressions base_file;
+  Printf.printf "json_check: %s within baseline %s (band %.2f)\n" file base_file
+    band
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "--bench" :: [ file ] -> check_bench file
-  | _ :: file :: keys when file <> "--bench" -> check_keys file keys
-  | _ -> fail "usage: json_check FILE [REQUIRED_KEY...] | json_check --bench FILE"
+  | _ :: "--baseline" :: base :: file :: rest ->
+    let band =
+      match rest with
+      | [] -> 3.0
+      | [ "--band"; f ] ->
+        (match float_of_string_opt f with
+         | Some f when f >= 0.0 -> f
+         | _ -> fail "--band expects a non-negative float")
+      | _ ->
+        fail "usage: json_check --baseline BASE FILE [--band F]"
+    in
+    check_baseline ~band base file
+  | _ :: file :: keys when file <> "--bench" && file <> "--baseline" ->
+    check_keys file keys
+  | _ ->
+    fail
+      "usage: json_check FILE [REQUIRED_KEY...] | json_check --bench FILE | \
+       json_check --baseline BASE FILE [--band F]"

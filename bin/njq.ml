@@ -14,8 +14,15 @@ open Njq_adl
 module Strategy = Njq_core.Strategy
 module Span = Njq_obs.Span
 module Json = Njq_obs.Json
+module Qlog = Njq_obs.Qlog
+module Clock = Njq_obs.Clock
 
 let schema = Njq_workload.Queries.schema
+
+let mode_name = function
+  | Strategy.Nestjoin_always -> "nestjoin"
+  | Strategy.Flat_join_when_safe -> "flatjoin"
+  | Strategy.Outerjoin -> "outerjoin"
 
 (* ---------------- generation flags ---------------- *)
 
@@ -89,6 +96,87 @@ let explain_batch () =
 let counters_arg =
   let doc = "Print work counters after execution." in
   Arg.(value & flag & info [ "counters" ] ~doc)
+
+(* ---------------- query log ---------------- *)
+
+let env_qlog () =
+  match Sys.getenv_opt "NJQ_QLOG" with
+  | None | Some "" -> None
+  | Some path -> Some path
+
+let env_slow_ms () =
+  match Sys.getenv_opt "NJQ_SLOW_MS" with
+  | None | Some "" -> None
+  | Some s -> float_of_string_opt (String.trim s)
+
+let qlog_arg =
+  let doc =
+    "Append one structured event (JSONL) per executed query to this file: \
+     query hash, plan fingerprint, cache hit/miss, rows, work counters, \
+     GC words, wall+CPU time, max q-error.  Defaults to the NJQ_QLOG \
+     environment variable; aggregate with $(b,njq top)."
+  in
+  Arg.(value & opt (some string) None & info [ "qlog" ] ~docv:"FILE" ~doc)
+
+let slow_ms_arg =
+  let doc =
+    "Slow-query threshold in milliseconds: qlog events under it are \
+     dropped, and a query at or over it prints a notice on stderr.  \
+     Defaults to the NJQ_SLOW_MS environment variable."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+(* Work counters from the legacy facade as qlog fields, plus their sum —
+   the deterministic cost of the query. *)
+let work_fields () =
+  let work = Counters.snapshot () in
+  (work, List.fold_left (fun acc (_, n) -> acc + n) 0 work)
+
+(* Execute [run ()] (which must reset counters itself just before the
+   measured region), timing wall/CPU and the GC word deltas, and append
+   one event to [sink].  [max_qerror] is produced by the runner (1.0 when
+   it did not profile). *)
+let log_query sink ~slow_ms ~query ~fingerprint ~hit run =
+  (* [Gc.counters] (not [quick_stat]) reads the live young pointer, so
+     sub-minor-collection allocations are visible in the deltas. *)
+  let min0, _, maj0 = Gc.counters () in
+  let cpu0 = Clock.cpu_seconds () in
+  let t0 = Clock.now_ns () in
+  let v, max_qerror = run () in
+  let wall_ns = Clock.elapsed_ns t0 in
+  let cpu_ns = int_of_float ((Clock.cpu_seconds () -. cpu0) *. 1e9) in
+  let min1, _, maj1 = Gc.counters () in
+  let work, work_total = work_fields () in
+  let slow =
+    match slow_ms with Some t -> Clock.ns_to_ms wall_ns >= t | None -> false
+  in
+  Qlog.log sink
+    { Qlog.ts_ns = Clock.now_ns ();
+      query_hash = Qlog.hash_hex (Njq_engine.Plancache.normalize query);
+      fingerprint;
+      cache = (if hit then "hit" else "miss");
+      rows = Value.set_size v;
+      work;
+      work_total;
+      minor_words = min1 -. min0;
+      major_words = maj1 -. maj0;
+      wall_ns;
+      cpu_ns;
+      max_qerror;
+      slow };
+  if slow then
+    Fmt.epr "slow query: %.3f ms (>= %.1f ms) fp=%s@."
+      (Clock.ns_to_ms wall_ns)
+      (Option.value ~default:0.0 slow_ms)
+      fingerprint;
+  v
+
+(* One-shot variant for [njq run]: open the sink, log, close. *)
+let with_qlog ~path ~slow_ms ~query ~fingerprint ~hit run =
+  let sink = Qlog.open_sink ?slow_ms path in
+  Fun.protect
+    ~finally:(fun () -> Qlog.close sink)
+    (fun () -> log_query sink ~slow_ms ~query ~fingerprint ~hit run)
 
 let schema_arg =
   let doc = "Load class definitions from a file instead of the built-in \
@@ -335,6 +423,8 @@ let explain_cmd =
                 [ ("analyze",
                    Json.Obj
                      [ ("result_rows", Json.Int (Value.set_size v));
+                       ("fingerprint",
+                        Json.Str (Njq_engine.Plan.fingerprint plan));
                        ("max_qerror",
                         Json.Float (Njq_engine.Profile.max_qerror prof));
                        ("plan", Njq_engine.Profile.to_json prof) ]) ])
@@ -350,7 +440,10 @@ let explain_cmd =
           match analysis with
           | None -> ()
           | Some (v, prof) ->
-            Fmt.pr "@.analyze (%d result rows):@.%a" (Value.set_size v)
+            (* The fingerprint joins this table against `njq top` rows. *)
+            Fmt.pr "@.analyze (%d result rows):@.fingerprint: %s@.%a"
+              (Value.set_size v)
+              (Njq_engine.Plan.fingerprint plan)
               Njq_engine.Profile.pp prof
         end)
   in
@@ -423,21 +516,46 @@ let format_arg =
 
 let run_cmd =
   let run q scale seed dangling empty mode no_opt counters db save_db format
-      schema_file domains batch_size indexes =
+      schema_file domains batch_size indexes qlog slow_ms =
     or_die (fun () ->
         apply_domains domains;
         apply_batch batch_size;
         let cat = make_catalog ?db ?save_db ?schema_file scale seed dangling empty in
         apply_indexes cat indexes;
-        let adl, _ =
-          Njq_oosql.Translate.query (load_schema schema_file) (parse_query_text q)
+        (* Derivation goes through the plan cache so the qlog's hit/miss
+           bit is real (the repl and a future server share the entry). *)
+        let options = Fmt.str "run/%s/noopt=%b" (mode_name mode) no_opt in
+        let plan, hit =
+          Njq_engine.Plancache.find_or_derive_report cat ~options q
+            ~derive:(fun () ->
+              let adl, _ =
+                Njq_oosql.Translate.query (load_schema schema_file)
+                  (parse_query_text q)
+              in
+              let final =
+                if no_opt then adl
+                else Strategy.optimize ~options:(options_of mode) cat adl
+              in
+              Njq_engine.Planner.plan ~cat final)
         in
-        let final =
-          if no_opt then adl
-          else Strategy.optimize ~options:(options_of mode) cat adl
+        let qlog = match qlog with Some _ -> qlog | None -> env_qlog () in
+        let slow_ms =
+          match slow_ms with Some _ -> slow_ms | None -> env_slow_ms ()
         in
-        Counters.reset ();
-        let v = Njq_engine.Exec.run cat (Njq_engine.Planner.plan ~cat final) in
+        let v =
+          match qlog with
+          | None ->
+            Counters.reset ();
+            Njq_engine.Exec.run cat plan
+          | Some path ->
+            (* Profiled execution: the event records the worst per-node
+               cardinality q-error alongside the costs. *)
+            with_qlog ~path ~slow_ms ~query:q
+              ~fingerprint:(Njq_engine.Plan.fingerprint plan) ~hit (fun () ->
+                Counters.reset ();
+                let v, prof = Njq_engine.Profile.run cat plan in
+                (v, Njq_engine.Profile.max_qerror prof))
+        in
         (match format with
          | `Adl ->
            Fmt.pr "%a@." Value.pp v;
@@ -452,7 +570,8 @@ let run_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ save_db_arg
-      $ format_arg $ schema_arg $ domains_arg $ batch_size_arg $ index_arg)
+      $ format_arg $ schema_arg $ domains_arg $ batch_size_arg $ index_arg
+      $ qlog_arg $ slow_ms_arg)
 
 let adl_cmd =
   let run q scale seed dangling empty mode no_opt counters db schema_file
@@ -516,11 +635,11 @@ let repl_cmd =
     (* Result types keyed like the plan cache, so repeated queries whose
        derivation is skipped on a cache hit still print their type. *)
     let types : (string * string, Vtype.t) Hashtbl.t = Hashtbl.create 16 in
-    let mode_name = function
-      | Strategy.Nestjoin_always -> "nestjoin"
-      | Strategy.Flat_join_when_safe -> "flatjoin"
-      | Strategy.Outerjoin -> "outerjoin"
-    in
+    (* With NJQ_QLOG set, one sink stays open for the whole session —
+       repeated queries hit the plan cache, so the logged hit/miss bits
+       (and `njq top`'s hit rate) are meaningful here. *)
+    let slow_ms = env_slow_ms () in
+    let qsink = Option.map (Qlog.open_sink ?slow_ms) (env_qlog ()) in
     Fmt.pr
       "njq repl — supplier-part-delivery database with %d rows per extent.@.\
        Terminate queries with ';'.  Directives: :explain <query>;  \
@@ -553,8 +672,8 @@ let repl_cmd =
           Fmt.str "%s/v%d" (mode_name !mode) (List.length !views)
         in
         let tkey = (options, Njq_engine.Plancache.normalize text) in
-        let plan =
-          Njq_engine.Plancache.find_or_derive cat ~options text
+        let plan, hit =
+          Njq_engine.Plancache.find_or_derive_report cat ~options text
             ~derive:(fun () ->
               let q = Njq_oosql.Views.expand !views q in
               let adl, ty = Njq_oosql.Translate.query schema q in
@@ -564,8 +683,18 @@ let repl_cmd =
               in
               Njq_engine.Planner.plan ~cat final)
         in
-        Counters.reset ();
-        let v = Njq_engine.Exec.run cat plan in
+        let exec () =
+          Counters.reset ();
+          Njq_engine.Exec.run cat plan
+        in
+        let v =
+          match qsink with
+          | None -> exec ()
+          | Some sink ->
+            log_query sink ~slow_ms ~query:text
+              ~fingerprint:(Njq_engine.Plan.fingerprint plan) ~hit (fun () ->
+                (exec (), 1.0))
+        in
         let pp_ty ppf () =
           match Hashtbl.find_opt types tkey with
           | Some ty -> Fmt.pf ppf " of type %a" Vtype.pp ty
@@ -617,7 +746,7 @@ let repl_cmd =
            Fmt.pr "runtime type error: %s@." msg);
         loop ()
     in
-    loop ()
+    Fun.protect ~finally:(fun () -> Option.iter Qlog.close qsink) loop
   in
   Cmd.v
     (Cmd.info "repl" ~doc:"Interactive query loop against a generated database")
@@ -694,10 +823,123 @@ let cache_cmd =
        ~doc:"Prepared-query plan cache (LRU over compiled physical plans)")
     [ cache_stats_cmd ]
 
+(* ---------------- query-log inspection ---------------- *)
+
+let qlog_pos_arg =
+  let doc =
+    "Query log file (JSONL, written by $(b,njq run --qlog) / NJQ_QLOG)."
+  in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QLOG" ~doc)
+
+let limit_arg =
+  let doc = "Show at most this many rows (0 = all)." in
+  Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc)
+
+let load_qlog path =
+  let path =
+    match path with
+    | Some p -> p
+    | None ->
+      (match env_qlog () with
+       | Some p -> p
+       | None ->
+         Fmt.epr "no query log: pass a file or set NJQ_QLOG@.";
+         exit 1)
+  in
+  if not (Sys.file_exists path) then begin
+    Fmt.epr "query log %s does not exist@." path;
+    exit 1
+  end;
+  let events, bad = Qlog.read_file path in
+  if bad > 0 then Fmt.epr "warning: %d malformed line(s) skipped@." bad;
+  events
+
+let take n xs =
+  if n <= 0 then xs
+  else
+    List.filteri (fun i _ -> i < n) xs
+
+let top_cmd =
+  let run path limit json =
+    let events = load_qlog path in
+    let aggs = take limit (Qlog.aggregate events) in
+    if json then
+      print_endline
+        (Json.to_string ~pretty:true
+           (Json.Obj
+              [ ("events", Json.Int (List.length events));
+                ("plans", Json.List (List.map Qlog.agg_to_json aggs)) ]))
+    else begin
+      Fmt.pr "%-16s %6s %5s %6s %10s %10s %10s %10s %6s@." "fingerprint"
+        "calls" "hit%" "slow" "p50(ms)" "p99(ms)" "max(ms)" "work" "qerr";
+      List.iter
+        (fun (a : Qlog.agg) ->
+          Fmt.pr "%-16s %6d %5.0f %6d %10.3f %10.3f %10.3f %10d %6.2f@."
+            a.Qlog.a_fingerprint a.Qlog.a_calls
+            (100.0 *. Qlog.hit_rate a)
+            a.Qlog.a_slow
+            (Clock.ns_to_ms (Njq_obs.Histogram.p50 a.Qlog.a_wall))
+            (Clock.ns_to_ms (Njq_obs.Histogram.p99 a.Qlog.a_wall))
+            (Clock.ns_to_ms (Njq_obs.Histogram.max_value a.Qlog.a_wall))
+            a.Qlog.a_work a.Qlog.a_max_qerror)
+        aggs
+    end
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Aggregate a query log per plan fingerprint: calls, cache hit \
+             rate, p50/p99/max latency, total work, worst q-error — \
+             heaviest plans (by total wall time) first")
+    Term.(const run $ qlog_pos_arg $ limit_arg $ json_arg)
+
+let slow_only_arg =
+  let doc = "Show only events that crossed the writer's slow threshold." in
+  Arg.(value & flag & info [ "slow-only" ] ~doc)
+
+let fingerprint_arg =
+  let doc = "Show only events of this plan fingerprint." in
+  Arg.(value & opt (some string) None
+       & info [ "fingerprint" ] ~docv:"FP" ~doc)
+
+let log_cmd =
+  let run path limit slow_only fingerprint json =
+    let events = load_qlog path in
+    let events =
+      List.filter
+        (fun (e : Qlog.event) ->
+          ((not slow_only) || e.Qlog.slow)
+          &&
+          match fingerprint with
+          | None -> true
+          | Some fp -> String.equal fp e.Qlog.fingerprint)
+        events
+    in
+    (* Most recent events are the interesting ones: take the tail. *)
+    let total = List.length events in
+    let events =
+      if limit > 0 && total > limit then
+        List.filteri (fun i _ -> i >= total - limit) events
+      else events
+    in
+    if json then
+      print_endline
+        (Json.to_string ~pretty:true
+           (Json.List (List.map Qlog.to_json events)))
+    else
+      List.iter (fun e -> Fmt.pr "%a@." Qlog.pp_event e) events
+  in
+  Cmd.v
+    (Cmd.info "log"
+       ~doc:"Pretty-print query-log events (filter by slowness or plan \
+             fingerprint)")
+    Term.(
+      const run $ qlog_pos_arg $ limit_arg $ slow_only_arg $ fingerprint_arg
+      $ json_arg)
+
 let main =
   let doc = "nested-loop to join queries in OODB — OOSQL/ADL query pipeline" in
   Cmd.group (Cmd.info "njq" ~version:"1.0.0" ~doc)
     [ parse_cmd; translate_cmd; explain_cmd; run_cmd; adl_cmd; schema_cmd;
-      stats_cmd; repl_cmd; cache_cmd ]
+      stats_cmd; repl_cmd; cache_cmd; top_cmd; log_cmd ]
 
 let () = exit (Cmd.eval main)

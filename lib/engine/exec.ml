@@ -215,6 +215,29 @@ let c_pnhl_probe = M.counter "pnhl_probe"
 let c_par_partition = M.counter "par_partition"
 let c_par_partition_row = M.counter "par_partition_row"
 
+(* Wall-time distribution of individual parallel tasks (partitions /
+   chunks / batches), recorded per domain and merged at pool join. *)
+let h_par_task = M.histogram "par_task_ns"
+
+(* Wrap one parallel task body: its wall time lands in [h_par_task], and
+   under tracing a completed span (tagged with the recording domain — the
+   Chrome exporter's [tid] lane) is emitted from whichever domain ran the
+   task, so partition work is attributable in [--trace-out] output. *)
+let par_task name task i =
+  let t0 = Clock.now_ns () in
+  let finish () =
+    M.observe h_par_task (Clock.elapsed_ns t0);
+    if Span.tracing_enabled () then
+      Span.emit ~start_ns:t0 ~attrs:[ ("task", Span.AInt i) ] name
+  in
+  match task i with
+  | r ->
+    finish ();
+    r
+  | exception exn ->
+    finish ();
+    raise exn
+
 (* Non-negative partition index from a value hash ([Value.hash] can go
    negative through multiplicative overflow). *)
 let bucket_of_hash h partitions = (h land max_int) mod partitions
@@ -597,9 +620,10 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let residual_s = residual_spawner cat xvar yvar residual in
     let build_hint = max 16 (tbl_size cat right / partitions) in
     let joined =
-      Pool.run partitions (fun b ->
-          hash_join_keyed kind ~xkey:(xkey_s ()) ~ykey:(ykey_s ())
-            ~residual:(residual_s ()) ~build_hint xparts.(b) yparts.(b))
+      Pool.run partitions
+        (par_task "task:par_join" (fun b ->
+             hash_join_keyed kind ~xkey:(xkey_s ()) ~ykey:(ykey_s ())
+               ~residual:(residual_s ()) ~build_hint xparts.(b) yparts.(b)))
     in
     dedup (List.concat (Array.to_list joined))
   | Plan.ParNestjoinOp
@@ -621,25 +645,28 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     (* Every left row is in exactly one partition, and all right rows with
        its key are in the same one, so its match group is complete there. *)
     let parts_out =
-      Pool.run partitions (fun b ->
-          let xkey = xkey_s ()
-          and ykey = ykey_s ()
-          and residual = residual_s ()
-          and body = body_s () in
-          let ys_b = yparts.(b) in
-          let tbl = KTbl.create build_hint in
-          List.iter
-            (fun y ->
-              M.incr c_hash_build;
-              KTbl.add tbl (ykey y) y)
-            ys_b;
-          List.map
-            (fun x ->
-              M.incr c_hash_probe;
-              let ms = List.filter (residual x) (KTbl.find_all tbl (xkey x)) in
-              let projected = List.map (fun y -> body x y) ms in
-              Value.concat x (Value.tuple [ (attr, Value.set projected) ]))
-            xparts.(b))
+      Pool.run partitions
+        (par_task "task:par_nestjoin" (fun b ->
+             let xkey = xkey_s ()
+             and ykey = ykey_s ()
+             and residual = residual_s ()
+             and body = body_s () in
+             let ys_b = yparts.(b) in
+             let tbl = KTbl.create build_hint in
+             List.iter
+               (fun y ->
+                 M.incr c_hash_build;
+                 KTbl.add tbl (ykey y) y)
+               ys_b;
+             List.map
+               (fun x ->
+                 M.incr c_hash_probe;
+                 let ms =
+                   List.filter (residual x) (KTbl.find_all tbl (xkey x))
+                 in
+                 let projected = List.map (fun y -> body x y) ms in
+                 Value.concat x (Value.tuple [ (attr, Value.set projected) ]))
+               xparts.(b)))
     in
     List.concat (Array.to_list parts_out)
   | Plan.ParPnhl { attr; elem_key; row_key; into; mem_budget; left; right } ->
@@ -649,16 +676,17 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let pred_s = pred1_spawner cat ~var pred in
     let chunks = par_chunks (Array.length xs) in
     let outs =
-      Pool.run (Array.length chunks) (fun c ->
-          let pred = pred_s () in
-          let lo, hi = chunks.(c) in
-          let acc = ref [] in
-          for i = hi - 1 downto lo do
-            let row = xs.(i) in
-            M.incr c_filter_eval;
-            if pred row then acc := row :: !acc
-          done;
-          !acc)
+      Pool.run (Array.length chunks)
+        (par_task "task:par_filter" (fun c ->
+             let pred = pred_s () in
+             let lo, hi = chunks.(c) in
+             let acc = ref [] in
+             for i = hi - 1 downto lo do
+               let row = xs.(i) in
+               M.incr c_filter_eval;
+               if pred row then acc := row :: !acc
+             done;
+             !acc))
     in
     List.concat (Array.to_list outs)
   | Plan.ParMapOp { var; body; input } ->
@@ -666,14 +694,15 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
     let body_s = param1_spawner cat ~var body in
     let chunks = par_chunks (Array.length xs) in
     let outs =
-      Pool.run (Array.length chunks) (fun c ->
-          let body = body_s () in
-          let lo, hi = chunks.(c) in
-          let acc = ref [] in
-          for i = hi - 1 downto lo do
-            acc := body xs.(i) :: !acc
-          done;
-          !acc)
+      Pool.run (Array.length chunks)
+        (par_task "task:par_map" (fun c ->
+             let body = body_s () in
+             let lo, hi = chunks.(c) in
+             let acc = ref [] in
+             for i = hi - 1 downto lo do
+               acc := body xs.(i) :: !acc
+             done;
+             !acc))
     in
     dedup (List.concat (Array.to_list outs))
   | Plan.EvalOp e -> Value.as_set (Eval.run cat e)
@@ -1034,16 +1063,17 @@ and push_node cat (p : Plan.t) (sink : Value.t -> unit) : unit =
     let pred_s = pred1_spawner cat ~var pred in
     let chunks = par_chunks (Array.length xs) in
     let outs =
-      Pool.run (Array.length chunks) (fun c ->
-          let pred = pred_s () in
-          let lo, hi = chunks.(c) in
-          let acc = ref [] in
-          for i = hi - 1 downto lo do
-            let row = xs.(i) in
-            M.incr c_filter_eval;
-            if pred row then acc := row :: !acc
-          done;
-          !acc)
+      Pool.run (Array.length chunks)
+        (par_task "task:par_filter" (fun c ->
+             let pred = pred_s () in
+             let lo, hi = chunks.(c) in
+             let acc = ref [] in
+             for i = hi - 1 downto lo do
+               let row = xs.(i) in
+               M.incr c_filter_eval;
+               if pred row then acc := row :: !acc
+             done;
+             !acc))
     in
     Array.iter (fun out -> List.iter sink out) outs
   | Plan.ParMapOp { var; body; input } ->
@@ -1051,14 +1081,15 @@ and push_node cat (p : Plan.t) (sink : Value.t -> unit) : unit =
     let body_s = param1_spawner cat ~var body in
     let chunks = par_chunks (Array.length xs) in
     let outs =
-      Pool.run (Array.length chunks) (fun c ->
-          let body = body_s () in
-          let lo, hi = chunks.(c) in
-          let acc = ref [] in
-          for i = hi - 1 downto lo do
-            acc := body xs.(i) :: !acc
-          done;
-          !acc)
+      Pool.run (Array.length chunks)
+        (par_task "task:par_map" (fun c ->
+             let body = body_s () in
+             let lo, hi = chunks.(c) in
+             let acc = ref [] in
+             for i = hi - 1 downto lo do
+               acc := body xs.(i) :: !acc
+             done;
+             !acc))
     in
     let sink = dedup_sink sink in
     Array.iter (fun out -> List.iter sink out) outs
@@ -1316,19 +1347,21 @@ and bpush_node cat (p : Plan.t) (bsink : Batch.t -> unit) : unit =
            ([Compile.vectorizable]), so every task shares it. *)
         let vp = Compile.vectorize_pred cat ~var pred in
         ignore
-          (Pool.run nb (fun i ->
-               let b = batches.(i) in
-               M.incr ~n:(Batch.live b) c_filter_eval;
-               Batch.keep_vpred vp b))
+          (Pool.run nb
+             (par_task "task:par_filter" (fun i ->
+                  let b = batches.(i) in
+                  M.incr ~n:(Batch.live b) c_filter_eval;
+                  Batch.keep_vpred vp b)))
       end
       else begin
         let pred_s = pred1_spawner cat ~var pred in
         ignore
-          (Pool.run nb (fun i ->
-               let pred = pred_s () in
-               let b = batches.(i) in
-               M.incr ~n:(Batch.live b) c_filter_eval;
-               Batch.keep_rows b pred))
+          (Pool.run nb
+             (par_task "task:par_filter" (fun i ->
+                  let pred = pred_s () in
+                  let b = batches.(i) in
+                  M.incr ~n:(Batch.live b) c_filter_eval;
+                  Batch.keep_rows b pred)))
       end;
       Array.iter emit_live batches
     end
@@ -1340,17 +1373,18 @@ and bpush_node cat (p : Plan.t) (bsink : Batch.t -> unit) : unit =
     if nb > 0 then begin
       let body_s = param1_spawner cat ~var body in
       let outs =
-        Pool.run nb (fun i ->
-            let body = body_s () in
-            let b = batches.(i) in
-            let out = Array.make (Batch.live b) Value.VNull in
-            let j = ref 0 in
-            Batch.iter
-              (fun row ->
-                out.(!j) <- body row;
-                incr j)
-              b;
-            out)
+        Pool.run nb
+          (par_task "task:par_map" (fun i ->
+               let body = body_s () in
+               let b = batches.(i) in
+               let out = Array.make (Batch.live b) Value.VNull in
+               let j = ref 0 in
+               Batch.iter
+                 (fun row ->
+                   out.(!j) <- body row;
+                   incr j)
+                 b;
+               out))
       in
       let emit, flush = dedup_builder () in
       Array.iter (fun out -> Array.iter emit out) outs;
@@ -1733,27 +1767,28 @@ and exec_par_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
   let segs = Array.of_list (segments ys) in
   let seg_hint = tbl_size ~cap:mem_budget cat right in
   let partials =
-    Pool.run (Array.length segs) (fun s ->
-        let row_key = row_key_s () and elem_key = elem_key_s () in
-        M.incr c_pnhl_partition;
-        let segment = segs.(s) in
-        let tbl = VTbl.create seg_hint in
-        List.iter
-          (fun y ->
-            M.incr c_pnhl_build;
-            VTbl.add tbl (row_key y) y)
-          segment;
-        let partial = Array.make (Array.length xs) [] in
-        Array.iteri
-          (fun i x ->
-            let elems = Value.as_set (Value.field x attr) in
-            List.iter
-              (fun e ->
-                M.incr c_pnhl_probe;
-                partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
-              elems)
-          xs;
-        partial)
+    Pool.run (Array.length segs)
+      (par_task "task:par_pnhl" (fun s ->
+           let row_key = row_key_s () and elem_key = elem_key_s () in
+           M.incr c_pnhl_partition;
+           let segment = segs.(s) in
+           let tbl = VTbl.create seg_hint in
+           List.iter
+             (fun y ->
+               M.incr c_pnhl_build;
+               VTbl.add tbl (row_key y) y)
+             segment;
+           let partial = Array.make (Array.length xs) [] in
+           Array.iteri
+             (fun i x ->
+               let elems = Value.as_set (Value.field x attr) in
+               List.iter
+                 (fun e ->
+                   M.incr c_pnhl_probe;
+                   partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
+                 elems)
+             xs;
+           partial))
   in
   Array.to_list
     (Array.mapi

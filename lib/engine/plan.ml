@@ -302,6 +302,12 @@ let rec pp ppf = function
 
 let to_string p = Fmt.str "@[%a@]" pp p
 
+(* Stable identity of a physical plan: the hash of its rendered tree.
+   Two queries served by the same plan share a fingerprint, so `njq top`
+   can aggregate a query log per plan and `explain --analyze` output
+   joins against it. *)
+let fingerprint p = Njq_obs.Qlog.hash_hex (to_string p)
+
 (* Short operator label for instrumented reports. *)
 let node_label = function
   | Scan t -> "scan " ^ t

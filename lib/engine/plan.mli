@@ -191,6 +191,11 @@ val kind_name : Expr.join_kind -> string
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+(** Stable hex identity of a physical plan ({!Njq_obs.Qlog.hash_hex} of
+    {!to_string}); the join key between [njq explain --analyze], the
+    query log, and [njq top]. *)
+val fingerprint : t -> string
+
 (** Short operator label for instrumented reports. *)
 val node_label : t -> string
 

@@ -72,8 +72,8 @@ let evict_lru () =
     Hashtbl.remove table k;
     M.incr c_evict
 
-let find_or_derive (cat : Catalog.t) ?(options = "") text
-    ~(derive : unit -> Plan.t) : Plan.t =
+let find_or_derive_report (cat : Catalog.t) ?(options = "") text
+    ~(derive : unit -> Plan.t) : Plan.t * bool =
   let key =
     { cat_id = Catalog.id cat; epoch = Catalog.epoch cat; options;
       text = normalize text }
@@ -83,7 +83,7 @@ let find_or_derive (cat : Catalog.t) ?(options = "") text
     M.incr c_hit;
     incr tick;
     e.stamp <- !tick;
-    e.plan
+    (e.plan, true)
   | None ->
     M.incr c_miss;
     let plan = derive () in
@@ -94,4 +94,7 @@ let find_or_derive (cat : Catalog.t) ?(options = "") text
       incr tick;
       Hashtbl.replace table key { plan; stamp = !tick }
     end;
-    plan
+    (plan, false)
+
+let find_or_derive cat ?options text ~derive =
+  fst (find_or_derive_report cat ?options text ~derive)

@@ -19,6 +19,15 @@ val capacity : int ref
 val find_or_derive :
   Catalog.t -> ?options:string -> string -> derive:(unit -> Plan.t) -> Plan.t
 
+(** Like {!find_or_derive}, also reporting whether the plan came from the
+    cache ([true] = hit) — the bit the query log records per event. *)
+val find_or_derive_report :
+  Catalog.t ->
+  ?options:string ->
+  string ->
+  derive:(unit -> Plan.t) ->
+  Plan.t * bool
+
 (** Collapse whitespace runs and trim — the key normalization applied to
     query text. *)
 val normalize : string -> string

@@ -100,8 +100,10 @@ let drain job =
     end
   in
   claim ();
-  (* Totals must be in the main cells before the pool join returns. *)
-  Njq_obs.Metrics.flush_local ()
+  (* Totals must be in the main cells — and worker task spans in the
+     tracer's foreign list — before the pool join returns. *)
+  Njq_obs.Metrics.flush_local ();
+  Njq_obs.Span.flush_domain ()
 
 let worker_loop () =
   let my_gen = ref 0 in

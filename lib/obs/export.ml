@@ -43,6 +43,7 @@ let span_to_json (s : Span.span) =
       ("id", Json.Int s.id);
       ("name", Json.Str s.name);
       ("depth", Json.Int s.depth);
+      ("domain", Json.Int s.domain);
       ("start_ns", Json.Int s.start_ns);
       ("duration_ns", Json.Int (Span.duration_ns s));
       ("cpu_s", Json.Float (Span.duration_cpu s));
@@ -61,7 +62,9 @@ let span_to_json (s : Span.span) =
 let spans_to_json spans = Json.List (List.map span_to_json spans)
 
 (* Chrome trace_event: complete ("X") events with microsecond timestamps
-   relative to the first span, one process/thread. *)
+   relative to the first span, one process.  Each span's recording domain
+   becomes the thread lane ([tid]), so the main pipeline renders as one
+   track and every pool domain's task spans get their own. *)
 let chrome_trace spans =
   let origin =
     match spans with [] -> 0 | (s : Span.span) :: _ -> s.start_ns
@@ -75,7 +78,7 @@ let chrome_trace spans =
         ("ts", Json.Float (Clock.ns_to_us (s.start_ns - origin)));
         ("dur", Json.Float (Clock.ns_to_us (Span.duration_ns s)));
         ("pid", Json.Int 1);
-        ("tid", Json.Int 1);
+        ("tid", Json.Int s.domain);
       ]
     in
     let args =

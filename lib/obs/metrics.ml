@@ -35,6 +35,12 @@ type timer = {
   mutable t_events : int;
 }
 
+(* A named latency/allocation distribution.  The main histogram belongs
+   to the main domain like counter cells do; sharded observations land in
+   per-domain scratch histograms and merge on flush (exact: histogram
+   merge is pointwise bucket addition). *)
+type hist = { h_id : int; h_name : string; h_main : Histogram.t }
+
 (* One flag for the whole registry: [Counters.without_counting] brackets
    oracle computations inside measured regions. *)
 let enabled = ref true
@@ -50,7 +56,15 @@ let with_reg f =
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
 let next_id = ref 0
+
+(* Parallel-section counter deltas attributed per domain id, accumulated
+   at shard-flush time (under [reg_mu]).  Sequential main-domain ticks
+   are deliberately absent: this table answers "which domain did the
+   parallel work", not "what was the total" — totals live in the main
+   cells. *)
+let domain_work : (int, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 8
 
 let counter name =
   with_reg (fun () ->
@@ -72,11 +86,25 @@ let timer name =
         Hashtbl.add timers name t;
         t)
 
+let histogram name =
+  with_reg (fun () ->
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+        let h = { h_id = !next_id; h_name = name; h_main = Histogram.create () }
+        in
+        incr next_id;
+        Hashtbl.add hists name h;
+        h)
+
 (* ------------------------------------------------------------------ *)
 (* Per-domain shards                                                   *)
 (* ------------------------------------------------------------------ *)
 
-type shard_cell = C of counter * int ref | T of timer * int ref * int ref
+type shard_cell =
+  | C of counter * int ref
+  | T of timer * int ref * int ref
+  | H of hist * Histogram.t
 
 (* Pending deltas of this domain, keyed by handle id. *)
 let shard_key : (int, shard_cell) Hashtbl.t Domain.DLS.key =
@@ -91,7 +119,7 @@ let shard_counter_add c n =
   let tbl = Domain.DLS.get shard_key in
   match Hashtbl.find_opt tbl c.c_id with
   | Some (C (_, r)) -> r := !r + n
-  | Some (T _) | None -> Hashtbl.replace tbl c.c_id (C (c, ref n))
+  | Some _ | None -> Hashtbl.replace tbl c.c_id (C (c, ref n))
 
 let shard_timer_add t ns =
   let tbl = Domain.DLS.get shard_key in
@@ -99,7 +127,16 @@ let shard_timer_add t ns =
   | Some (T (_, total, events)) ->
     total := !total + ns;
     Stdlib.incr events
-  | Some (C _) | None -> Hashtbl.replace tbl t.t_id (T (t, ref ns, ref 1))
+  | Some _ | None -> Hashtbl.replace tbl t.t_id (T (t, ref ns, ref 1))
+
+let shard_hist_add h v n =
+  let tbl = Domain.DLS.get shard_key in
+  match Hashtbl.find_opt tbl h.h_id with
+  | Some (H (_, scratch)) -> Histogram.record ~n scratch v
+  | Some _ | None ->
+    let scratch = Histogram.create () in
+    Histogram.record ~n scratch v;
+    Hashtbl.replace tbl h.h_id (H (h, scratch))
 
 (* Flush this domain's pending deltas into the main cells.  Called by each
    pool participant when it finishes its share of a job — always
@@ -108,14 +145,30 @@ let shard_timer_add t ns =
 let flush_local () =
   let tbl = Domain.DLS.get shard_key in
   if Hashtbl.length tbl > 0 then begin
+    let did = (Domain.self () :> int) in
     with_reg (fun () ->
+        let attributed =
+          match Hashtbl.find_opt domain_work did with
+          | Some t -> t
+          | None ->
+            let t = Hashtbl.create 16 in
+            Hashtbl.add domain_work did t;
+            t
+        in
         Hashtbl.iter
           (fun _ cell ->
             match cell with
-            | C (c, r) -> c.c_value <- c.c_value + !r
+            | C (c, r) ->
+              c.c_value <- c.c_value + !r;
+              let prev =
+                Option.value ~default:0
+                  (Hashtbl.find_opt attributed c.c_name)
+              in
+              Hashtbl.replace attributed c.c_name (prev + !r)
             | T (t, total, events) ->
               t.t_total_ns <- t.t_total_ns + !total;
-              t.t_events <- t.t_events + !events)
+              t.t_events <- t.t_events + !events
+            | H (h, scratch) -> Histogram.merge_into ~into:h.h_main scratch)
           tbl);
     Hashtbl.reset tbl
   end
@@ -152,6 +205,21 @@ let time t f =
 let timer_ns t = t.t_total_ns
 let timer_events t = t.t_events
 
+(* Record [v] into a histogram.  Sequentially this writes the main
+   histogram (main-domain-only, like counter cells); inside a parallel
+   section it lands in the domain's scratch histogram and merges exactly
+   on flush. *)
+let observe ?(n = 1) h v =
+  if !enabled then
+    if not !sharded then Histogram.record ~n h.h_main v
+    else shard_hist_add h v n
+
+let hist_name h = h.h_name
+
+(* The merged main histogram.  Only read this outside parallel sections
+   (shards may still hold samples while one is open). *)
+let hist_value h = h.h_main
+
 (* Zero every handle.  Handles stay interned (their identity is the point),
    so snapshots filter zero-valued entries to keep the "only what was
    ticked" reading of the legacy interface. *)
@@ -164,15 +232,45 @@ let reset_timers () =
       t.t_events <- 0)
     timers
 
+let reset_histograms () = Hashtbl.iter (fun _ h -> Histogram.clear h.h_main) hists
+let reset_domain_work () = with_reg (fun () -> Hashtbl.reset domain_work)
+
 let reset () =
   reset_counters ();
-  reset_timers ()
+  reset_timers ();
+  reset_histograms ();
+  reset_domain_work ()
 
 let counter_snapshot () =
   Hashtbl.fold
     (fun name c acc -> if c.c_value <> 0 then (name, c.c_value) :: acc else acc)
     counters []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let hist_snapshot () =
+  Hashtbl.fold
+    (fun name h acc ->
+      if not (Histogram.is_empty h.h_main) then (name, h.h_main) :: acc else acc)
+    hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Parallel-section counter deltas per domain id:
+   [(domain_id, [(counter, delta)])], both levels sorted.  Summing a
+   counter across domains gives exactly its sharded (parallel)
+   contribution to the main cell. *)
+let counter_snapshot_by_domain () =
+  with_reg (fun () ->
+      Hashtbl.fold
+        (fun did tbl acc ->
+          let rows =
+            Hashtbl.fold
+              (fun name v acc -> if v <> 0 then (name, v) :: acc else acc)
+              tbl []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          in
+          if rows = [] then acc else (did, rows) :: acc)
+        domain_work []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
 
 let timer_snapshot () =
   Hashtbl.fold

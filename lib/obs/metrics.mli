@@ -38,12 +38,39 @@ val time : timer -> (unit -> 'a) -> 'a
 val timer_ns : timer -> int
 val timer_events : timer -> int
 
+(** {2 Histograms} *)
+
+type hist
+
+(** Intern a histogram: the same name always returns the same handle. *)
+val histogram : string -> hist
+
+(** Record [n] observations of a value.  Sequentially this writes the
+    main histogram; inside a parallel section it lands in the calling
+    domain's shard and merges exactly at flush. *)
+val observe : ?n:int -> hist -> int -> unit
+
+val hist_name : hist -> string
+
+(** The merged main histogram.  Read it only outside parallel sections. *)
+val hist_value : hist -> Histogram.t
+
+(** Non-empty histograms, sorted by name. *)
+val hist_snapshot : unit -> (string * Histogram.t) list
+
 (** Zero all counters (handles stay interned). *)
 val reset_counters : unit -> unit
 
 val reset_timers : unit -> unit
 
-(** {!reset_counters} plus {!reset_timers}. *)
+(** Zero all histograms (handles stay interned). *)
+val reset_histograms : unit -> unit
+
+(** Clear the per-domain parallel-work attribution table. *)
+val reset_domain_work : unit -> unit
+
+(** {!reset_counters}, {!reset_timers}, {!reset_histograms}, and
+    {!reset_domain_work}. *)
 val reset : unit -> unit
 
 (** Non-zero counters, sorted by name. *)
@@ -51,6 +78,13 @@ val counter_snapshot : unit -> (string * int) list
 
 (** Non-idle timers as [(name, (total_ns, events))], sorted by name. *)
 val timer_snapshot : unit -> (string * (int * int)) list
+
+(** Parallel-section counter deltas attributed per domain id, as
+    [(domain_id, [(counter, delta)])] with both levels sorted.
+    Sequential main-domain ticks are not attributed — summing one
+    counter over all domains gives its sharded (parallel) contribution
+    to the main total, not the whole total. *)
+val counter_snapshot_by_domain : unit -> (int * (string * int) list) list
 
 (** Run with the registry ignoring increments and records. *)
 val with_disabled : (unit -> 'a) -> 'a

@@ -1,0 +1,278 @@
+(* Structured query log: one JSONL record per executed query.
+
+   Every event carries the identifiers that make post-hoc attribution
+   possible — a hash of the normalized query text and the fingerprint of
+   the physical plan that served it — plus the measurements a serving
+   layer tunes against: rows out, work-counter deltas, minor/major heap
+   words, wall and CPU nanoseconds, whether the plan cache hit, and the
+   worst per-node cardinality q-error the profiler saw.  Aggregating the
+   file per plan fingerprint ([aggregate], surfaced as `njq top`) is the
+   per-row-tick to set-at-a-time move applied to the log itself: the
+   per-query records fold into per-plan latency histograms and totals.
+
+   The sink is a buffered append-only channel; [log] serializes one event
+   per line and [close] flushes.  A sink opened with a slow-query
+   threshold ([slow_ms], CLI --slow-ms / env NJQ_SLOW_MS) drops events
+   that finish under the threshold, so a production log can record only
+   outliers while `njq top` still aggregates whatever was kept. *)
+
+type event = {
+  ts_ns : int;  (* monotonic clock; orders events within one process *)
+  query_hash : string;  (* FNV-1a 64 of the normalized query text, hex *)
+  fingerprint : string;  (* physical-plan fingerprint, hex *)
+  cache : string;  (* "hit" | "miss" | "" when the plan cache was bypassed *)
+  rows : int;
+  work : (string * int) list;  (* counter deltas, sorted by name *)
+  work_total : int;
+  minor_words : float;
+  major_words : float;
+  wall_ns : int;
+  cpu_ns : int;
+  max_qerror : float;  (* >= 1.0; 1.0 when the run was not profiled *)
+  slow : bool;  (* wall time reached the sink's threshold at log time *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Hashing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a over the full 64-bit space (Int64: OCaml ints lose the top
+   bit), rendered as 16 hex digits.  Deterministic across processes, so
+   fingerprints computed by `njq run` join against `njq top` output. *)
+let hash_hex s =
+  let open Int64 in
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := mul (logxor !h (of_int (Char.code c))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let to_json e =
+  Json.Obj
+    [ ("ts_ns", Json.Int e.ts_ns);
+      ("query", Json.Str e.query_hash);
+      ("fingerprint", Json.Str e.fingerprint);
+      ("cache", Json.Str e.cache);
+      ("rows", Json.Int e.rows);
+      ("work", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.work));
+      ("work_total", Json.Int e.work_total);
+      ("minor_words", Json.Float e.minor_words);
+      ("major_words", Json.Float e.major_words);
+      ("wall_ns", Json.Int e.wall_ns);
+      ("cpu_ns", Json.Int e.cpu_ns);
+      ("max_qerror", Json.Float e.max_qerror);
+      ("slow", Json.Bool e.slow) ]
+
+let of_json doc =
+  let int k =
+    match Json.member k doc with Some (Json.Int n) -> Some n | _ -> None
+  in
+  let str k =
+    match Json.member k doc with Some (Json.Str s) -> Some s | _ -> None
+  in
+  let num k =
+    match Json.member k doc with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | _ -> None
+  in
+  let work =
+    match Json.member "work" doc with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (function k, Json.Int v -> Some (k, v) | _ -> None)
+        fields
+    | _ -> []
+  in
+  match
+    (int "ts_ns", str "query", str "fingerprint", int "rows", int "wall_ns")
+  with
+  | Some ts_ns, Some query_hash, Some fingerprint, Some rows, Some wall_ns ->
+    Some
+      { ts_ns;
+        query_hash;
+        fingerprint;
+        cache = Option.value ~default:"" (str "cache");
+        rows;
+        work;
+        work_total = Option.value ~default:0 (int "work_total");
+        minor_words = Option.value ~default:0.0 (num "minor_words");
+        major_words = Option.value ~default:0.0 (num "major_words");
+        wall_ns;
+        cpu_ns = Option.value ~default:0 (int "cpu_ns");
+        max_qerror = Option.value ~default:1.0 (num "max_qerror");
+        slow =
+          (match Json.member "slow" doc with
+           | Some (Json.Bool b) -> b
+           | _ -> false) }
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Buffered JSONL sink                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sink = {
+  oc : out_channel;
+  slow_ns : int option;  (* record only events at least this slow *)
+  mutable written : int;
+  mutable dropped : int;
+}
+
+let slow_ns_of_ms ms = int_of_float (ms *. 1e6)
+
+let open_sink ?slow_ms path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  { oc;
+    slow_ns = Option.map slow_ns_of_ms slow_ms;
+    written = 0;
+    dropped = 0 }
+
+(* Serialize-and-append; a sub-threshold event is counted but not
+   written.  The [slow] field is stamped from the sink's knob so readers
+   need not know the writer's configuration. *)
+let log sink e =
+  let is_slow =
+    match sink.slow_ns with None -> e.slow | Some t -> e.wall_ns >= t
+  in
+  if sink.slow_ns <> None && not is_slow then sink.dropped <- sink.dropped + 1
+  else begin
+    output_string sink.oc (Json.to_string (to_json { e with slow = is_slow }));
+    output_char sink.oc '\n';
+    sink.written <- sink.written + 1
+  end
+
+let written sink = sink.written
+let dropped sink = sink.dropped
+
+let close sink =
+  flush sink.oc;
+  close_out sink.oc
+
+(* Parse a qlog file: [(events in file order, malformed line count)].
+   Lenient by design — a truncated tail (killed process) must not make
+   the whole log unreadable. *)
+let read_file path =
+  let events = ref [] in
+  let bad = ref 0 in
+  In_channel.with_open_text path (fun ic ->
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+          (if not (String.equal (String.trim line) "") then
+             match Json.of_string_opt line with
+             | Some doc ->
+               (match of_json doc with
+                | Some e -> events := e :: !events
+                | None -> incr bad)
+             | None -> incr bad);
+          go ()
+      in
+      go ());
+  (List.rev !events, !bad)
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation (`njq top`)                                             *)
+(* ------------------------------------------------------------------ *)
+
+type agg = {
+  a_fingerprint : string;
+  a_calls : int;
+  a_hits : int;  (* plan-cache hits among calls *)
+  a_misses : int;
+  a_slow : int;
+  a_rows : int;  (* summed over calls *)
+  a_work : int;  (* summed work_total *)
+  a_wall : Histogram.t;  (* per-call wall_ns *)
+  a_wall_total : int;
+  a_max_qerror : float;
+  a_queries : string list;  (* distinct query hashes, first-seen order *)
+}
+
+(* Fold events into one aggregate per plan fingerprint, sorted by total
+   wall time descending — the `njq top` ordering: where did the time
+   go, per plan. *)
+let aggregate events =
+  let tbl : (string, agg ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let cell =
+        match Hashtbl.find_opt tbl e.fingerprint with
+        | Some c -> c
+        | None ->
+          let c =
+            ref
+              { a_fingerprint = e.fingerprint;
+                a_calls = 0;
+                a_hits = 0;
+                a_misses = 0;
+                a_slow = 0;
+                a_rows = 0;
+                a_work = 0;
+                a_wall = Histogram.create ();
+                a_wall_total = 0;
+                a_max_qerror = 1.0;
+                a_queries = [] }
+          in
+          Hashtbl.add tbl e.fingerprint c;
+          order := c :: !order;
+          c
+      in
+      let a = !cell in
+      Histogram.record a.a_wall e.wall_ns;
+      cell :=
+        { a with
+          a_calls = a.a_calls + 1;
+          a_hits = (a.a_hits + if String.equal e.cache "hit" then 1 else 0);
+          a_misses =
+            (a.a_misses + if String.equal e.cache "miss" then 1 else 0);
+          a_slow = (a.a_slow + if e.slow then 1 else 0);
+          a_rows = a.a_rows + e.rows;
+          a_work = a.a_work + e.work_total;
+          a_wall_total = a.a_wall_total + e.wall_ns;
+          a_max_qerror = Float.max a.a_max_qerror e.max_qerror;
+          a_queries =
+            (if List.mem e.query_hash a.a_queries then a.a_queries
+             else a.a_queries @ [ e.query_hash ]) })
+    events;
+  List.rev_map ( ! ) !order
+  |> List.sort (fun a b -> compare b.a_wall_total a.a_wall_total)
+
+(* Plan-cache hit rate over the calls that went through the cache. *)
+let hit_rate a =
+  let through = a.a_hits + a.a_misses in
+  if through = 0 then 0.0 else float_of_int a.a_hits /. float_of_int through
+
+let agg_to_json a =
+  Json.Obj
+    [ ("fingerprint", Json.Str a.a_fingerprint);
+      ("calls", Json.Int a.a_calls);
+      ("hits", Json.Int a.a_hits);
+      ("misses", Json.Int a.a_misses);
+      ("hit_rate", Json.Float (hit_rate a));
+      ("slow", Json.Int a.a_slow);
+      ("rows", Json.Int a.a_rows);
+      ("work_total", Json.Int a.a_work);
+      ("wall_total_ns", Json.Int a.a_wall_total);
+      ("p50_ns", Json.Int (Histogram.p50 a.a_wall));
+      ("p90_ns", Json.Int (Histogram.p90 a.a_wall));
+      ("p99_ns", Json.Int (Histogram.p99 a.a_wall));
+      ("max_ns", Json.Int (Histogram.max_value a.a_wall));
+      ("max_qerror", Json.Float a.a_max_qerror);
+      ("queries", Json.List (List.map (fun q -> Json.Str q) a.a_queries)) ]
+
+let pp_event ppf e =
+  Fmt.pf ppf "%s%-10.3fms  rows=%-6d work=%-8d cache=%-4s qerr=%-6.2f fp=%s q=%s"
+    (if e.slow then "SLOW " else "")
+    (Clock.ns_to_ms e.wall_ns)
+    e.rows e.work_total
+    (if String.equal e.cache "" then "-" else e.cache)
+    e.max_qerror e.fingerprint e.query_hash

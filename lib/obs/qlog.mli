@@ -1,0 +1,81 @@
+(** Structured query log (JSONL) and its per-plan aggregation.
+
+    One {!event} is appended per executed query via a buffered {!sink};
+    [njq top] reads the file back and folds it into per-plan-fingerprint
+    {!agg} rows (calls, cache hit rate, latency percentiles, total
+    work). *)
+
+type event = {
+  ts_ns : int;  (** monotonic timestamp at completion *)
+  query_hash : string;  (** {!hash_hex} of the normalized query text *)
+  fingerprint : string;  (** physical-plan fingerprint (hex) *)
+  cache : string;  (** ["hit"] | ["miss"] | [""] when cache bypassed *)
+  rows : int;  (** rows in the result *)
+  work : (string * int) list;  (** per-counter work deltas *)
+  work_total : int;
+  minor_words : float;
+  major_words : float;
+  wall_ns : int;
+  cpu_ns : int;
+  max_qerror : float;  (** worst per-node q-error; 1.0 if unprofiled *)
+  slow : bool;  (** reached the sink's slow threshold when logged *)
+}
+
+(** FNV-1a 64-bit hash, 16 lowercase hex digits. Deterministic across
+    processes/runs. *)
+val hash_hex : string -> string
+
+val to_json : event -> Json.t
+
+(** [None] on documents missing the required fields
+    (ts_ns/query/fingerprint/rows/wall_ns); optional fields default. *)
+val of_json : Json.t -> event option
+
+(** {1 Buffered JSONL sink} *)
+
+type sink
+
+(** Open [path] for append (created if missing). With [slow_ms], only
+    events whose wall time reaches the threshold are written; all events
+    get their [slow] field stamped accordingly. *)
+val open_sink : ?slow_ms:float -> string -> sink
+
+val log : sink -> event -> unit
+
+val written : sink -> int
+
+(** Events suppressed by the [slow_ms] threshold. *)
+val dropped : sink -> int
+
+(** Flush and close the channel. *)
+val close : sink -> unit
+
+(** [(events, malformed_line_count)] — malformed or truncated lines are
+    skipped, not fatal. *)
+val read_file : string -> event list * int
+
+(** {1 Aggregation} *)
+
+type agg = {
+  a_fingerprint : string;
+  a_calls : int;
+  a_hits : int;
+  a_misses : int;
+  a_slow : int;
+  a_rows : int;
+  a_work : int;
+  a_wall : Histogram.t;
+  a_wall_total : int;
+  a_max_qerror : float;
+  a_queries : string list;  (** distinct query hashes, first-seen order *)
+}
+
+(** One row per plan fingerprint, sorted by total wall time descending. *)
+val aggregate : event list -> agg list
+
+(** Cache hit fraction among calls that consulted the cache (0 if none
+    did). *)
+val hit_rate : agg -> float
+
+val agg_to_json : agg -> Json.t
+val pp_event : Format.formatter -> event -> unit

@@ -11,14 +11,24 @@
    Tracing is off by default; every entry point checks one flag so the
    instrumented pipeline costs nothing when no one is listening.
 
-   The collector is deliberately main-domain only: spans describe the
-   pipeline's phases, which run on the main domain, while the engine's
+   The open-span *stack* is deliberately main-domain only: spans describe
+   the pipeline's phases, which run on the main domain, while the engine's
    parallel operators fan partition work out to pool domains
-   ([Njq_engine.Pool]).  Every recording entry point therefore no-ops off
-   the main domain (checked only when tracing is on), so a traced parallel
-   run keeps a well-nested single-threaded span tree instead of racing on
-   the open-span stack.  Per-partition work still shows up exactly in the
-   counters, which shard per domain (see [Metrics]). *)
+   ([Njq_engine.Pool]).  Stack-touching entry points ([with_span],
+   [add_attr]) therefore no-op off the main domain (checked only when
+   tracing is on), so a traced parallel run keeps a well-nested
+   single-threaded span tree instead of racing on the stack.
+
+   Worker domains still get to report completed intervals: [emit] called
+   off the main domain buffers the span in domain-local storage (id
+   unassigned, no parent — the worker cannot read the main stack without
+   racing it), [flush_domain] moves that buffer into a mutex-protected
+   foreign list when the domain finishes its share of a pool job, and the
+   main domain adopts the foreign spans (assigning ids) when [finished] is
+   read.  Every span carries the id of the domain that recorded it, which
+   the Chrome exporter maps to the [tid] lane — parallel-operator work is
+   attributable per domain in a trace, matching the per-domain counter
+   shards (see [Metrics]). *)
 
 type attr =
   | ABool of bool
@@ -27,10 +37,11 @@ type attr =
   | AStr of string
 
 type span = {
-  id : int;
+  mutable id : int; (* assigned on the main domain; -1 while foreign *)
   parent : int option;
   name : string;
   depth : int;
+  domain : int; (* id of the domain that recorded the span *)
   start_ns : int;
   mutable stop_ns : int;
   start_cpu : float;
@@ -43,13 +54,43 @@ let next_id = ref 0
 let open_stack : span list ref = ref []
 let completed : span list ref = ref []
 
-(* Recording is active only where the collector's state may be touched:
+(* Completed worker spans in transit to the main domain: each worker
+   buffers in domain-local storage, [flush_domain] moves the buffer here
+   under the mutex, and the main domain adopts (assigns ids) lazily. *)
+let foreign_mu = Mutex.create ()
+let foreign : span list ref = ref []
+
+let worker_buf : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Recording is active only where the collector's stack may be touched:
    tracing on, and on the main domain. *)
 let recording () = !tracing_on && Domain.is_main_domain ()
 
 let tracing () = recording ()
 
+(* Whether tracing is on at all — readable from any domain, e.g. to gate
+   building attrs for a worker-side [emit]. *)
+let tracing_enabled () = !tracing_on
+
+(* Adopt flushed worker spans into [completed]: give them ids on the main
+   domain so ids stay unique without cross-domain coordination. *)
+let adopt_foreign () =
+  Mutex.lock foreign_mu;
+  let adopted = !foreign in
+  foreign := [];
+  Mutex.unlock foreign_mu;
+  List.iter
+    (fun s ->
+      s.id <- !next_id;
+      incr next_id;
+      completed := s :: !completed)
+    (List.rev adopted)
+
 let reset () =
+  Mutex.lock foreign_mu;
+  foreign := [];
+  Mutex.unlock foreign_mu;
   next_id := 0;
   open_stack := [];
   completed := []
@@ -72,6 +113,7 @@ let push ?(attrs = []) name =
       parent;
       name;
       depth;
+      domain = (Domain.self () :> int);
       start_ns = Clock.now_ns ();
       stop_ns = -1;
       start_cpu = Clock.cpu_seconds ();
@@ -116,31 +158,70 @@ let add_attr key value =
     | s :: _ -> s.attrs <- (key, value) :: s.attrs
 
 let emit ?(attrs = []) ~start_ns name =
-  if recording () then begin
-    let parent, depth =
-      match !open_stack with
-      | [] -> None, 0
-      | p :: _ -> Some p.id, p.depth + 1
-    in
-    let cpu = Clock.cpu_seconds () in
-    let s =
-      {
-        id = !next_id;
-        parent;
-        name;
-        depth;
-        start_ns;
-        stop_ns = Clock.now_ns ();
-        start_cpu = cpu;
-        stop_cpu = cpu;
-        attrs;
-      }
-    in
-    incr next_id;
-    completed := s :: !completed
+  if !tracing_on then
+    if Domain.is_main_domain () then begin
+      let parent, depth =
+        match !open_stack with
+        | [] -> None, 0
+        | p :: _ -> Some p.id, p.depth + 1
+      in
+      let cpu = Clock.cpu_seconds () in
+      let s =
+        {
+          id = !next_id;
+          parent;
+          name;
+          depth;
+          domain = (Domain.self () :> int);
+          start_ns;
+          stop_ns = Clock.now_ns ();
+          start_cpu = cpu;
+          stop_cpu = cpu;
+          attrs;
+        }
+      in
+      incr next_id;
+      completed := s :: !completed
+    end
+    else begin
+      (* Worker domain: buffer locally with the id unassigned and no
+         parent (the main stack cannot be read here without racing it);
+         [flush_domain] hands the buffer over at pool join. *)
+      let cpu = Clock.cpu_seconds () in
+      let s =
+        {
+          id = -1;
+          parent = None;
+          name;
+          depth = 0;
+          domain = (Domain.self () :> int);
+          start_ns;
+          stop_ns = Clock.now_ns ();
+          start_cpu = cpu;
+          stop_cpu = cpu;
+          attrs;
+        }
+      in
+      let buf = Domain.DLS.get worker_buf in
+      buf := s :: !buf
+    end
+
+(* Move this domain's buffered spans into the foreign list.  Called by
+   each pool participant when it finishes its share of a job (next to
+   [Metrics.flush_local]); a no-op on the main domain, whose emits go
+   straight to [completed]. *)
+let flush_domain () =
+  let buf = Domain.DLS.get worker_buf in
+  if !buf <> [] then begin
+    let spans = !buf in
+    buf := [];
+    Mutex.lock foreign_mu;
+    foreign := List.rev_append spans !foreign;
+    Mutex.unlock foreign_mu
   end
 
 let finished () =
+  adopt_foreign ();
   List.sort
     (fun a b ->
       match compare a.start_ns b.start_ns with

@@ -11,10 +11,13 @@ type attr =
   | AStr of string
 
 type span = {
-  id : int;
+  mutable id : int;  (** Assigned on the main domain (worker spans get
+                         theirs at adoption, see {!emit}). *)
   parent : int option;  (** [id] of the enclosing span, if any. *)
   name : string;
   depth : int;  (** Nesting depth; root spans are at depth 0. *)
+  domain : int;  (** Id of the domain that recorded the span; the Chrome
+                     exporter maps it to the [tid] lane. *)
   start_ns : int;
   mutable stop_ns : int;
   start_cpu : float;
@@ -22,7 +25,13 @@ type span = {
   mutable attrs : (string * attr) list;
 }
 
+(** Whether recording is active on {e this} domain (tracing on {e and} on
+    the main domain — the open-span stack is main-domain-only). *)
 val tracing : unit -> bool
+
+(** Whether tracing is on at all; readable from any domain.  Use to gate
+    the cost of building attributes for a worker-side {!emit}. *)
+val tracing_enabled : unit -> bool
 
 (** Clear collected spans and enable tracing. *)
 val start_tracing : unit -> unit
@@ -44,8 +53,17 @@ val add_attr : string -> attr -> unit
 
 (** Record an already-elapsed interval [start_ns .. now] as a completed
     child of the innermost open span — for events whose name is only known
-    after the fact (e.g. which rewrite rule fired). *)
+    after the fact (e.g. which rewrite rule fired).  Callable from any
+    domain: off the main domain the span is buffered domain-locally
+    (parentless, id unassigned) until {!flush_domain} hands it over and
+    {!finished} adopts it. *)
 val emit : ?attrs:(string * attr) list -> start_ns:int -> string -> unit
+
+(** Move the calling domain's buffered worker spans into the collector's
+    foreign list.  Each pool participant calls this when it finishes its
+    share of a job (next to [Metrics.flush_local]); no-op on the main
+    domain. *)
+val flush_domain : unit -> unit
 
 (** Completed spans sorted by start time (ties by creation order). *)
 val finished : unit -> span list
