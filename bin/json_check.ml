@@ -19,7 +19,11 @@
    carry none of the derivation spans (translate/rewrite/plan) that
    "cache|cold" pays, and the cache hit must be faster than the cold
    derivation — on bechamel wall-clock rows when "time" is present, on
-   latency p50 otherwise.
+   latency p50 otherwise.  The b16 serving experiment must show the
+   batched execution of the K merged invocations doing strictly less
+   counter work than the K one-at-a-time runs, and its concurrent-driver
+   "serve" section must carry both modes at 1/2/4 pool domains with
+   batching winning queries/s and p99 queue wait at 4 domains.
 
    With --baseline BASE, the perf-regression gate: BASE and FILE are two
    BENCH_engine.json documents; they must agree on experiment ids and
@@ -115,6 +119,7 @@ let check_bench file =
   let b13_rows = ref 0 in
   let b14_rows = ref 0 in
   let b15_rows = ref 0 in
+  let b16_rows = ref 0 in
   List.iter
     (fun exp ->
       let id = as_str "id" (get "experiment" "id" exp) in
@@ -210,6 +215,21 @@ let check_bench file =
                 | _ -> ())
               variants
           end;
+          if String.equal id "b16" then begin
+            incr b16_rows;
+            (* One batched execution of the K merged invocations must do
+               strictly less counter work than the K one-at-a-time runs:
+               the set-oriented form pays the base-table scan and hash
+               build once. *)
+            match (index_of "serve|one", index_of "serve|batch") with
+            | Some i, Some j ->
+              if not (List.nth totals j < List.nth totals i) then
+                fail
+                  "%s: %s: serve|batch work total (%.0f) not strictly below \
+                   serve|one (%.0f)"
+                  file ctx (List.nth totals j) (List.nth totals i)
+            | _ -> fail "%s: %s: missing serve|one / serve|batch variants" file ctx
+          end;
           if String.equal id "b14" then begin
             incr b14_rows;
             List.iteri
@@ -232,6 +252,55 @@ let check_bench file =
               variants
           end)
         (as_list (ctx ^ " work") (get ctx "work" exp));
+      if String.equal id "b16" then begin
+        (* Concurrent-driver rows: both serving modes must be measured at
+           1, 2 and 4 pool domains, and at 4 domains batching must win
+           throughput and p99 queue wait — the admission queue drains a
+           window at a time, so requests stop piling up behind K
+           individual executions. *)
+        match Json.member "serve" exp with
+        | None -> fail "%s: %s: missing \"serve\" section" file ctx
+        | Some s ->
+          let rows =
+            List.map
+              (fun row ->
+                let mode = as_str (ctx ^ " serve mode") (get ctx "mode" row) in
+                let num k = as_num (ctx ^ " serve " ^ k) (get ctx k row) in
+                List.iter
+                  (fun k ->
+                    if num k < 0.0 then
+                      fail "%s: %s: serve %s has negative %s" file ctx mode k)
+                  [ "requests"; "batches"; "mean_batch"; "queries_per_s";
+                    "queue_p50_ns"; "queue_p99_ns"; "service_p50_ns";
+                    "service_p99_ns"; "latency_p50_ns"; "latency_p99_ns" ];
+                ((int_of_float (num "domains"), mode),
+                 (num "queries_per_s", num "queue_p99_ns")))
+              (as_list (ctx ^ " serve") s)
+          in
+          let find d mode =
+            match List.assoc_opt (d, mode) rows with
+            | Some cell -> cell
+            | None ->
+              fail "%s: %s: no serve row for domains=%d mode=%s" file ctx d mode
+          in
+          List.iter
+            (fun d ->
+              ignore (find d "one");
+              ignore (find d "batch"))
+            [ 1; 2; 4 ];
+          let one_qps, one_queue = find 4 "one" in
+          let batch_qps, batch_queue = find 4 "batch" in
+          if not (batch_qps > one_qps) then
+            fail
+              "%s: %s: batched serving (%.0f q/s) not above one-at-a-time \
+               (%.0f q/s) at 4 domains"
+              file ctx batch_qps one_qps;
+          if not (batch_queue <= one_queue) then
+            fail
+              "%s: %s: batched p99 queue wait (%.0f ns) above one-at-a-time \
+               (%.0f ns) at 4 domains"
+              file ctx batch_queue one_queue
+      end;
       if String.equal id "b14" then begin
         (* Span summaries: a plan-cache hit must serve the compiled plan
            without re-running any derivation phase. *)
@@ -294,7 +363,9 @@ let check_bench file =
   if !b14_rows = 0 then
     fail "%s: no b14 work rows (access-path experiment missing or empty)" file;
   if !b15_rows = 0 then
-    fail "%s: no b15 work rows (batching experiment missing or empty)" file
+    fail "%s: no b15 work rows (batching experiment missing or empty)" file;
+  if !b16_rows = 0 then
+    fail "%s: no b16 work rows (serving experiment missing or empty)" file
 
 (* ------------------------------------------------------------------ *)
 (* --baseline: perf-regression gate                                    *)

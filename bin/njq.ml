@@ -5,6 +5,7 @@
      njq translate -q QUERY             print the ADL translation and type
      njq explain   -q QUERY [opts]      print the rewrite derivation + plan
      njq run       -q QUERY [opts]      execute against a generated database
+     njq serve     -q TEMPLATE [opts]   concurrent prepared-query serving
      njq schema                         print the supplier-part schema
 
    Queries run against the paper's supplier-part-delivery schema on a
@@ -136,7 +137,8 @@ let work_fields () =
    measured region), timing wall/CPU and the GC word deltas, and append
    one event to [sink].  [max_qerror] is produced by the runner (1.0 when
    it did not profile). *)
-let log_query sink ~slow_ms ~query ~fingerprint ~hit run =
+let log_query ?(queue_ns = 0) ?(batch = 1) sink ~slow_ms ~query ~fingerprint
+    ~hit run =
   (* [Gc.counters] (not [quick_stat]) reads the live young pointer, so
      sub-minor-collection allocations are visible in the deltas. *)
   let min0, _, maj0 = Gc.counters () in
@@ -162,6 +164,8 @@ let log_query sink ~slow_ms ~query ~fingerprint ~hit run =
       major_words = maj1 -. maj0;
       wall_ns;
       cpu_ns;
+      queue_ns;
+      batch;
       max_qerror;
       slow };
   if slow then
@@ -527,10 +531,13 @@ let run_cmd =
         let options = Fmt.str "run/%s/noopt=%b" (mode_name mode) no_opt in
         let plan, hit =
           Njq_engine.Plancache.find_or_derive_report cat ~options q
-            ~derive:(fun () ->
+            ~derive:(fun text ->
+              (* [text] is the cache's auto-parameterized template (or the
+                 normalized query); deriving exactly it keeps the cached
+                 plan reusable across constant-only variations. *)
               let adl, _ =
                 Njq_oosql.Translate.query (load_schema schema_file)
-                  (parse_query_text q)
+                  (parse_query_text text)
               in
               let final =
                 if no_opt then adl
@@ -674,7 +681,17 @@ let repl_cmd =
         let tkey = (options, Njq_engine.Plancache.normalize text) in
         let plan, hit =
           Njq_engine.Plancache.find_or_derive_report cat ~options text
-            ~derive:(fun () ->
+            ~derive:(fun dtext ->
+              (* Re-parse the text the cache asks for — the auto-param
+                 template when templating fired — so the cached plan covers
+                 every constant variation of the statement. *)
+              let q =
+                match
+                  (Njq_oosql.Parser.parse_program dtext).Njq_oosql.Ast.query
+                with
+                | Some dq -> dq
+                | None -> q
+              in
               let q = Njq_oosql.Views.expand !views q in
               let adl, ty = Njq_oosql.Translate.query schema q in
               Hashtbl.replace types tkey ty;
@@ -752,6 +769,207 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive query loop against a generated database")
     Term.(const run $ scale_arg $ seed_arg $ dangling_arg $ empty_arg)
 
+(* ---------------- serving ---------------- *)
+
+let template_arg =
+  let doc =
+    "The prepared-query template: OOSQL with ?0, ?1, ... parameter \
+     placeholders."
+  in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~docv:"TEMPLATE" ~doc)
+
+let clients_arg =
+  let doc = "Concurrent client domains issuing invocations." in
+  Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Invocations issued by each client." in
+  Arg.(value & opt int 64 & info [ "requests" ] ~docv:"N" ~doc)
+
+let burst_arg =
+  let doc =
+    "Outstanding invocations per client: each client sends a burst and \
+     waits for all its replies before the next."
+  in
+  Arg.(value & opt int 4 & info [ "burst" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc =
+    "Largest parameter batch the scheduler merges into one set-oriented \
+     execution."
+  in
+  Arg.(value & opt int 16 & info [ "window" ] ~docv:"K" ~doc)
+
+let no_batching_arg =
+  let doc =
+    "Serve one invocation at a time (the contrast case: same admission \
+     queue, no parameter batching)."
+  in
+  Arg.(value & flag & info [ "no-batching" ] ~doc)
+
+let params_arg =
+  let doc =
+    "One parameter vector, comma-separated (e.g. --params red or \
+     --params 25,red).  Repeatable; clients cycle through the vectors.  \
+     Values parse as int, then float, else string."
+  in
+  Arg.(value & opt_all string [] & info [ "params" ] ~docv:"V0[,V1...]" ~doc)
+
+let parse_param_value s =
+  match int_of_string_opt s with
+  | Some n -> Value.int n
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Value.float f
+     | None -> Value.string s)
+
+let serve_cmd =
+  let run q scale seed dangling empty mode no_opt db schema_file domains
+      batch_size indexes clients requests burst window no_batching params
+      json qlog slow_ms =
+    or_die (fun () ->
+        apply_domains domains;
+        apply_batch batch_size;
+        let cat = make_catalog ?db ?schema_file scale seed dangling empty in
+        apply_indexes cat indexes;
+        let schema = load_schema schema_file in
+        let translate text =
+          let adl, _ = Njq_oosql.Translate.query schema (parse_query_text text) in
+          if no_opt then adl else Strategy.optimize ~options:(options_of mode) cat adl
+        in
+        let h =
+          Njq_engine.Serve.prepare cat
+            ~options:(Fmt.str "serve/%s/noopt=%b" (mode_name mode) no_opt)
+            ~translate q
+        in
+        let vectors =
+          match params with
+          | [] ->
+            if Njq_engine.Serve.nparams h > 0 then begin
+              Fmt.epr "template takes %d parameter(s); pass --params@."
+                (Njq_engine.Serve.nparams h);
+              exit 1
+            end;
+            [| [] |]
+          | ps ->
+            Array.of_list
+              (List.map
+                 (fun p -> List.map parse_param_value (String.split_on_char ',' p))
+                 ps)
+        in
+        let params ~client ~seq =
+          (h, vectors.((client + seq) mod Array.length vectors))
+        in
+        let t0 = Clock.now_ns () in
+        let replies =
+          Njq_engine.Serve.run ~batching:(not no_batching) ~window ~burst
+            ~clients ~requests ~params ()
+        in
+        let wall_ns = Clock.elapsed_ns t0 in
+        let module H = Njq_obs.Histogram in
+        let queue = H.create () and service = H.create () in
+        let rows = ref 0 and inv_batch = ref 0.0 in
+        List.iter
+          (fun (r : Njq_engine.Serve.reply) ->
+            H.record queue r.queue_ns;
+            H.record service r.service_ns;
+            rows := !rows + Value.set_size r.value;
+            inv_batch := !inv_batch +. (1.0 /. float_of_int r.batch))
+          replies;
+        let n = List.length replies in
+        let batches = int_of_float (Float.round !inv_batch) in
+        let mean_batch =
+          if batches = 0 then 0.0 else float_of_int n /. float_of_int batches
+        in
+        let qps = float_of_int n /. (float_of_int wall_ns /. 1e9) in
+        (* One qlog event per reply: queue wait and batch size are the
+           serving-specific fields; the shared batch execution cost shows
+           up as each member's service time.  Per-request work counters
+           are not attributable inside a merged batch, so they stay 0. *)
+        let qlog = match qlog with Some _ -> qlog | None -> env_qlog () in
+        let slow_ms =
+          match slow_ms with Some _ -> slow_ms | None -> env_slow_ms ()
+        in
+        Option.iter
+          (fun path ->
+            let sink = Qlog.open_sink ?slow_ms path in
+            Fun.protect
+              ~finally:(fun () -> Qlog.close sink)
+              (fun () ->
+                let fp = Njq_engine.Serve.fingerprint h in
+                let qh = Qlog.hash_hex (Njq_engine.Plancache.normalize q) in
+                List.iter
+                  (fun (r : Njq_engine.Serve.reply) ->
+                    let slow =
+                      match slow_ms with
+                      | Some t -> Clock.ns_to_ms r.service_ns >= t
+                      | None -> false
+                    in
+                    Qlog.log sink
+                      { Qlog.ts_ns = Clock.now_ns ();
+                        query_hash = qh;
+                        fingerprint = fp;
+                        cache = "hit";
+                        rows = Value.set_size r.value;
+                        work = [];
+                        work_total = 0;
+                        minor_words = 0.0;
+                        major_words = 0.0;
+                        wall_ns = r.service_ns;
+                        cpu_ns = 0;
+                        queue_ns = r.queue_ns;
+                        batch = r.batch;
+                        max_qerror = 1.0;
+                        slow })
+                  replies))
+          qlog;
+        if json then
+          print_endline
+            (Json.to_string ~pretty:true
+               (Json.Obj
+                  [ ("template", Json.Str (Njq_engine.Serve.text h));
+                    ("fingerprint", Json.Str (Njq_engine.Serve.fingerprint h));
+                    ("batching", Json.Bool (not no_batching));
+                    ("clients", Json.Int clients);
+                    ("requests", Json.Int n);
+                    ("result_rows", Json.Int !rows);
+                    ("batches", Json.Int batches);
+                    ("mean_batch", Json.Float mean_batch);
+                    ("queries_per_s", Json.Float qps);
+                    ("queue_p50_ns", Json.Int (H.p50 queue));
+                    ("queue_p99_ns", Json.Int (H.p99 queue));
+                    ("service_p50_ns", Json.Int (H.p50 service));
+                    ("service_p99_ns", Json.Int (H.p99 service)) ]))
+        else begin
+          Fmt.pr
+            "served %d invocations from %d clients (%s, window %d): %.0f \
+             queries/s@."
+            n clients
+            (if no_batching then "one-at-a-time" else "batched")
+            window qps;
+          Fmt.pr "batches: %d (mean size %.1f); result rows: %d@." batches
+            mean_batch !rows;
+          Fmt.pr "queue wait:   p50 %.3f ms  p99 %.3f ms@."
+            (Clock.ns_to_ms (H.p50 queue))
+            (Clock.ns_to_ms (H.p99 queue));
+          Fmt.pr "service time: p50 %.3f ms  p99 %.3f ms@."
+            (Clock.ns_to_ms (H.p50 service))
+            (Clock.ns_to_ms (H.p99 service))
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve concurrent invocations of a prepared parameterized query \
+             through the batching scheduler: client domains issue bursts, \
+             outstanding invocations merge into one set-oriented execution \
+             per window, replies route back per client")
+    Term.(
+      const run $ template_arg $ scale_arg $ seed_arg $ dangling_arg
+      $ empty_arg $ mode_arg $ no_opt_arg $ db_arg $ schema_arg $ domains_arg
+      $ batch_size_arg $ index_arg $ clients_arg $ requests_arg $ burst_arg
+      $ window_arg $ no_batching_arg $ params_arg $ json_arg $ qlog_arg
+      $ slow_ms_arg)
+
 (* ---------------- plan cache ---------------- *)
 
 let cache_query_arg =
@@ -779,9 +997,9 @@ let cache_stats_cmd =
             for _ = 1 to max 1 repeat do
               ignore
                 (Njq_engine.Plancache.find_or_derive cat ~options:"cli" q
-                   ~derive:(fun () ->
+                   ~derive:(fun text ->
                      let adl, _ =
-                       Njq_oosql.Translate.query schema (parse_query_text q)
+                       Njq_oosql.Translate.query schema (parse_query_text text)
                      in
                      let final =
                        Strategy.optimize ~options:(options_of mode) cat adl
@@ -870,14 +1088,15 @@ let top_cmd =
               [ ("events", Json.Int (List.length events));
                 ("plans", Json.List (List.map Qlog.agg_to_json aggs)) ]))
     else begin
-      Fmt.pr "%-16s %6s %5s %6s %10s %10s %10s %10s %6s@." "fingerprint"
-        "calls" "hit%" "slow" "p50(ms)" "p99(ms)" "max(ms)" "work" "qerr";
+      Fmt.pr "%-16s %6s %5s %6s %5s %10s %10s %10s %10s %6s@." "fingerprint"
+        "calls" "hit%" "slow" "batch" "p50(ms)" "p99(ms)" "max(ms)" "work"
+        "qerr";
       List.iter
         (fun (a : Qlog.agg) ->
-          Fmt.pr "%-16s %6d %5.0f %6d %10.3f %10.3f %10.3f %10d %6.2f@."
+          Fmt.pr "%-16s %6d %5.0f %6d %5.1f %10.3f %10.3f %10.3f %10d %6.2f@."
             a.Qlog.a_fingerprint a.Qlog.a_calls
             (100.0 *. Qlog.hit_rate a)
-            a.Qlog.a_slow
+            a.Qlog.a_slow (Qlog.mean_batch a)
             (Clock.ns_to_ms (Njq_obs.Histogram.p50 a.Qlog.a_wall))
             (Clock.ns_to_ms (Njq_obs.Histogram.p99 a.Qlog.a_wall))
             (Clock.ns_to_ms (Njq_obs.Histogram.max_value a.Qlog.a_wall))
@@ -888,8 +1107,8 @@ let top_cmd =
   Cmd.v
     (Cmd.info "top"
        ~doc:"Aggregate a query log per plan fingerprint: calls, cache hit \
-             rate, p50/p99/max latency, total work, worst q-error — \
-             heaviest plans (by total wall time) first")
+             rate, mean batch size, p50/p99/max latency, total work, worst \
+             q-error — heaviest plans (by total wall time) first")
     Term.(const run $ qlog_pos_arg $ limit_arg $ json_arg)
 
 let slow_only_arg =
@@ -940,6 +1159,6 @@ let main =
   let doc = "nested-loop to join queries in OODB — OOSQL/ADL query pipeline" in
   Cmd.group (Cmd.info "njq" ~version:"1.0.0" ~doc)
     [ parse_cmd; translate_cmd; explain_cmd; run_cmd; adl_cmd; schema_cmd;
-      stats_cmd; repl_cmd; cache_cmd; top_cmd; log_cmd ]
+      stats_cmd; repl_cmd; serve_cmd; cache_cmd; top_cmd; log_cmd ]
 
 let () = exit (Cmd.eval main)

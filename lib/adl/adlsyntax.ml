@@ -5,6 +5,7 @@
 
      @NAME                         base table (class extent)
      x                             variable
+     ?0  ?1  ...                   prepared-query parameter placeholders
      42  4.2  "s"  #3  d940101    literals (as in Serialize)
      true  false  null
      (a = e, ...)                  tuple construction
@@ -109,6 +110,9 @@ let rec write buf ctx e =
     match e with
     | Const v -> Buffer.add_string buf (Serialize.value_to_string v)
     | Var x -> Buffer.add_string buf x
+    | Param i ->
+      Buffer.add_char buf '?';
+      Buffer.add_string buf (string_of_int i)
     | Table t ->
       Buffer.add_char buf '@';
       Buffer.add_string buf t
@@ -506,6 +510,19 @@ and parse_primary c =
   | Some '@' ->
     advance c;
     Table (read_ident c)
+  | Some '?' ->
+    advance c;
+    let start = c.i in
+    let rec digits () =
+      match peek c with
+      | Some ch when is_digit ch ->
+        advance c;
+        digits ()
+      | _ -> ()
+    in
+    digits ();
+    if c.i = start then fail "expected a parameter index after '?' at offset %d" c.i;
+    Param (int_of_string (String.sub c.src start (c.i - start)))
   | Some '(' ->
     advance c;
     skip_ws c;

@@ -13,6 +13,10 @@ open Expr
 let rec free_vars (e : Expr.t) : S.t =
   match e with
   | Var x -> S.singleton x
+  (* A parameter placeholder is free under the name "?i": no binder can
+     capture it, and treating it as open keeps constant-folding passes from
+     evaluating across an unbound parameter. *)
+  | Param i -> S.singleton (param_name i)
   | Quant (_, x, range, pred) ->
     S.union (free_vars range) (S.remove x (free_vars pred))
   | Map { var; body; src } ->
@@ -69,6 +73,8 @@ let rec subst (map : (string * Expr.t) list) (e : Expr.t) : Expr.t =
   else
     match e with
     | Var x -> (match List.assoc_opt x map with Some r -> r | None -> e)
+    | Param i ->
+      (match List.assoc_opt (param_name i) map with Some r -> r | None -> e)
     | Quant (q, x, range, pred) ->
       let x', pred' = subst_under map [ x ] pred |> unary in
       Quant (q, x', subst map range, pred')

@@ -68,6 +68,14 @@ let rec compile cat (vars : string list) (e : Expr.t) : t =
      | None ->
        (* Unreachable variables fail only when forced, like [Eval.lookup]. *)
        fun _ -> raise (Eval.Eval_error ("unbound variable " ^ x)))
+  | Param i ->
+    (* Parameters compile exactly like free variables named "?i"; the serve
+       layer substitutes them away before planning, so reaching execution
+       with one still unbound is an error deferred to first use. *)
+    let x = param_name i in
+    (match slot vars x with
+     | Some idx -> fun env -> Array.unsafe_get env idx
+     | None -> fun _ -> raise (Eval.Eval_error ("unbound parameter " ^ x)))
   | Table name -> fun _ -> Value.VSet (Catalog.rows cat name)
   | Tuple fields ->
     let cs = List.map (fun (n, x) -> (n, compile cat vars x)) fields in

@@ -41,6 +41,10 @@ let rec eval (cat : Catalog.t) (env : env) (e : Expr.t) : Value.t =
   match e with
   | Const v -> v
   | Var x -> lookup env x
+  (* Unbound unless the caller supplied a binding under "?i" (the serve
+     layer substitutes parameters away before execution; the env path
+     supports direct evaluation of parameterized expressions in tests). *)
+  | Param i -> lookup env (Expr.param_name i)
   | Table name -> Value.VSet (Catalog.rows cat name)
   | Tuple fields ->
     Value.tuple (List.map (fun (n, x) -> (n, eval cat env x)) fields)

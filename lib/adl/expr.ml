@@ -45,6 +45,7 @@ type join_kind = Inner | Semi | Anti | LeftOuter of string list
 type t =
   | Const of Value.t
   | Var of string
+  | Param of int                               (* prepared-query placeholder ?i *)
   | Table of string                            (* base table (class extent) *)
   | Tuple of (string * t) list                 (* tuple construction *)
   | Field of t * string                        (* e.a *)
@@ -99,7 +100,7 @@ let equal (a : t) (b : t) = Stdlib.compare a b = 0
    variables by name. *)
 let map_children f e =
   match e with
-  | Const _ | Var _ | Table _ -> e
+  | Const _ | Var _ | Param _ | Table _ -> e
   | Tuple fs -> Tuple (List.map (fun (n, x) -> (n, f x)) fs)
   | Field (x, a) -> Field (f x, a)
   | TupleProj (x, attrs) -> TupleProj (f x, attrs)
@@ -136,7 +137,7 @@ let map_children f e =
 (* [fold_children f acc e] folds [f] over the immediate sub-expressions. *)
 let fold_children f acc e =
   match e with
-  | Const _ | Var _ | Table _ -> acc
+  | Const _ | Var _ | Param _ | Table _ -> acc
   | Tuple fs -> List.fold_left (fun acc (_, x) -> f acc x) acc fs
   | Field (x, _) | TupleProj (x, _) | Flatten x | Project (_, x)
   | Rename (_, x) | Unnest (_, x) | Agg (_, x) | Not x | Deref (_, x) -> f acc x
@@ -170,6 +171,12 @@ let negate_setcmp = function
 let negated_setcmp_is_complement = function
   | Mem | NotMem | SetEq | SetNeq | Ni | NotNi -> true
   | SubsetEq | Subset | SupsetEq | Supset -> false
+
+(* Parameters masquerade as free variables named "?i" inside binder-aware
+   passes (free-variable analysis, substitution, compiled environments): the
+   name space cannot collide with source identifiers because '?' never lexes
+   as part of one. *)
+let param_name i = "?" ^ string_of_int i
 
 let true_ = Const (Value.VBool true)
 let false_ = Const (Value.VBool false)

@@ -36,6 +36,11 @@ type join_kind = Inner | Semi | Anti | LeftOuter of string list
 type t =
   | Const of Value.t
   | Var of string
+  | Param of int
+      (** Prepared-query placeholder [?i].  Behaves as a free variable named
+          ["?i"] until bound: {!Analysis.free_vars} reports it, so no pass
+          constant-folds across it; binding substitutes a [Const] (one-shot)
+          or a parameter-table field (batched). *)
   | Table of string  (** base table (class extent) *)
   | Tuple of (string * t) list
   | Field of t * string
@@ -98,6 +103,10 @@ val negate_cmp : cmp -> cmp
 val negate_setcmp : setcmp -> setcmp
 
 val negated_setcmp_is_complement : setcmp -> bool
+
+(** The free-variable name ["?i"] a [Param i] answers to in binder-aware
+    passes.  Cannot collide with source identifiers. *)
+val param_name : int -> string
 
 val true_ : t
 val false_ : t

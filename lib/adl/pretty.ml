@@ -56,6 +56,7 @@ and pp_node p ppf e =
   match e with
   | Const v -> Value.pp ppf v
   | Var x -> Fmt.string ppf x
+  | Param i -> Fmt.pf ppf "?%d" i
   | Table t -> Fmt.string ppf t
   | Tuple fields ->
     Fmt.pf ppf "⟨@[%a@]⟩"

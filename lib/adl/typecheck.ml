@@ -45,6 +45,9 @@ let rec infer (cat : Catalog.t) (env : env) (e : Expr.t) : Vtype.t =
      | Value.VSet [] -> Vtype.TSet Vtype.TAny
      | _ -> Vtype.of_value v)
   | Var x -> lookup env x
+  (* A parameter's type is only known at bind time; TAny unifies with
+     every use site via Vtype.compat. *)
+  | Param _ -> Vtype.TAny
   | Table name ->
     (match Catalog.find_opt cat name with
      | Some t -> Vtype.TSet t.row_type

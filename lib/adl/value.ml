@@ -83,41 +83,51 @@ let equal a b = compare a b = 0
    [Stdlib.Hashtbl.hash], whose traversal limits make rows with long common
    prefixes collide).  Because deep hashing of set-valued attributes is the
    expensive part and rows flowing through the physical engine share their
-   set values physically, hashes of [VSet] nodes are memoized in an
-   ephemeron keyed on physical identity: the entry neither keeps the value
-   alive nor survives it, and re-hashing a shared set is a bounded-depth
-   bucket lookup instead of a full traversal.
+   set values physically, hashes of [VSet] nodes are memoized, keyed on
+   physical identity: re-hashing a shared set is a bounded-depth slot
+   lookup instead of a full traversal.
 
-   The memo table is *domain-local* ([Domain.DLS]): the engine's parallel
-   operators hash values from pool domains, and a single global ephemeron
+   The memo is a fixed-size direct-mapped cache (slot chosen by the
+   bounded-depth [Stdlib.Hashtbl.hash]; a colliding insert overwrites).
+   An ephemeron table is the tempting alternative, but it degrades
+   catastrophically under server-style workloads: each prepared-query
+   execution builds fresh sets structurally identical to the previous
+   execution's, so every generation lands in the *same* ephemeron buckets
+   (bucket choice is structural, entry identity is physical), the entries
+   are promoted to the major heap by the ephemeron store and only swept at
+   rare resize-triggered cleans, and every lookup walks the whole
+   accumulated chain — per-execution cost grows linearly with the number
+   of executions served.  The direct-mapped cache is O(1) regardless of
+   history: a stream of fresh sets just keeps overwriting slots, while the
+   intended hit case (the same physical set hashed again moments later,
+   e.g. as a hash-join key) still hits its slot.  A slot pins its set
+   until overwritten; with a fixed slot count that retention is bounded.
+
+   The cache is *domain-local* ([Domain.DLS]): the engine's parallel
+   operators hash values from pool domains, and a single global cache
    would be a data race the moment two domains touch it.  Each domain
-   memoizes independently — the hash function is pure, so the tables can
+   memoizes independently — the hash function is pure, so the caches can
    only ever disagree about what is cached, never about a hash. *)
 
 let hash_combine acc h = (acc * 31) + h
 
-module Hash_memo = Ephemeron.K1.Make (struct
-  type nonrec t = t
+(* 4096 slots; each holds (set, its full-depth hash). *)
+let hash_cache_bits = 12
+let hash_cache_size = 1 lsl hash_cache_bits
 
-  let equal = ( == )
-
-  (* Bounded-depth preliminary hash: it only selects the bucket; physical
-     equality disambiguates. *)
-  let hash = Stdlib.Hashtbl.hash
-end)
-
-let hash_memo_key : int Hash_memo.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hash_memo.create 4096)
+let hash_cache_key : (t * int) option array Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Array.make hash_cache_size None)
 
 let rec hash v =
   match v with
   | VSet _ ->
-    let hash_memo = Domain.DLS.get hash_memo_key in
-    (match Hash_memo.find_opt hash_memo v with
-     | Some h -> h
-     | None ->
+    let cache = Domain.DLS.get hash_cache_key in
+    let slot = Stdlib.Hashtbl.hash v land (hash_cache_size - 1) in
+    (match cache.(slot) with
+     | Some (v', h) when v' == v -> h
+     | _ ->
        let h = hash_node v in
-       Hash_memo.replace hash_memo v h;
+       cache.(slot) <- Some (v, h);
        h)
   | _ -> hash_node v
 

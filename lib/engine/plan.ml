@@ -437,6 +437,86 @@ let pp_pipelines ?batch ppf p =
   in
   go 0 None p
 
+(* Rebuild the whole plan with [f] applied to every embedded ADL
+   expression (predicates, map/nestjoin bodies, join keys, index lookups).
+   The structure — operators, algorithms, binder names — is untouched, so
+   a cached physical plan can be re-targeted by expression substitution
+   alone; the serve layer uses this to bind prepared-query parameters
+   ([Param i] → [Const v]) into a plan derived once from the template. *)
+let rec map_exprs f p =
+  let recur = map_exprs f in
+  match p with
+  | Scan _ | Materialized _ -> p
+  | EvalOp e -> EvalOp (f e)
+  | Filter fl -> Filter { fl with pred = f fl.pred; input = recur fl.input }
+  | IndexScan s ->
+    let lookup =
+      match s.lookup with
+      | LPoint keys -> LPoint (List.map f keys)
+      | LRange { lo; hi } ->
+        let bound = Option.map (fun (e, incl) -> (f e, incl)) in
+        LRange { lo = bound lo; hi = bound hi }
+    in
+    IndexScan { s with lookup; residual = f s.residual }
+  | IndexJoin j ->
+    IndexJoin
+      { j with keys = List.map f j.keys; residual = f j.residual;
+        left = recur j.left }
+  | MapOp m -> MapOp { m with body = f m.body; input = recur m.input }
+  | ProjectOp (attrs, input) -> ProjectOp (attrs, recur input)
+  | FlattenOp input -> FlattenOp (recur input)
+  | UnionOp (a, b) -> UnionOp (recur a, recur b)
+  | InterOp (a, b) -> InterOp (recur a, recur b)
+  | DiffOp (a, b) -> DiffOp (recur a, recur b)
+  | ProductOp (a, b) -> ProductOp (recur a, recur b)
+  | DivideOp (a, b) -> DivideOp (recur a, recur b)
+  | RenameOp (pairs, input) -> RenameOp (pairs, recur input)
+  | UnnestOp (a, input) -> UnnestOp (a, recur input)
+  | NestOp n -> NestOp { n with input = recur n.input }
+  | Assembly a -> Assembly { a with input = recur a.input }
+  | JoinOp j ->
+    JoinOp
+      { j with keys = List.map (fun (a, b) -> (f a, f b)) j.keys;
+        residual = f j.residual; left = recur j.left; right = recur j.right }
+  | NestjoinOp j ->
+    NestjoinOp
+      { j with keys = List.map (fun (a, b) -> (f a, f b)) j.keys;
+        residual = f j.residual; body = f j.body;
+        left = recur j.left; right = recur j.right }
+  | MemberJoin j ->
+    let kind =
+      match j.kind with
+      | MNest { body; attr } -> MNest { body = f body; attr }
+      | (MSemi | MAnti | MInner) as k -> k
+    in
+    MemberJoin
+      { j with kind; xset = f j.xset; elem_key = f j.elem_key;
+        ykey = f j.ykey; left = recur j.left; right = recur j.right }
+  | GraceJoin j ->
+    GraceJoin
+      { j with keys = List.map (fun (a, b) -> (f a, f b)) j.keys;
+        residual = f j.residual; left = recur j.left; right = recur j.right }
+  | Pnhl j ->
+    Pnhl
+      { j with elem_key = f j.elem_key; row_key = f j.row_key;
+        left = recur j.left; right = recur j.right }
+  | ParJoinOp j ->
+    ParJoinOp
+      { j with keys = List.map (fun (a, b) -> (f a, f b)) j.keys;
+        residual = f j.residual; left = recur j.left; right = recur j.right }
+  | ParNestjoinOp j ->
+    ParNestjoinOp
+      { j with keys = List.map (fun (a, b) -> (f a, f b)) j.keys;
+        residual = f j.residual; body = f j.body;
+        left = recur j.left; right = recur j.right }
+  | ParPnhl j ->
+    ParPnhl
+      { j with elem_key = f j.elem_key; row_key = f j.row_key;
+        left = recur j.left; right = recur j.right }
+  | ParFilter fl ->
+    ParFilter { fl with pred = f fl.pred; input = recur fl.input }
+  | ParMapOp m -> ParMapOp { m with body = f m.body; input = recur m.input }
+
 (* Rebuild a node with new children (same arity as [children]). *)
 let with_children p cs =
   match p, cs with
@@ -466,3 +546,13 @@ let with_children p cs =
   | ParNestjoinOp j, [ a; b ] -> ParNestjoinOp { j with left = a; right = b }
   | ParPnhl j, [ a; b ] -> ParPnhl { j with left = a; right = b }
   | _ -> invalid_arg "Plan.with_children: arity mismatch"
+
+(* Replace every [Scan name] node for which [f name] answers with the
+   replacement plan; other scans and all structure are untouched.  The
+   serve layer uses this to splice an in-memory parameter table
+   ([Materialized rows]) into a cached batched plan without registering
+   the rows in the catalog — and so without an epoch bump per batch. *)
+let rec map_scans f p =
+  match p with
+  | Scan name -> (match f name with Some q -> q | None -> p)
+  | _ -> with_children p (List.map (map_scans f) (children p))

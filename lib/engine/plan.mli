@@ -228,3 +228,16 @@ val pp_pipelines : ?batch:int -> Format.formatter -> t -> unit
 (** Rebuild a node with new children; raises [Invalid_argument] on arity
     mismatch. *)
 val with_children : t -> t list -> t
+
+(** Rebuild the whole plan with [f] applied to every embedded ADL
+    expression (predicates, map/nestjoin bodies, join keys, index
+    lookups); operators, algorithms and binder names are untouched.  The
+    serve layer binds prepared-query parameters into a cached plan this
+    way ([Param i] → [Const v] via {!Njq_adl.Analysis.subst}). *)
+val map_exprs : (Njq_adl.Expr.t -> Njq_adl.Expr.t) -> t -> t
+
+(** Replace every [Scan name] for which [f name] answers with the given
+    plan.  Splices an in-memory parameter table ([Materialized rows]) into
+    a cached batched plan without a catalog registration — and so without
+    an epoch bump per batch. *)
+val map_scans : (string -> t option) -> t -> t

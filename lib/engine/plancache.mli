@@ -12,12 +12,25 @@ open Njq_adl
 (** Maximum number of cached plans (default 64); 0 disables caching. *)
 val capacity : int ref
 
+(** Auto-parameterization master switch (default on): numeric literals in
+    the query text are normalized into [?i] placeholders before keying, so
+    queries differing only in constants share one prepared plan whose
+    parameters are bound per call via {!Plan.map_exprs}.  Skipped for
+    texts already containing ['?'] (explicit prepared templates), for
+    catalogs with declared indexes (sargable planning needs the literal
+    values), and for 6-/8-digit integer literals (date-shaped, coerced by
+    the frontend at translation time).  Templating events tick the
+    ["plancache_autoparam"] metric. *)
+val auto_param : bool ref
+
 (** [find_or_derive cat ?options text ~derive] returns the cached plan for
-    [(cat, epoch, options, normalize text)], or runs [derive], stores its
-    result (evicting least-recently-used entries past {!capacity}) and
-    returns it. *)
+    [(cat, epoch, options, template of text)], or runs [derive], stores
+    its result (evicting least-recently-used entries past {!capacity}) and
+    returns it.  [derive] receives the text to derive from — the
+    auto-parameterized template when templating fired, the normalized text
+    otherwise — and must derive exactly that text. *)
 val find_or_derive :
-  Catalog.t -> ?options:string -> string -> derive:(unit -> Plan.t) -> Plan.t
+  Catalog.t -> ?options:string -> string -> derive:(string -> Plan.t) -> Plan.t
 
 (** Like {!find_or_derive}, also reporting whether the plan came from the
     cache ([true] = hit) — the bit the query log records per event. *)
@@ -25,12 +38,18 @@ val find_or_derive_report :
   Catalog.t ->
   ?options:string ->
   string ->
-  derive:(unit -> Plan.t) ->
+  derive:(string -> Plan.t) ->
   Plan.t * bool
 
 (** Collapse whitespace runs and trim — the key normalization applied to
     query text. *)
 val normalize : string -> string
+
+(** [parameterize text] is the template/constants split applied by
+    auto-parameterization: numeric literals (minus the date-shaped
+    exclusions) become [?i] placeholders, returned alongside the extracted
+    values in placeholder order.  [(text, \[\])] when nothing extracts. *)
+val parameterize : string -> string * Value.t list
 
 val clear : unit -> unit
 val size : unit -> int

@@ -256,9 +256,9 @@ let rec plan_with ?ctx ?cat (choice : algo_choice) (e : Expr.t) : Plan.t =
   | Unnest (a, src) -> Plan.UnnestOp (a, plan src)
   | Nest { attrs; into; src } -> Plan.NestOp { attrs; into; input = plan src }
   | Divide (a, b) -> Plan.DivideOp (plan a, plan b)
-  | Const _ | Var _ | Tuple _ | Field _ | TupleProj _ | Except _ | Concat _
-  | SetLit _ | Arith _ | Cmp _ | SetCmp _ | And _ | Or _ | Not _ | If _
-  | Quant _ | Agg _ | Deref _ ->
+  | Const _ | Var _ | Param _ | Tuple _ | Field _ | TupleProj _ | Except _
+  | Concat _ | SetLit _ | Arith _ | Cmp _ | SetCmp _ | And _ | Or _ | Not _
+  | If _ | Quant _ | Agg _ | Deref _ ->
     (* Scalar or parameter-level expression: evaluate as-is. *)
     Plan.EvalOp e
 

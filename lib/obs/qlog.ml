@@ -28,6 +28,8 @@ type event = {
   major_words : float;
   wall_ns : int;
   cpu_ns : int;
+  queue_ns : int;  (* admission-queue wait before execution; 0 outside serve *)
+  batch : int;  (* invocations merged into the executing batch; 1 unbatched *)
   max_qerror : float;  (* >= 1.0; 1.0 when the run was not profiled *)
   slow : bool;  (* wall time reached the sink's threshold at log time *)
 }
@@ -65,6 +67,8 @@ let to_json e =
       ("major_words", Json.Float e.major_words);
       ("wall_ns", Json.Int e.wall_ns);
       ("cpu_ns", Json.Int e.cpu_ns);
+      ("queue_ns", Json.Int e.queue_ns);
+      ("batch", Json.Int e.batch);
       ("max_qerror", Json.Float e.max_qerror);
       ("slow", Json.Bool e.slow) ]
 
@@ -105,6 +109,8 @@ let of_json doc =
         major_words = Option.value ~default:0.0 (num "major_words");
         wall_ns;
         cpu_ns = Option.value ~default:0 (int "cpu_ns");
+        queue_ns = Option.value ~default:0 (int "queue_ns");
+        batch = Option.value ~default:1 (int "batch");
         max_qerror = Option.value ~default:1.0 (num "max_qerror");
         slow =
           (match Json.member "slow" doc with
@@ -121,18 +127,42 @@ type sink = {
   slow_ns : int option;  (* record only events at least this slow *)
   mutable written : int;
   mutable dropped : int;
+  mutable closed : bool;
 }
 
 let slow_ns_of_ms ms = int_of_float (ms *. 1e6)
+
+(* Every open sink is tracked so an [at_exit] hook can flush buffered
+   lines even when the process exits without calling [close] — a serving
+   process killed mid-run must not lose its tail of events.  The hook is
+   registered on the first [open_sink] (not at module init, so programs
+   that never log pay nothing), and [close] marks the sink so the hook
+   skips already-closed channels. *)
+let open_sinks : sink list ref = ref []
+let flush_hook_registered = ref false
+
+let flush_open_sinks () =
+  List.iter
+    (fun s -> if not s.closed then try flush s.oc with Sys_error _ -> ())
+    !open_sinks
 
 let open_sink ?slow_ms path =
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
-  { oc;
-    slow_ns = Option.map slow_ns_of_ms slow_ms;
-    written = 0;
-    dropped = 0 }
+  let s =
+    { oc;
+      slow_ns = Option.map slow_ns_of_ms slow_ms;
+      written = 0;
+      dropped = 0;
+      closed = false }
+  in
+  if not !flush_hook_registered then begin
+    flush_hook_registered := true;
+    at_exit flush_open_sinks
+  end;
+  open_sinks := s :: !open_sinks;
+  s
 
 (* Serialize-and-append; a sub-threshold event is counted but not
    written.  The [slow] field is stamped from the sink's knob so readers
@@ -152,6 +182,8 @@ let written sink = sink.written
 let dropped sink = sink.dropped
 
 let close sink =
+  sink.closed <- true;
+  open_sinks := List.filter (fun s -> s != sink) !open_sinks;
   flush sink.oc;
   close_out sink.oc
 
@@ -192,6 +224,8 @@ type agg = {
   a_work : int;  (* summed work_total *)
   a_wall : Histogram.t;  (* per-call wall_ns *)
   a_wall_total : int;
+  a_queue : Histogram.t;  (* per-call queue_ns (serve admission wait) *)
+  a_batch_total : int;  (* summed batch sizes; mean = total / calls *)
   a_max_qerror : float;
   a_queries : string list;  (* distinct query hashes, first-seen order *)
 }
@@ -219,6 +253,8 @@ let aggregate events =
                 a_work = 0;
                 a_wall = Histogram.create ();
                 a_wall_total = 0;
+                a_queue = Histogram.create ();
+                a_batch_total = 0;
                 a_max_qerror = 1.0;
                 a_queries = [] }
           in
@@ -228,8 +264,10 @@ let aggregate events =
       in
       let a = !cell in
       Histogram.record a.a_wall e.wall_ns;
+      Histogram.record a.a_queue e.queue_ns;
       cell :=
         { a with
+          a_batch_total = a.a_batch_total + e.batch;
           a_calls = a.a_calls + 1;
           a_hits = (a.a_hits + if String.equal e.cache "hit" then 1 else 0);
           a_misses =
@@ -251,6 +289,12 @@ let hit_rate a =
   let through = a.a_hits + a.a_misses in
   if through = 0 then 0.0 else float_of_int a.a_hits /. float_of_int through
 
+(* Mean invocations per executing batch: 1.0 for a plan only ever run
+   one-at-a-time, > 1 when the serving layer merged parameter vectors. *)
+let mean_batch a =
+  if a.a_calls = 0 then 0.0
+  else float_of_int a.a_batch_total /. float_of_int a.a_calls
+
 let agg_to_json a =
   Json.Obj
     [ ("fingerprint", Json.Str a.a_fingerprint);
@@ -266,6 +310,9 @@ let agg_to_json a =
       ("p90_ns", Json.Int (Histogram.p90 a.a_wall));
       ("p99_ns", Json.Int (Histogram.p99 a.a_wall));
       ("max_ns", Json.Int (Histogram.max_value a.a_wall));
+      ("batch_mean", Json.Float (mean_batch a));
+      ("queue_p50_ns", Json.Int (Histogram.p50 a.a_queue));
+      ("queue_p99_ns", Json.Int (Histogram.p99 a.a_queue));
       ("max_qerror", Json.Float a.a_max_qerror);
       ("queries", Json.List (List.map (fun q -> Json.Str q) a.a_queries)) ]
 

@@ -17,6 +17,12 @@ type event = {
   major_words : float;
   wall_ns : int;
   cpu_ns : int;
+  queue_ns : int;
+      (** admission-queue wait before execution; 0 outside the serving
+          layer (and on files written before the field existed) *)
+  batch : int;
+      (** invocations merged into the executing batch; 1 when run
+          one-at-a-time (the default for pre-existing files) *)
   max_qerror : float;  (** worst per-node q-error; 1.0 if unprofiled *)
   slow : bool;  (** reached the sink's slow threshold when logged *)
 }
@@ -37,7 +43,9 @@ type sink
 
 (** Open [path] for append (created if missing). With [slow_ms], only
     events whose wall time reaches the threshold are written; all events
-    get their [slow] field stamped accordingly. *)
+    get their [slow] field stamped accordingly.  Buffered lines of every
+    sink still open at process exit are flushed by an [at_exit] hook, so
+    an exiting server loses no tail events even without {!close}. *)
 val open_sink : ?slow_ms:float -> string -> sink
 
 val log : sink -> event -> unit
@@ -66,6 +74,8 @@ type agg = {
   a_work : int;
   a_wall : Histogram.t;
   a_wall_total : int;
+  a_queue : Histogram.t;  (** per-call admission-queue wait *)
+  a_batch_total : int;  (** summed batch sizes over calls *)
   a_max_qerror : float;
   a_queries : string list;  (** distinct query hashes, first-seen order *)
 }
@@ -76,6 +86,10 @@ val aggregate : event list -> agg list
 (** Cache hit fraction among calls that consulted the cache (0 if none
     did). *)
 val hit_rate : agg -> float
+
+(** Mean invocations per executing batch (1.0 = only one-at-a-time runs;
+    0 on an empty aggregate). *)
+val mean_batch : agg -> float
 
 val agg_to_json : agg -> Json.t
 val pp_event : Format.formatter -> event -> unit

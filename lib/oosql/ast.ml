@@ -54,6 +54,7 @@ type agg = ACount | ASum | AMin | AMax | AAvg
 
 type expr =
   | ELit of lit * pos
+  | EParam of int * pos (* ?i prepared-query placeholder *)
   | EVar of string * pos (* variable or class-extent name *)
   | EPath of expr * string * pos (* e.a, with implicit dereferencing *)
   | ETuple of (string * expr) list * pos
@@ -73,7 +74,8 @@ and sfw = {
 }
 
 let pos_of = function
-  | ELit (_, p) | EVar (_, p) | EPath (_, _, p) | ETuple (_, p) | ESet (_, p)
+  | ELit (_, p) | EParam (_, p)
+  | EVar (_, p) | EPath (_, _, p) | ETuple (_, p) | ESet (_, p)
   | EBin (_, _, _, p) | ENot (_, p) | EQuant (_, _, _, _, p) | EAgg (_, _, p)
   | ESfw (_, p) -> p
 

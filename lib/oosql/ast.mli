@@ -43,6 +43,7 @@ type agg = ACount | ASum | AMin | AMax | AAvg
 
 type expr =
   | ELit of lit * pos
+  | EParam of int * pos  (** [?i] prepared-query placeholder *)
   | EVar of string * pos  (** variable or class-extent name *)
   | EPath of expr * string * pos  (** [e.a], with implicit dereferencing *)
   | ETuple of (string * expr) list * pos

@@ -6,6 +6,7 @@ type token =
   | INT of int
   | FLOAT of float
   | STRING of string
+  | PARAM of int  (* ?0 ?1 ... prepared-query placeholder *)
   (* punctuation *)
   | LPAREN | RPAREN
   | LBRACE | RBRACE
@@ -89,6 +90,13 @@ let tokenize (src : string) : located array =
         if i + 1 < n && src.[i + 1] = '=' then (emit GE (pos i); go (i + 2))
         else (emit GT (pos i); go (i + 1))
       | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ (pos i); go (i + 2)
+      | '?' ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let j = num (i + 1) in
+        if j = i + 1 then
+          raise (Lex_error ("expected a parameter index after '?'", pos i));
+        emit (PARAM (int_of_string (String.sub src (i + 1) (j - i - 1)))) (pos i);
+        go j
       | '"' ->
         let buf = Buffer.create 16 in
         let rec str j =
@@ -145,6 +153,7 @@ let token_name = function
   | INT n -> Printf.sprintf "integer %d" n
   | FLOAT f -> Printf.sprintf "float %g" f
   | STRING s -> Printf.sprintf "string %S" s
+  | PARAM i -> Printf.sprintf "parameter ?%d" i
   | LPAREN -> "'('" | RPAREN -> "')'"
   | LBRACE -> "'{'" | RBRACE -> "'}'"
   | COMMA -> "','" | COLON -> "':'" | SEMI -> "';'" | DOT -> "'.'"

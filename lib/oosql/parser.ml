@@ -236,6 +236,7 @@ and parse_primary st =
   match peek st with
   | INT n -> advance st; Ast.ELit (Ast.LInt n, p)
   | FLOAT f -> advance st; Ast.ELit (Ast.LFloat f, p)
+  | PARAM i -> advance st; Ast.EParam (i, p)
   | STRING s -> advance st; Ast.ELit (Ast.LString s, p)
   | KW_TRUE -> advance st; Ast.ELit (Ast.LBool true, p)
   | KW_FALSE -> advance st; Ast.ELit (Ast.LBool false, p)

@@ -49,6 +49,7 @@ and node level ppf (e : Ast.expr) =
     (* Keep a decimal point so the literal re-parses as a float. *)
     if Float.is_integer f then Fmt.pf ppf "%.1f" f else Fmt.pf ppf "%.12g" f
   | Ast.ELit (Ast.LString s, _) -> Fmt.pf ppf "%S" s
+  | Ast.EParam (i, _) -> Fmt.pf ppf "?%d" i
   | Ast.EVar (x, _) -> Fmt.string ppf x
   | Ast.EPath (b, a, _) -> Fmt.pf ppf "%a.%s" (pp ~ctx:10) b a
   | Ast.ETuple (fields, _) ->

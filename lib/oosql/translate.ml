@@ -55,6 +55,10 @@ let rec translate (ctx : ctx) (env : env) (e : Ast.expr) : Expr.t * Vtype.t =
      | Ast.LInt n -> (Expr.Const (Value.int n), Vtype.TInt)
      | Ast.LFloat f -> (Expr.Const (Value.float f), Vtype.TFloat)
      | Ast.LString s -> (Expr.Const (Value.string s), Vtype.TString))
+  | Ast.EParam (i, _) ->
+    (* The value (and thus the type) arrives at bind time; TAny unifies
+       with every use site. *)
+    (Expr.Param i, Vtype.TAny)
   | Ast.EVar (x, pos) ->
     (match List.assoc_opt x env with
      | Some t -> (Expr.Var x, t)
@@ -169,7 +173,12 @@ and translate_bin ctx env op a b pos =
   in
   match op with
   | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
-    let is_num = function Vtype.TInt | Vtype.TFloat -> true | _ -> false in
+    (* TAny admits parameter placeholders, whose numeric type arrives at
+       bind time; the result type narrows to the known side. *)
+    let is_num = function
+      | Vtype.TInt | Vtype.TFloat | Vtype.TAny -> true
+      | _ -> false
+    in
     if not (is_num ka && is_num kb) then
       err pos "arithmetic on non-numeric types %s and %s" (Vtype.show ka) (Vtype.show kb);
     require_compat ();
@@ -181,7 +190,7 @@ and translate_bin ctx env op a b pos =
       | Ast.Div -> Expr.Div
       | _ -> Expr.Mod
     in
-    (Expr.Arith (aop, a', b'), ka)
+    (Expr.Arith (aop, a', b'), (match ka with Vtype.TAny -> kb | _ -> ka))
   | Ast.Eq | Ast.Neq ->
     require_compat ();
     if is_set_type ka && is_set_type kb then

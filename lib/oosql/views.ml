@@ -13,7 +13,7 @@ let rec splice name body (e : Ast.expr) : Ast.expr =
   let go = splice name body in
   match e with
   | Ast.EVar (x, _) when String.equal x name -> body
-  | Ast.ELit _ | Ast.EVar _ -> e
+  | Ast.ELit _ | Ast.EParam _ | Ast.EVar _ -> e
   | Ast.EPath (b, a, p) -> Ast.EPath (go b, a, p)
   | Ast.ETuple (fields, p) ->
     Ast.ETuple (List.map (fun (n, fe) -> (n, go fe)) fields, p)

@@ -179,6 +179,8 @@ let sample_event ?(fp = "deadbeefdeadbeef") ?(wall_ns = 5_000_000)
     major_words = 0.0;
     wall_ns;
     cpu_ns = 4_900_000;
+    queue_ns = 0;
+    batch = 1;
     max_qerror = 1.5;
     slow = false;
   }

@@ -393,7 +393,7 @@ let test_plancache_hit_miss () =
   let cat = Util.small_catalog () in
   let h0 = Plancache.hits () and m0 = Plancache.misses () in
   let derived = ref 0 in
-  let derive n () = incr derived; dummy_plan n in
+  let derive n _ = incr derived; dummy_plan n in
   let p1 = Plancache.find_or_derive cat "select 1" ~derive:(derive 1) in
   let p2 = Plancache.find_or_derive cat "select 1" ~derive:(derive 99) in
   Alcotest.(check int) "derived once" 1 !derived;
@@ -416,28 +416,28 @@ let test_plancache_lru_eviction () =
     ~finally:(fun () -> Plancache.capacity := prev)
     (fun () ->
       let e0 = Plancache.evictions () in
-      ignore (Plancache.find_or_derive cat "q1" ~derive:(fun () -> dummy_plan 1));
-      ignore (Plancache.find_or_derive cat "q2" ~derive:(fun () -> dummy_plan 2));
+      ignore (Plancache.find_or_derive cat "q1" ~derive:(fun _ -> dummy_plan 1));
+      ignore (Plancache.find_or_derive cat "q2" ~derive:(fun _ -> dummy_plan 2));
       (* Touch q1 so q2 is the least recently used entry. *)
-      ignore (Plancache.find_or_derive cat "q1" ~derive:(fun () -> dummy_plan 9));
-      ignore (Plancache.find_or_derive cat "q3" ~derive:(fun () -> dummy_plan 3));
+      ignore (Plancache.find_or_derive cat "q1" ~derive:(fun _ -> dummy_plan 9));
+      ignore (Plancache.find_or_derive cat "q3" ~derive:(fun _ -> dummy_plan 3));
       Alcotest.(check int) "capacity respected" 2 (Plancache.size ());
       Alcotest.(check int) "one eviction" 1 (Plancache.evictions () - e0);
       let rederived = ref false in
       ignore
         (Plancache.find_or_derive cat "q1"
-           ~derive:(fun () -> rederived := true; dummy_plan 1));
+           ~derive:(fun _ -> rederived := true; dummy_plan 1));
       Alcotest.(check bool) "recently used q1 survived" false !rederived;
       ignore
         (Plancache.find_or_derive cat "q2"
-           ~derive:(fun () -> rederived := true; dummy_plan 2));
+           ~derive:(fun _ -> rederived := true; dummy_plan 2));
       Alcotest.(check bool) "LRU q2 was evicted" true !rederived)
 
 let test_plancache_epoch_invalidation () =
   Plancache.clear ();
   let cat = Util.small_catalog () in
   let derived = ref 0 in
-  let derive () = incr derived; dummy_plan 1 in
+  let derive _ = incr derived; dummy_plan 1 in
   ignore (Plancache.find_or_derive cat "q" ~derive);
   ignore (Plancache.find_or_derive cat "q" ~derive);
   Alcotest.(check int) "cached across calls" 1 !derived;

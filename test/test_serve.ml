@@ -1,0 +1,334 @@
+(* Tests for the serving layer (DESIGN.md section 12).
+
+   The contract under test: a prepared template executed as a K-way
+   set-oriented batch ([Serve.exec_batch]) returns, per invocation, a
+   result bit-identical to running that invocation alone
+   ([Serve.exec_one]) — for K in {1,4,16,64}, under every executor mode
+   and at 1/2/4 pool domains — and the in-process concurrent driver
+   routes every client's replies correctly.  Alongside: the plan cache's
+   auto-parameterization (constant-differing queries share one plan, with
+   the date-literal and index guards), epoch invalidation when the
+   catalog changes under a configured pool, and the query log's
+   flush-on-exit hook.
+
+   The qlog fork test must run before anything spawns domains (the pool,
+   the serve driver): forking a process that owns live domains would
+   leave the child's at_exit pool shutdown joining threads that do not
+   exist in the child.  It is therefore the first suite. *)
+
+open Njq_adl
+module Serve = Njq_engine.Serve
+module Plancache = Njq_engine.Plancache
+module Planner = Njq_engine.Planner
+module Exec = Njq_engine.Exec
+module Pool = Njq_engine.Pool
+module Strategy = Njq_core.Strategy
+module Qlog = Njq_obs.Qlog
+
+let translate text =
+  fst (Njq_oosql.Translate.query_string Njq_workload.Queries.schema text)
+
+let with_exec ~pipeline ~batch f =
+  let prev_p = !Exec.pipeline_exec and prev_b = !Exec.batch_exec in
+  Exec.pipeline_exec := pipeline;
+  Exec.batch_exec := batch;
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.pipeline_exec := prev_p;
+      Exec.batch_exec := prev_b)
+    f
+
+let with_domains k f =
+  let prev = Pool.domains () in
+  Pool.set_domains k;
+  Fun.protect ~finally:(fun () -> Pool.set_domains prev) f
+
+(* The three executor modes (materializing, row pipelined, batched). *)
+let modes =
+  [ ("mat", false, false); ("row", true, false); ("batch", true, true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Qlog flush-on-exit (must stay first: forks before domains exist)    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_event =
+  { Qlog.ts_ns = 1;
+    query_hash = Qlog.hash_hex "select p from p in PART";
+    fingerprint = "feedfacefeedface";
+    cache = "hit";
+    rows = 3;
+    work = [ ("scan_row", 4) ];
+    work_total = 4;
+    minor_words = 0.0;
+    major_words = 0.0;
+    wall_ns = 1000;
+    cpu_ns = 900;
+    queue_ns = 250;
+    batch = 4;
+    max_qerror = 1.0;
+    slow = false }
+
+let test_qlog_flush_on_exit () =
+  let path = Filename.temp_file "njq_serve_qlog" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      match Unix.fork () with
+      | 0 ->
+        (* Child: log without ever calling [close], then exit normally.
+           The sink's at_exit hook must flush the buffered line.  Stdio
+           goes to /dev/null so the child's exit stays silent. *)
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        Unix.dup2 devnull Unix.stdout;
+        Unix.dup2 devnull Unix.stderr;
+        let sink = Qlog.open_sink path in
+        Qlog.log sink sample_event;
+        exit 0
+      | pid ->
+        let _, status = Unix.waitpid [] pid in
+        Alcotest.(check bool) "child exited cleanly" true
+          (status = Unix.WEXITED 0);
+        let events, bad = Qlog.read_file path in
+        Alcotest.(check int) "no malformed lines" 0 bad;
+        (match events with
+         | [ e ] ->
+           Alcotest.(check string)
+             "event survived the exit" sample_event.Qlog.fingerprint
+             e.Qlog.fingerprint;
+           Alcotest.(check int) "batch field round-trips" 4 e.Qlog.batch;
+           Alcotest.(check int) "queue_ns field round-trips" 250
+             e.Qlog.queue_ns
+         | es ->
+           Alcotest.failf "expected exactly one flushed event, got %d"
+             (List.length es)))
+
+(* ------------------------------------------------------------------ *)
+(* Batched vs one-at-a-time differential                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Templates over the fixture catalog; parameters picked so results vary
+   per invocation (prices span 5..50). *)
+let t_price = "select p.pname from p in PART where p.price < ?0"
+
+let t_range =
+  "select p.pname from p in PART where p.price >= ?0 and p.price <= ?1"
+
+let t_noparam = "select s.sname from s in SUPPLIER"
+
+let price_params i = [ Value.int (i * 7 mod 60) ]
+let range_params i = [ Value.int (i * 3 mod 30); Value.int (20 + (i * 11 mod 40)) ]
+
+let test_differential () =
+  List.iter
+    (fun domains ->
+      with_domains domains (fun () ->
+          let cat = Util.small_catalog () in
+          Plancache.clear ();
+          let h_price = Serve.prepare cat ~translate t_price in
+          let h_range = Serve.prepare cat ~translate t_range in
+          let h_none = Serve.prepare cat ~translate t_noparam in
+          Alcotest.(check int) "t_price arity" 1 (Serve.nparams h_price);
+          Alcotest.(check int) "t_range arity" 2 (Serve.nparams h_range);
+          Alcotest.(check int) "t_noparam arity" 0 (Serve.nparams h_none);
+          List.iter
+            (fun (mode, pipeline, batch) ->
+              with_exec ~pipeline ~batch (fun () ->
+                  List.iter
+                    (fun k ->
+                      let check name h mk =
+                        let vectors = List.init k mk in
+                        let batched = Serve.exec_batch h vectors in
+                        let singles =
+                          List.map (fun ps -> fst (Serve.exec_one h ps)) vectors
+                        in
+                        List.iteri
+                          (fun i (b, s) ->
+                            Alcotest.check Util.value
+                              (Printf.sprintf
+                                 "%s [%s, %d domains] K=%d cid=%d" name mode
+                                 domains k i)
+                              s b)
+                          (List.combine batched singles)
+                      in
+                      check "price" h_price price_params;
+                      check "range" h_range range_params;
+                      check "noparam" h_none (fun _ -> []))
+                    [ 1; 4; 16; 64 ]))
+            modes))
+    [ 1; 2; 4 ]
+
+(* Arity mismatches must fail fast, not execute. *)
+let test_arity_check () =
+  let cat = Util.small_catalog () in
+  Plancache.clear ();
+  let h = Serve.prepare cat ~translate t_price in
+  Alcotest.check_raises "too many parameters"
+    (Invalid_argument
+       (Printf.sprintf "Serve: 2 parameters given, template %s takes 1"
+          (Serve.text h)))
+    (fun () -> ignore (Serve.exec_one h [ Value.int 1; Value.int 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_routes_replies () =
+  let cat = Util.small_catalog () in
+  Plancache.clear ();
+  let h_price = Serve.prepare cat ~translate t_price in
+  let h_range = Serve.prepare cat ~translate t_range in
+  let pick ~client ~seq =
+    let i = (client * 17) + seq in
+    if i mod 2 = 0 then (h_price, price_params i) else (h_range, range_params i)
+  in
+  List.iter
+    (fun (batching, clients, requests, burst) ->
+      let replies =
+        Serve.run ~batching ~window:8 ~burst ~clients ~requests ~params:pick ()
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all replies arrive (batching=%b)" batching)
+        (clients * requests) (List.length replies);
+      List.iter
+        (fun (r : Serve.reply) ->
+          let h, ps = pick ~client:r.client ~seq:r.seq in
+          let expect = fst (Serve.exec_one h ps) in
+          Alcotest.check Util.value
+            (Printf.sprintf "client %d seq %d (batching=%b)" r.client r.seq
+               batching)
+            expect r.value;
+          Alcotest.(check bool) "batch size sane" true
+            (r.batch >= 1 && r.batch <= 8);
+          if not batching then
+            Alcotest.(check int) "unbatched service is singleton" 1 r.batch;
+          Alcotest.(check bool) "non-negative waits" true
+            (r.queue_ns >= 0 && r.service_ns >= 0))
+        replies)
+    [ (true, 4, 6, 2); (false, 3, 4, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache epoch invalidation under a configured pool               *)
+(* ------------------------------------------------------------------ *)
+
+let pnames vs = Value.set (List.map Value.string vs)
+
+let test_epoch_invalidation_under_pool () =
+  List.iter
+    (fun domains ->
+      with_domains domains (fun () ->
+          let cat = Util.small_catalog () in
+          Plancache.clear ();
+          let h = Serve.prepare cat ~translate t_price in
+          let run_k k =
+            Serve.exec_batch h (List.init k (fun i -> [ Value.int (8 + i) ]))
+          in
+          (match run_k 3 with
+           | [ v; _; _ ] ->
+             Alcotest.check Util.value
+               (Printf.sprintf "initial rows at %d domains" domains)
+               (pnames [ "nut" ]) v
+           | _ -> Alcotest.fail "expected 3 results");
+          let m0 = Plancache.misses () in
+          ignore (run_k 3);
+          Alcotest.(check int)
+            (Printf.sprintf "stable catalog serves from cache at %d domains"
+               domains)
+            0
+            (Plancache.misses () - m0);
+          (* Mutate a base table from inside the pool: the epoch bump must
+             be visible to the serving path after the join, re-deriving
+             both the one-at-a-time and batched plans. *)
+          let new_rows =
+            [ Util.part ~oid:7 ~pname:"axle" ~price:3 ~color:"red";
+              Util.part ~oid:8 ~pname:"gear" ~price:40 ~color:"blue" ]
+          in
+          ignore
+            (Pool.run (max 2 domains) (fun i ->
+                 if i = 0 then Catalog.set_rows cat "PART" new_rows));
+          (match run_k 3 with
+           | [ v; _; _ ] ->
+             Alcotest.check Util.value
+               (Printf.sprintf "post-update rows at %d domains" domains)
+               (pnames [ "axle" ]) v
+           | _ -> Alcotest.fail "expected 3 results");
+          Alcotest.(check bool)
+            (Printf.sprintf "epoch bump re-derived at %d domains" domains)
+            true
+            (Plancache.misses () - m0 > 0)))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Plan-cache auto-parameterization                                    *)
+(* ------------------------------------------------------------------ *)
+
+let derive_for cat count text =
+  incr count;
+  Planner.plan ~cat (Strategy.optimize cat (translate text))
+
+let test_autoparam_shares_plans () =
+  let cat = Util.small_catalog () in
+  Plancache.clear ();
+  let derived = ref 0 in
+  let h0 = Plancache.hits () in
+  let run q =
+    Exec.run cat (Plancache.find_or_derive cat q ~derive:(derive_for cat derived))
+  in
+  let v20 = run "select p.pname from p in PART where p.price < 20" in
+  let v7 = run "select p.pname from p in PART where p.price < 7" in
+  Alcotest.(check int) "constant-differing queries derive once" 1 !derived;
+  Alcotest.(check int) "second query is a cache hit" 1 (Plancache.hits () - h0);
+  (* The template hit must still bind each call's own constant. *)
+  Alcotest.check Util.value "threshold 20" (pnames [ "bolt"; "nut" ]) v20;
+  Alcotest.check Util.value "threshold 7" (pnames [ "nut" ]) v7
+
+let test_autoparam_guards () =
+  (* Date-shaped integer literals stay in the text (translation-time
+     coercion needs them); other numerics extract. *)
+  let check_id text =
+    let t, cs = Plancache.parameterize text in
+    Alcotest.(check string) ("unchanged: " ^ text) text t;
+    Alcotest.(check int) ("no constants: " ^ text) 0 (List.length cs)
+  in
+  check_id "select d from d in DELIVERY where d.date = 940101";
+  check_id "x = 19940101";
+  check_id "name = \"has 5 inside\"";
+  check_id "select q1.a from q1 in T2";
+  let t, cs = Plancache.parameterize "price < 25 and price > 2.5" in
+  Alcotest.(check string) "numerics extract" "price < ?0 and price > ?1" t;
+  Alcotest.(check bool) "extracted values" true
+    (cs = [ Value.int 25; Value.float 2.5 ]);
+  (* Indexed catalogs keep literals so sargable planning sees them. *)
+  let cat = Util.small_catalog () in
+  Plancache.clear ();
+  ignore
+    (Catalog.create_index cat ~name:"part_price" ~table:"PART"
+       ~attrs:[ "price" ] ~kind:Catalog.Hash_index ());
+  let derived = ref 0 in
+  let run q =
+    ignore (Plancache.find_or_derive cat q ~derive:(derive_for cat derived))
+  in
+  run "select p.pname from p in PART where p.price < 20";
+  run "select p.pname from p in PART where p.price < 7";
+  Alcotest.(check int) "indexed catalog derives per constant" 2 !derived
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "serve"
+    [ ( "qlog",
+        [ Alcotest.test_case "flush on exit" `Quick test_qlog_flush_on_exit ] );
+      ( "differential",
+        [ Alcotest.test_case "batched = one-at-a-time (K x modes x domains)"
+            `Quick test_differential;
+          Alcotest.test_case "arity check" `Quick test_arity_check ] );
+      ( "driver",
+        [ Alcotest.test_case "routes per-client replies" `Quick
+            test_driver_routes_replies ] );
+      ( "invalidation",
+        [ Alcotest.test_case "epoch bump under pool at 1/2/4 domains" `Quick
+            test_epoch_invalidation_under_pool ] );
+      ( "autoparam",
+        [ Alcotest.test_case "constant-differing queries share a plan" `Quick
+            test_autoparam_shares_plans;
+          Alcotest.test_case "date/index/string guards" `Quick
+            test_autoparam_guards ] ) ]
