@@ -23,7 +23,10 @@
    batched execution of the K merged invocations doing strictly less
    counter work than the K one-at-a-time runs, and its concurrent-driver
    "serve" section must carry both modes at 1/2/4 pool domains with
-   batching winning queries/s and p99 queue wait at 4 domains.
+   batching winning queries/s and p99 queue wait at 4 domains.  The b17
+   join-order experiment must show, for every "group|rw"/"group|enum"
+   variant pair, the enumerated order doing no more counter work than
+   the rewriter order, strictly less on the chain6 groups.
 
    With --baseline BASE, the perf-regression gate: BASE and FILE are two
    BENCH_engine.json documents; they must agree on experiment ids and
@@ -49,11 +52,68 @@ let parse file =
   | exception Json.Parse_error msg -> fail "%s: invalid JSON: %s" file msg
   | doc -> doc
 
+(* The "enumeration" key of njq explain --json is structured: one object
+   per join region with the enumerator's counters, costs and the chosen
+   vs rewriter plan fingerprints.  Validate the shape, not just the
+   presence, so a field rename can't silently break dashboards. *)
+let check_enumeration file v =
+  let regions =
+    match v with
+    | Json.List l -> l
+    | _ -> fail "%s: \"enumeration\" is not an array" file
+  in
+  List.iteri
+    (fun idx r ->
+      let ctx = Printf.sprintf "enumeration[%d]" idx in
+      let get k =
+        match Json.member k r with
+        | Some v -> v
+        | None -> fail "%s: %s: missing key %S" file ctx k
+      in
+      (match get "relations" with
+       | Json.List (_ :: _ as rels) ->
+         List.iter
+           (function
+             | Json.Str _ -> ()
+             | _ -> fail "%s: %s: non-string relation" file ctx)
+           rels
+       | _ -> fail "%s: %s: \"relations\" not a non-empty array" file ctx);
+      List.iter
+        (fun k ->
+          match get k with
+          | Json.Int n when n >= 0 -> ()
+          | _ -> fail "%s: %s: %S not a non-negative integer" file ctx k)
+        [ "considered"; "pruned"; "hoisted" ];
+      List.iter
+        (fun k ->
+          match get k with
+          | Json.Int _ | Json.Float _ -> ()
+          | _ -> fail "%s: %s: %S not a number" file ctx k)
+        [ "chosen_cost"; "rewriter_cost" ];
+      let reordered =
+        match get "reordered" with
+        | Json.Bool b -> b
+        | _ -> fail "%s: %s: \"reordered\" not a bool" file ctx
+      in
+      let fp k =
+        match get k with
+        | Json.Str s when String.length s > 0 -> s
+        | _ -> fail "%s: %s: %S not a non-empty string" file ctx k
+      in
+      let chosen = fp "chosen_fingerprint" in
+      let rewriter = fp "rewriter_fingerprint" in
+      (* the flag and the fingerprints must tell the same story *)
+      if reordered && String.equal chosen rewriter then
+        fail "%s: %s: reordered but fingerprints identical" file ctx)
+    regions
+
 let check_keys file keys =
   let doc = parse file in
   List.iter
     (fun k ->
-      if Json.member k doc = None then fail "%s: missing top-level key %S" file k)
+      match Json.member k doc with
+      | None -> fail "%s: missing top-level key %S" file k
+      | Some v -> if String.equal k "enumeration" then check_enumeration file v)
     keys
 
 (* ------------------------------------------------------------------ *)
@@ -120,6 +180,7 @@ let check_bench file =
   let b14_rows = ref 0 in
   let b15_rows = ref 0 in
   let b16_rows = ref 0 in
+  let b17_rows = ref 0 in
   List.iter
     (fun exp ->
       let id = as_str "id" (get "experiment" "id" exp) in
@@ -229,6 +290,41 @@ let check_bench file =
                    serve|one (%.0f)"
                   file ctx (List.nth totals j) (List.nth totals i)
             | _ -> fail "%s: %s: missing serve|one / serve|batch variants" file ctx
+          end;
+          if String.equal id "b17" then begin
+            incr b17_rows;
+            (* Join-order enumeration must never do more counter work than
+               the rewriter's order, and on the deep selective chain
+               (chain6) it must do strictly less: the enumerator joins the
+               filtered relation first, shrinking every later probe. *)
+            List.iteri
+              (fun i v ->
+                match String.index_opt v '|' with
+                | Some c
+                  when String.equal (String.sub v c (String.length v - c)) "|rw"
+                  ->
+                  let group = String.sub v 0 c in
+                  (match index_of (group ^ "|enum") with
+                   | None -> fail "%s: %s: %s has no |enum twin" file ctx v
+                   | Some j ->
+                     if List.nth totals j > List.nth totals i then
+                       fail
+                         "%s: %s: %s|enum work total (%.0f) above %s|rw (%.0f)"
+                         file ctx group (List.nth totals j) group
+                         (List.nth totals i);
+                     let strict =
+                       String.length group >= 6
+                       && String.equal (String.sub group 0 6) "chain6"
+                     in
+                     if strict && not (List.nth totals j < List.nth totals i)
+                     then
+                       fail
+                         "%s: %s: %s|enum work total (%.0f) not strictly below \
+                          %s|rw (%.0f)"
+                         file ctx group (List.nth totals j) group
+                         (List.nth totals i))
+                | _ -> ())
+              variants
           end;
           if String.equal id "b14" then begin
             incr b14_rows;
@@ -365,7 +461,9 @@ let check_bench file =
   if !b15_rows = 0 then
     fail "%s: no b15 work rows (batching experiment missing or empty)" file;
   if !b16_rows = 0 then
-    fail "%s: no b16 work rows (serving experiment missing or empty)" file
+    fail "%s: no b16 work rows (serving experiment missing or empty)" file;
+  if !b17_rows = 0 then
+    fail "%s: no b17 work rows (join-order experiment missing or empty)" file
 
 (* ------------------------------------------------------------------ *)
 (* --baseline: perf-regression gate                                    *)

@@ -340,9 +340,67 @@ let trace_out_arg =
              (load in chrome://tracing or Perfetto)." in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let adl_flag_arg =
+  let doc = "Interpret the query text as a raw ADL algebra expression \
+             (the njq adl syntax: join[x,y : p](l, r), ...) instead of \
+             OOSQL." in
+  Arg.(value & flag & info [ "adl" ] ~doc)
+
+let no_reorder_arg =
+  let doc = "Disable the cost-based join-order enumerator and keep the \
+             rewriter's join order." in
+  Arg.(value & flag & info [ "no-reorder" ] ~doc)
+
+(* The enumerator's per-region reports, as recorded by the planning call
+   that produced the displayed plan. *)
+let enumeration_json regions =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [ ("relations",
+              Json.List
+                (List.map (fun s -> Json.Str s)
+                   r.Njq_engine.Joinorder.relations));
+             ("considered", Json.Int r.Njq_engine.Joinorder.considered);
+             ("pruned", Json.Int r.Njq_engine.Joinorder.pruned);
+             ("chosen_cost", Json.Float r.Njq_engine.Joinorder.chosen_cost);
+             ("rewriter_cost", Json.Float r.Njq_engine.Joinorder.rewriter_cost);
+             ("reordered", Json.Bool r.Njq_engine.Joinorder.reordered);
+             ("hoisted", Json.Int r.Njq_engine.Joinorder.hoisted);
+             ("chosen_fingerprint",
+              Json.Str r.Njq_engine.Joinorder.chosen_fingerprint);
+             ("rewriter_fingerprint",
+              Json.Str r.Njq_engine.Joinorder.rewriter_fingerprint) ])
+       regions)
+
+let pp_enumeration ppf regions =
+  match regions with
+  | [] -> Fmt.pf ppf "join enumeration: no join region@."
+  | _ ->
+    List.iter
+      (fun r ->
+        Fmt.pf ppf
+          "join enumeration: {%s}@.  considered %d plans (%d pruned); \
+           chosen cost %.1f vs rewriter %.1f%s%s@.  fingerprint %s \
+           (rewriter %s)@."
+          (String.concat ", " r.Njq_engine.Joinorder.relations)
+          r.Njq_engine.Joinorder.considered r.Njq_engine.Joinorder.pruned
+          r.Njq_engine.Joinorder.chosen_cost
+          r.Njq_engine.Joinorder.rewriter_cost
+          (if r.Njq_engine.Joinorder.reordered then " [reordered]"
+           else " [kept rewriter order]")
+          (if r.Njq_engine.Joinorder.hoisted > 0 then
+             Fmt.str " [%d selection(s) hoisted]"
+               r.Njq_engine.Joinorder.hoisted
+           else "")
+          r.Njq_engine.Joinorder.chosen_fingerprint
+          r.Njq_engine.Joinorder.rewriter_fingerprint)
+      regions
+
 let explain_cmd =
   let run q scale seed dangling empty mode analyze cost json trace_out domains
-      batch_size indexes =
+      batch_size indexes raw_adl no_reorder =
     or_die (fun () ->
         apply_domains domains;
         apply_batch batch_size;
@@ -350,10 +408,12 @@ let explain_cmd =
         if tracing then Span.start_tracing ();
         let cat = make_catalog scale seed dangling empty in
         apply_indexes cat indexes;
-        let report, plan, analysis =
+        let report, plan, regions, analysis =
           Span.with_span "explain" (fun () ->
-              let adl, _ =
-                Njq_oosql.Translate.query schema (parse_query_text q)
+              let adl =
+                if raw_adl then Adlsyntax.of_string q
+                else
+                  fst (Njq_oosql.Translate.query schema (parse_query_text q))
               in
               (* Re-check the translation against the concrete catalog; this
                  also puts the typecheck span on the trace. *)
@@ -370,8 +430,18 @@ let explain_cmd =
                 else Njq_engine.Planner.Auto
               in
               let plan =
-                Njq_engine.Planner.plan ~algo ~cat
-                  (Njq_engine.Consthoist.hoist cat report.Strategy.output)
+                let prev = !Njq_engine.Joinorder.use_joinorder in
+                if no_reorder then Njq_engine.Joinorder.use_joinorder := false;
+                Fun.protect
+                  ~finally:(fun () ->
+                    Njq_engine.Joinorder.use_joinorder := prev)
+                  (fun () ->
+                    Njq_engine.Planner.plan ~algo ~cat
+                      (Njq_engine.Consthoist.hoist cat report.Strategy.output))
+              in
+              let regions =
+                if no_reorder then []
+                else !Njq_engine.Joinorder.last_report
               in
               let analysis =
                 if analyze then begin
@@ -384,7 +454,7 @@ let explain_cmd =
                 end
                 else None
               in
-              (report, plan, analysis))
+              (report, plan, regions, analysis))
         in
         let spans =
           if tracing then begin
@@ -419,6 +489,7 @@ let explain_cmd =
                     (Fmt.str "%a"
                        (Njq_engine.Plan.pp_pipelines ?batch:(explain_batch ()))
                        plan));
+                 ("enumeration", enumeration_json regions);
                  ("derivation", Njq_obs.Export.spans_to_json spans) ]
               @
               match analysis with
@@ -441,6 +512,7 @@ let explain_cmd =
           Fmt.pr "@.pipelines (~> fused edge, => materialized edge):@.%a"
             (Njq_engine.Plan.pp_pipelines ?batch:(explain_batch ()))
             plan;
+          if not no_reorder then Fmt.pr "@.%a" pp_enumeration regions;
           match analysis with
           | None -> ()
           | Some (v, prof) ->
@@ -457,7 +529,8 @@ let explain_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg
-      $ domains_arg $ batch_size_arg $ index_arg)
+      $ domains_arg $ batch_size_arg $ index_arg $ adl_flag_arg
+      $ no_reorder_arg)
 
 let refresh_arg =
   let doc = "Recompute statistics even when a cached snapshot exists for \

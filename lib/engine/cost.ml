@@ -34,16 +34,106 @@ let rec selectivity (pred : Expr.t) : float =
    known statically (matches the workload generator's default fanout). *)
 let assumed_fanout = 4.0
 
-(* Resolve a (table, attribute) pair for a key expression over a direct
-   scan, to consult statistics. *)
-let scan_column (input : Plan.t) var key =
-  match input, key with
-  | Plan.Scan table, Expr.Field (Expr.Var v, attr) when String.equal v var ->
-    Some (table, attr)
+(* Reverse-map an attribute through a rename: [Some pre] when [attr] is
+   the post-rename name of [pre], [None] when [attr] was renamed away. *)
+let rev_rename pairs attr =
+  match List.find_opt (fun (_, b) -> String.equal b attr) pairs with
+  | Some (a, _) -> Some a
+  | None ->
+    if List.exists (fun (a, _) -> String.equal a attr) pairs then None
+    else Some attr
+
+(* Resolve the (base table, attribute) provenance of an attribute of
+   [input]'s rows, looking through filters, projections, renames and join
+   concatenation.  Join operands carry disjoint attribute names in planner
+   output, so through an inner join the attribute belongs to whichever
+   side defines it; semijoin/antijoin/nestjoin emit (extended) left rows
+   only.  This is what lets NDV and min/max statistics price predicates
+   and join keys deep inside a tree — the subset-cardinality estimation
+   the join-order enumerator ({!Joinorder}) relies on. *)
+let rec column_of_attr (cat : Catalog.t) (input : Plan.t) attr :
+    (string * string) option =
+  match input with
+  | Plan.Scan table ->
+    (match Catalog.find_opt cat table with
+     | Some t ->
+       (match t.Catalog.row_type with
+        | Vtype.TTuple fields when List.mem_assoc attr fields ->
+          Some (table, attr)
+        | _ -> None)
+     | None -> None)
+  | Plan.Filter { input; _ } | Plan.ParFilter { input; _ } ->
+    column_of_attr cat input attr
+  | Plan.ProjectOp (attrs, input) ->
+    if List.mem attr attrs then column_of_attr cat input attr else None
+  | Plan.RenameOp (pairs, input) ->
+    Option.bind (rev_rename pairs attr) (column_of_attr cat input)
+  | Plan.IndexScan { table; rename; _ } ->
+    Option.bind (rev_rename rename attr) (fun a ->
+        column_of_attr cat (Plan.Scan table) a)
+  | Plan.JoinOp { kind = Expr.Inner; left; right; _ }
+  | Plan.ParJoinOp { kind = Expr.Inner; left; right; _ } ->
+    (match column_of_attr cat left attr with
+     | Some c -> Some c
+     | None -> column_of_attr cat right attr)
+  | Plan.JoinOp { kind = Expr.Semi | Expr.Anti; left; _ }
+  | Plan.ParJoinOp { kind = Expr.Semi | Expr.Anti; left; _ } ->
+    column_of_attr cat left attr
+  | Plan.NestjoinOp { left; attr = produced; _ }
+  | Plan.ParNestjoinOp { left; attr = produced; _ } ->
+    if String.equal attr produced then None else column_of_attr cat left attr
+  | _ -> None
+
+(* Resolve a (table, attribute) pair for a key expression of the shape
+   [var.attr], to consult statistics. *)
+let scan_column (cat : Catalog.t) (input : Plan.t) var key =
+  match key with
+  | Expr.Field (Expr.Var v, attr) when String.equal v var ->
+    column_of_attr cat input attr
   | _ -> None
 
 let const_int = function
   | Expr.Const (Value.VInt n | Value.VDate n | Value.VOid n) -> Some n
+  | _ -> None
+
+(* Fraction of a column's value range covered by optional [lo]/[hi]
+   bounds, interpolated from the column's min/max statistics; [None] when
+   the stats cannot answer (unknown or degenerate range). *)
+let range_fraction (cs : Stats.column_stats) ~(lo : int option)
+    ~(hi : int option) : float option =
+  match cs with
+  | { Stats.lo = Some clo; hi = Some chi; _ } when chi > clo ->
+    let clo = float_of_int clo and chi = float_of_int chi in
+    let lo_b =
+      match lo with Some v -> Float.max clo (float_of_int v) | None -> clo
+    in
+    let hi_b =
+      match hi with Some v -> Float.min chi (float_of_int v) | None -> chi
+    in
+    Some (Float.max 0.0 (Float.min 1.0 ((hi_b -. lo_b) /. (chi -. clo))))
+  | _ -> None
+
+(* Selectivity of one range conjunct [x.a < c] (either orientation, any of
+   the four inequalities) interpolated from min/max column stats; [None]
+   when the conjunct is not that shape or the stats cannot answer. *)
+let range_conj_fraction st cat input var conj : float option =
+  let bound key cexpr ~upper =
+    match const_int cexpr, scan_column cat input var key with
+    | Some v, Some (table, attr) ->
+      Option.bind (Stats.column st ~table ~attr) (fun cs ->
+          if upper then range_fraction cs ~lo:None ~hi:(Some v)
+          else range_fraction cs ~lo:(Some v) ~hi:None)
+    | _ -> None
+  in
+  match conj with
+  | Expr.Cmp ((Expr.Lt | Expr.Le), key, (Expr.Const _ as c)) ->
+    bound key c ~upper:true
+  | Expr.Cmp ((Expr.Gt | Expr.Ge), key, (Expr.Const _ as c)) ->
+    bound key c ~upper:false
+  | Expr.Cmp ((Expr.Lt | Expr.Le), (Expr.Const _ as c), key) ->
+    bound key c ~upper:false
+  | Expr.Cmp ((Expr.Gt | Expr.Ge), (Expr.Const _ as c), key) ->
+    bound key c ~upper:true
   | _ -> None
 
 (* Rows an index probe retrieves before the residual filter.  Point
@@ -72,21 +162,15 @@ let index_matches ?stats (cat : Catalog.t) ~table ~index
      | Plan.LRange { lo; hi } ->
        let attr = List.hd (Catalog.index_attrs idx) in
        let frac =
-         match Option.bind stats (fun st -> Stats.column st ~table ~attr) with
-         | Some { Stats.lo = Some clo; hi = Some chi; _ } when chi > clo ->
-           let clo = float_of_int clo and chi = float_of_int chi in
-           let lo_b =
-             match Option.bind lo (fun (e, _) -> const_int e) with
-             | Some v -> Float.max clo (float_of_int v)
-             | None -> clo
-           in
-           let hi_b =
-             match Option.bind hi (fun (e, _) -> const_int e) with
-             | Some v -> Float.min chi (float_of_int v)
-             | None -> chi
-           in
-           Float.max 0.0 (Float.min 1.0 ((hi_b -. lo_b) /. (chi -. clo)))
-         | _ -> 0.33
+         match
+           Option.bind stats (fun st ->
+               Option.bind (Stats.column st ~table ~attr) (fun cs ->
+                   range_fraction cs
+                     ~lo:(Option.bind lo (fun (e, _) -> const_int e))
+                     ~hi:(Option.bind hi (fun (e, _) -> const_int e))))
+         with
+         | Some f -> f
+         | None -> 0.33
        in
        Float.max 1.0 (frac *. card))
 
@@ -107,18 +191,23 @@ let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
       match stats with
       | None -> base_sel
       | Some st ->
-        (* Refine conjuncts of the shape x.a = const over a direct scan. *)
+        (* Refine conjuncts of the shapes x.a = const (NDV) and
+           x.a < const (min/max interpolation) over resolvable columns. *)
         let refined =
           List.fold_left
             (fun acc conj ->
               match conj with
               | Expr.Cmp (Expr.Eq, key, Expr.Const _)
               | Expr.Cmp (Expr.Eq, Expr.Const _, key) ->
-                (match scan_column input var key with
+                (match scan_column cat input var key with
                  | Some (table, attr) ->
                    (match Stats.eq_selectivity st ~table ~attr with
                     | Some s -> acc *. s
                     | None -> acc *. selectivity conj)
+                 | None -> acc *. selectivity conj)
+              | Expr.Cmp ((Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge), _, _) ->
+                (match range_conj_fraction st cat input var conj with
+                 | Some f -> acc *. f
                  | None -> acc *. selectivity conj)
               | c -> acc *. selectivity c)
             1.0 (Expr.conjuncts pred)
@@ -164,7 +253,9 @@ let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
          | (kx, ky) :: _ ->
            (match stats with
             | Some st ->
-              (match scan_column left xvar kx, scan_column right yvar ky with
+              (match
+                 scan_column cat left xvar kx, scan_column cat right yvar ky
+               with
                | Some (lt, la), Some (rt, ra) ->
                  (match
                     Stats.join_selectivity st ~left_table:lt ~left_attr:la

@@ -1,0 +1,67 @@
+(** Cost-based join-order enumeration with DAG-aware selection placement.
+
+    A pass between the rewriter-driven logical planning ({!Planner}) and
+    access-path selection: it extracts maximal join regions — connected
+    subtrees of inner joins with semijoin/antijoin/nestjoin edges and
+    selections — from the rewriter's output plan, enumerates alternative
+    join orders bottom-up (dynamic programming over relation subsets up to
+    {!dp_max} relations, greedy nearest-neighbor beyond), costs each with
+    the {!Cost} model fed by per-epoch {!Stats}, and adopts the cheapest
+    order only when it is strictly cheaper than the rewriter's.
+
+    Semijoin/antijoin/nestjoin edges ride along as unary operators over
+    the accumulating join result, applied at the earliest point where the
+    attributes they need are available; a nestjoin's ordering constraint —
+    the grouping side must survive into the result — is exactly the
+    requirement that its key/body attributes be available, and the
+    attribute it produces feeds the availability of later selections, so
+    "grouping-complete" subsets fall out of the same dependency tracking.
+
+    Selections are then placed on the costed tree rather than always at
+    the leaves: with {!shared} fingerprints (subplans materialized once by
+    a batched prepared-query plan), pushing a selection below the shared
+    node would forfeit reuse, and hoisting it above can win — the
+    "Sprinkling Selections over Join DAGs" case. *)
+
+open Njq_adl
+
+(** Master switch consulted by {!Planner.plan} (default on). *)
+val use_joinorder : bool ref
+
+(** Relation-count ceiling for exhaustive DP-over-subsets; larger regions
+    fall back to greedy nearest-neighbor ordering (default 10). *)
+val dp_max : int ref
+
+(** Fingerprints ({!Plan.fingerprint}) of subplans materialized once and
+    shared (e.g. across a batched prepared-query plan).  A shared subtree
+    is charged only its output cardinality, which is what lets a hoisted
+    selection beat leaf pushdown. *)
+val shared : string list ref
+
+type region_report = {
+  relations : string list;  (** leaf labels, rewriter order *)
+  considered : int;  (** candidate plans costed *)
+  pruned : int;  (** candidates discarded against a cheaper incumbent *)
+  chosen_cost : float;
+  rewriter_cost : float;
+  reordered : bool;  (** chosen plan differs from the rewriter's order *)
+  hoisted : int;  (** selections placed above a join by the DAG pass *)
+  chosen_fingerprint : string;
+  rewriter_fingerprint : string;
+}
+
+(** Per-region reports of the most recent {!optimize} call, in plan
+    traversal order; empty when no region was found (or the pass is
+    off). *)
+val last_report : region_report list ref
+
+(** The pass: rewrite every join region of the plan to its cheapest
+    enumerated order (strictly-cheaper adoption; ties and estimation
+    failures keep the rewriter's plan).  Resets {!last_report}. *)
+val optimize : ?stats:Stats.t -> Catalog.t -> Plan.t -> Plan.t
+
+(** Every complete enumerated order of the first join region of the plan
+    (deduplicated by fingerprint, capped at [limit] per subset) — the
+    differential-test hook: each returned plan must produce results
+    bit-identical to the input plan.  [[]] when the plan has no region. *)
+val orders : ?limit:int -> ?stats:Stats.t -> Catalog.t -> Plan.t -> Plan.t list

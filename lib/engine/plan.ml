@@ -358,6 +358,17 @@ let children = function
   | ParNestjoinOp { left; right; _ } | ParPnhl { left; right; _ } ->
     [ left; right ]
 
+(* Structural plan equality.  The type is first-order (expressions and
+   values are themselves structural), so [Stdlib.( = )] is the right
+   notion; named so call sites read as plan comparison and survive a
+   future move to hash-consed nodes. *)
+let equal (a : t) (b : t) = Stdlib.( = ) a b
+
+(* Pre-order traversal over every node of the plan tree. *)
+let rec iter_nodes f p =
+  f p;
+  List.iter (iter_nodes f) (children p)
+
 (* ------------------------------------------------------------------ *)
 (* Pipeline shape of the push-based executor (see [Exec]).  The two     *)
 (* predicates below are the single source of truth for which edges the  *)

@@ -202,6 +202,13 @@ val node_label : t -> string
 (** Immediate sub-plans, left to right. *)
 val children : t -> t list
 
+(** Structural plan equality (operators, algorithms, binder names and all
+    embedded expressions). *)
+val equal : t -> t -> bool
+
+(** Pre-order visit of every node in the tree. *)
+val iter_nodes : (t -> unit) -> t -> unit
+
 (** Pipeline shape of the push-based executor ({!Njq_engine.Exec}): [true]
     when the node streams its output rows one at a time into its consumer,
     [false] when it is a pipeline breaker that materializes its full

@@ -544,6 +544,16 @@ let plan ?(algo = Auto) ?cat e =
   in
   let p = plan_with ?ctx ?cat algo e in
   let p =
+    (* Join-order enumeration over the rewriter's output, before access
+       paths are chosen (the enumerator reasons over Scan/Filter shapes)
+       — skipped under [Force], whose callers want the rewriter's exact
+       plan with the named algorithm everywhere. *)
+    match cat, algo with
+    | Some c, (Auto | Cost_based _) when !Joinorder.use_joinorder ->
+      Joinorder.optimize ~stats:(Stats.cached c) c p
+    | _ -> p
+  in
+  let p =
     (* Sargable predicates onto declared indexes — skipped under [Force],
        whose callers want the named algorithm everywhere. *)
     match cat, algo with

@@ -1,0 +1,355 @@
+(* Tests for the cost-based join-order enumerator (Joinorder).
+
+   The contract: reordering is invisible in results.  Every enumerated
+   order of a join region — over generated 3-6 relation graphs with
+   inner-join, semijoin, antijoin and nestjoin edges — produces results
+   bit-identical to the rewriter-order plan, in all three executor modes
+   (materializing, pipelined, batched) at 1/2/4 pool domains.  Distinct
+   enumerated orders carry distinct plan fingerprints (the observability
+   hook: a changed order choice shows up in qlog/njq top).  Enumerated
+   plans flow through the plan cache under the normal key discipline.
+   With a shared subplan fingerprint, selection placement hoists a
+   selection above the sharing boundary instead of pushing it to the
+   leaf. *)
+
+open Njq_adl
+open Dsl
+module Plan = Njq_engine.Plan
+module Planner = Njq_engine.Planner
+module Joinorder = Njq_engine.Joinorder
+module Exec = Njq_engine.Exec
+module Pool = Njq_engine.Pool
+module Plancache = Njq_engine.Plancache
+module Stats = Njq_engine.Stats
+
+let with_exec ~pipeline ~batch f =
+  let prev_p = !Exec.pipeline_exec and prev_b = !Exec.batch_exec in
+  Exec.pipeline_exec := pipeline;
+  Exec.batch_exec := batch;
+  Fun.protect
+    ~finally:(fun () ->
+      Exec.pipeline_exec := prev_p;
+      Exec.batch_exec := prev_b)
+    f
+
+let with_domains k f =
+  let prev = Pool.domains () in
+  Pool.set_domains k;
+  Fun.protect ~finally:(fun () -> Pool.set_domains prev) f
+
+let with_reorder flag f =
+  let prev = !Joinorder.use_joinorder in
+  Joinorder.use_joinorder := flag;
+  Fun.protect ~finally:(fun () -> Joinorder.use_joinorder := prev) f
+
+let modes = [ (false, false); (true, false); (true, true) ]
+
+(* ------------------------------------------------------------------ *)
+(* Random 3-6 relation join graphs.  Relation [i] carries attributes
+   a<i>/b<i> (globally distinct names, the rename discipline the
+   enumerator requires); edges link a fresh relation to a random already
+   visible one.  Inner edges make the new relation's attributes visible;
+   semijoin/antijoin/nestjoin edges ride along as unary constraints. *)
+
+type edge_kind = EJoin | ESemi | EAnti | ENest
+
+let an i = Printf.sprintf "a%d" i
+let bn i = Printf.sprintf "b%d" i
+let tn i = Printf.sprintf "T%d" i
+
+let row_type i =
+  Vtype.TTuple [ (an i, Vtype.TInt); (bn i, Vtype.TInt) ]
+
+let mk_catalog rows_per_table =
+  let cat = Catalog.create () in
+  List.iteri
+    (fun i rows ->
+      Catalog.add_table cat ~name:(tn i) ~row_type:(row_type i)
+        (List.map
+           (fun (a, b) -> Value.tuple [ (an i, Value.int a); (bn i, Value.int b) ])
+           rows))
+    rows_per_table;
+  cat
+
+(* One graph: per-table rows, per-edge (kind, anchor choice, extra
+   residual?, pre-filter?), and a bool for a filter on the accumulated
+   result after the last join. *)
+let gen_graph =
+  QCheck.Gen.(
+    let gen_rows = list_size (int_range 0 6) (pair (int_range 0 4) (int_range 0 4)) in
+    int_range 3 6 >>= fun k ->
+    list_repeat k gen_rows >>= fun tables ->
+    list_repeat (k - 1)
+      (quad (int_range 0 3) (int_range 0 1000) bool bool)
+    >>= fun edges ->
+    bool >>= fun final_filter -> return (tables, edges, final_filter))
+
+let edge_kind = function
+  | 0 -> ESemi
+  | 1 -> EAnti
+  | 2 -> ENest
+  | _ -> EJoin
+
+(* Build the left-deep as-written query.  [visible] tracks relations whose
+   attributes survive in the accumulated rows. *)
+let build_query (tables, edges, final_filter) =
+  let k = List.length tables in
+  let acc = ref (table (tn 0)) in
+  let visible = ref [ 0 ] in
+  let produced = ref [] in
+  List.iteri
+    (fun idx (kindn, anchorn, extra, prefilter) ->
+      let i = idx + 1 in
+      let kind = edge_kind kindn in
+      (* more inner joins than constraint edges, so regions grow *)
+      let kind = if kindn = 3 || i = 1 then EJoin else kind in
+      let anchor = List.nth !visible (anchorn mod List.length !visible) in
+      let x = "x" and y = "y" in
+      let key = eq (var x $. an anchor) (var y $. an i) in
+      let pred =
+        if extra then key &&& le (var x $. bn anchor) (var y $. bn i) else key
+      in
+      let right =
+        if prefilter then select "s" (table (tn i)) (le (var "s" $. bn i) (int 2))
+        else table (tn i)
+      in
+      (match kind with
+      | EJoin ->
+        acc := join ~x ~y pred !acc right;
+        visible := !visible @ [ i ]
+      | ESemi -> acc := semijoin ~x ~y pred !acc right
+      | EAnti -> acc := antijoin ~x ~y pred !acc right
+      | ENest ->
+        let attr = Printf.sprintf "g%d" i in
+        acc := nestjoin ~x ~y ~body:(var y $. bn i) ~attr pred !acc right;
+        produced := attr :: !produced);
+      ignore k)
+    edges;
+  let q =
+    if final_filter then
+      let anchor = List.nth !visible (List.length !visible - 1) in
+      select "f" !acc (le (var "f" $. bn anchor) (int 3))
+    else !acc
+  in
+  q
+
+(* ------------------------------------------------------------------ *)
+
+let check_value = Util.check_value
+
+(* Differential: rewriter order vs enumerated order vs every enumerated
+   order, all modes, 1/2/4 domains. *)
+let diff_prop g =
+  let tables, _, _ = g in
+  let cat = mk_catalog tables in
+  let q = build_query g in
+  let reference =
+    with_domains 1 (fun () ->
+        with_exec ~pipeline:false ~batch:false (fun () ->
+            with_reorder false (fun () -> Exec.run cat (Planner.plan ~cat q))))
+  in
+  let all_orders =
+    with_domains 1 (fun () ->
+        with_reorder false (fun () ->
+            Joinorder.orders ~limit:8 ~stats:(Stats.cached cat) cat
+              (Planner.plan ~cat q)))
+  in
+  List.iter
+    (fun d ->
+      with_domains d (fun () ->
+          let p_rw = with_reorder false (fun () -> Planner.plan ~cat q) in
+          let p_en = with_reorder true (fun () -> Planner.plan ~cat q) in
+          List.iter
+            (fun (pipeline, batch) ->
+              with_exec ~pipeline ~batch (fun () ->
+                  check_value "rewriter order" reference (Exec.run cat p_rw);
+                  check_value "enumerated order" reference (Exec.run cat p_en);
+                  List.iteri
+                    (fun i o ->
+                      check_value
+                        (Printf.sprintf "order %d (d=%d p=%b b=%b)" i d
+                           pipeline batch)
+                        reference (Exec.run cat o))
+                    all_orders))
+            modes))
+    [ 1; 2; 4 ];
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fixtures. *)
+
+(* Chain T0 - T1 - T2 with skewed sizes and a selective filter on the
+   last relation: reordering must win on estimated cost, and distinct
+   orders must have distinct fingerprints. *)
+let chain_fixture () =
+  let rows n = List.init n (fun i -> (i, i)) in
+  let cat = mk_catalog [ rows 32; rows 32; rows 32 ] in
+  let q =
+    select "f"
+      (join ~x:"x" ~y:"y"
+         (eq (var "x" $. an 1) (var "y" $. an 2))
+         (join ~x:"x" ~y:"y"
+            (eq (var "x" $. an 0) (var "y" $. an 1))
+            (table (tn 0)) (table (tn 1)))
+         (table (tn 2)))
+      (lt (var "f" $. bn 2) (int 4))
+  in
+  (cat, q)
+
+let test_fingerprints_distinct () =
+  let cat, q = chain_fixture () in
+  let p = with_reorder false (fun () -> Planner.plan ~cat q) in
+  let orders = Joinorder.orders ~stats:(Stats.cached cat) cat p in
+  Alcotest.(check bool) "several orders" true (List.length orders >= 3);
+  (* pairwise structurally distinct, and fingerprints separate them *)
+  let rec pairs = function
+    | [] -> ()
+    | o :: rest ->
+      List.iter
+        (fun o' ->
+          Alcotest.(check bool) "orders differ" false (Plan.equal o o'))
+        rest;
+      pairs rest
+  in
+  pairs orders;
+  let fps = List.map Plan.fingerprint orders in
+  Alcotest.(check int) "fingerprints distinct"
+    (List.length orders)
+    (List.length (List.sort_uniq String.compare fps))
+
+let test_reorder_wins () =
+  let cat, q = chain_fixture () in
+  let p_en = with_reorder true (fun () -> Planner.plan ~cat q) in
+  let report = !Joinorder.last_report in
+  Alcotest.(check bool) "one region" true (List.length report = 1);
+  let r = List.hd report in
+  Alcotest.(check bool) "considered some plans" true (r.Joinorder.considered > 0);
+  Alcotest.(check bool) "pruned some plans" true (r.Joinorder.pruned > 0);
+  Alcotest.(check bool) "chosen no costlier than rewriter" true
+    (r.Joinorder.chosen_cost <= r.Joinorder.rewriter_cost);
+  Alcotest.(check bool) "reordered" true r.Joinorder.reordered;
+  Alcotest.(check string) "fingerprint surfaced" (Plan.fingerprint p_en)
+    r.Joinorder.chosen_fingerprint;
+  (* and the reorder is results-invisible *)
+  let p_rw = with_reorder false (fun () -> Planner.plan ~cat q) in
+  Alcotest.(check bool) "fingerprints differ" false
+    (String.equal (Plan.fingerprint p_rw) (Plan.fingerprint p_en));
+  check_value "same result" (Exec.run cat p_rw) (Exec.run cat p_en)
+
+let test_plancache_discipline () =
+  let cat, q = chain_fixture () in
+  Plancache.clear ();
+  let derive _ = with_reorder true (fun () -> Planner.plan ~cat q) in
+  let p1, hit1 = Plancache.find_or_derive_report cat "joinorder-q" ~derive in
+  let p2, hit2 = Plancache.find_or_derive_report cat "joinorder-q" ~derive in
+  Alcotest.(check bool) "first is a miss" false hit1;
+  Alcotest.(check bool) "second is a hit" true hit2;
+  Alcotest.(check bool) "cache returns the enumerated plan" true
+    (Plan.equal p1 p2);
+  Alcotest.(check string) "enumerated fingerprint cached"
+    (Plan.fingerprint (derive ""))
+    (Plan.fingerprint p2)
+
+(* Selection placement: with the unfiltered join subtree marked shared, a
+   leaf-pushed selection hoists above the sharing boundary. *)
+let test_selection_hoist () =
+  let rows n = List.init n (fun i -> (i, i)) in
+  let cat = mk_catalog [ rows 40; rows 40 ] in
+  let stats = Stats.cached cat in
+  (* deliberately bad hand-written plan: filter unpushed, nested loops *)
+  let raw =
+    Plan.Filter
+      {
+        var = "f";
+        pred = lt (var "f" $. bn 0) (int 2);
+        input =
+          Plan.JoinOp
+            {
+              algo = Plan.Nested_loop;
+              kind = Expr.Inner;
+              xvar = "x";
+              yvar = "y";
+              keys = [ (var "x" $. an 0, var "y" $. an 1) ];
+              residual = Expr.true_;
+              left = Plan.Scan (tn 0);
+              right = Plan.Scan (tn 1);
+            };
+      }
+  in
+  let find_join p =
+    let found = ref None in
+    Plan.iter_nodes
+      (fun n ->
+        match n with
+        | Plan.JoinOp { kind = Expr.Inner; _ } when !found = None ->
+          found := Some n
+        | _ -> ())
+      p;
+    Option.get !found
+  in
+  (* pass 1, no sharing: the filter lands on the T0 leaf (either side) *)
+  let p1 = Joinorder.optimize ~stats cat raw in
+  let j1 = find_join p1 in
+  let leaf_filtered = function
+    | Plan.Filter { input = Plan.Scan t; _ } -> String.equal t (tn 0)
+    | _ -> false
+  in
+  let pushed =
+    match j1 with
+    | Plan.JoinOp { left; right; _ } ->
+      leaf_filtered left || leaf_filtered right
+    | _ -> false
+  in
+  Alcotest.(check bool) "no sharing: selection pushed to the leaf" true pushed;
+  (* pass 2: mark the unfiltered join shared; the selection must hoist *)
+  let j_unfiltered =
+    match j1 with
+    | Plan.JoinOp ({ left = Plan.Filter { input; _ }; _ } as j)
+      when leaf_filtered j.left ->
+      Plan.JoinOp { j with left = input }
+    | Plan.JoinOp ({ right = Plan.Filter { input; _ }; _ } as j)
+      when leaf_filtered j.right ->
+      Plan.JoinOp { j with right = input }
+    | _ -> Alcotest.fail "expected filtered leaf under the join"
+  in
+  let prev = !Joinorder.shared in
+  Joinorder.shared := [ Plan.fingerprint j_unfiltered ];
+  Fun.protect
+    ~finally:(fun () -> Joinorder.shared := prev)
+    (fun () ->
+      let p2 = Joinorder.optimize ~stats cat raw in
+      let contains_shared = ref false in
+      Plan.iter_nodes
+        (fun n -> if Plan.equal n j_unfiltered then contains_shared := true)
+        p2;
+      Alcotest.(check bool) "sharing: selection hoisted above the join" true
+        !contains_shared;
+      let r = List.hd !Joinorder.last_report in
+      Alcotest.(check bool) "hoist counted" true (r.Joinorder.hoisted >= 1);
+      check_value "hoisted plan result unchanged" (Exec.run cat raw)
+        (Exec.run cat p2))
+
+let () =
+  Alcotest.run "joinorder"
+    [
+      ( "differential",
+        [
+          Util.qcheck ~count:25 "every enumerated order bit-identical (modes x domains)"
+            (QCheck.make ~print:(fun g -> Pretty.to_string (build_query g)) gen_graph)
+            diff_prop;
+        ] );
+      ( "enumeration",
+        [
+          Alcotest.test_case "distinct orders have distinct fingerprints" `Quick
+            test_fingerprints_distinct;
+          Alcotest.test_case "chain reorder wins and is surfaced" `Quick
+            test_reorder_wins;
+          Alcotest.test_case "plan cache serves enumerated plans" `Quick
+            test_plancache_discipline;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "shared subplan hoists selection" `Quick
+            test_selection_hoist;
+        ] );
+    ]
