@@ -26,7 +26,16 @@
    batching winning queries/s and p99 queue wait at 4 domains.  The b17
    join-order experiment must show, for every "group|rw"/"group|enum"
    variant pair, the enumerated order doing no more counter work than
-   the rewriter order, strictly less on the chain6 groups.
+   the rewriter order, strictly less on the chain6 groups.  The b18
+   larger-than-memory experiment must carry a "spill" section whose
+   per-variant counter snapshots show, for each operator family
+   (grace/pnhl/extsort) across the inf/10pct/1pct budget variants,
+   budget-invariant core work (scan_row, hash_build/hash_probe,
+   pnhl_build), zero spill and external-sort counters on the resident
+   |inf run, and nonzero spill (resp. external-sort run/merge) counters
+   at the 1% budget; its "coldstart" record must show the NJQC binary
+   catalog load strictly faster than the textual parse of the same
+   catalog.
 
    With --baseline BASE, the perf-regression gate: BASE and FILE are two
    BENCH_engine.json documents; they must agree on experiment ids and
@@ -181,6 +190,7 @@ let check_bench file =
   let b15_rows = ref 0 in
   let b16_rows = ref 0 in
   let b17_rows = ref 0 in
+  let b18_rows = ref 0 in
   List.iter
     (fun exp ->
       let id = as_str "id" (get "experiment" "id" exp) in
@@ -326,6 +336,7 @@ let check_bench file =
                 | _ -> ())
               variants
           end;
+          if String.equal id "b18" then incr b18_rows;
           if String.equal id "b14" then begin
             incr b14_rows;
             List.iteri
@@ -397,6 +408,84 @@ let check_bench file =
                (%.0f ns) at 4 domains"
               file ctx batch_queue one_queue
       end;
+      if String.equal id "b18" then begin
+        (* Per-variant counter snapshots: the work-table totals cannot
+           gate spilling (budgeted runs legitimately do more total work),
+           so the spill section carries the breakdown.  Core operator
+           work must be budget-invariant — the budgeted run computes the
+           same join, just through spill files — while the spill counters
+           themselves must be zero resident and nonzero at the 1%
+           budget.  The cold-start record must show the binary catalog
+           format beating the textual parse. *)
+        match Json.member "spill" exp with
+        | None -> fail "%s: %s: missing \"spill\" section" file ctx
+        | Some s ->
+          let cells = as_list (ctx ^ " spill cells") (get ctx "cells" s) in
+          let by_name =
+            List.map
+              (fun row ->
+                (as_str (ctx ^ " spill variant") (get ctx "variant" row), row))
+              cells
+          in
+          let find name =
+            match List.assoc_opt name by_name with
+            | Some row -> row
+            | None -> fail "%s: %s: no spill row for variant %S" file ctx name
+          in
+          let field row k = as_num (ctx ^ " spill " ^ k) (get ctx k row) in
+          List.iter
+            (fun (fam, core) ->
+              let inf = find (fam ^ "|inf") in
+              let budgeted =
+                [ (fam ^ "|10pct", find (fam ^ "|10pct"));
+                  (fam ^ "|1pct", find (fam ^ "|1pct")) ]
+              in
+              List.iter
+                (fun k ->
+                  let v0 = field inf k in
+                  List.iter
+                    (fun (name, row) ->
+                      if field row k <> v0 then
+                        fail
+                          "%s: %s: %s %s (%.0f) differs from %s|inf (%.0f) — \
+                           core work must be budget-invariant"
+                          file ctx name k (field row k) fam v0)
+                    budgeted)
+                core;
+              List.iter
+                (fun k ->
+                  if field inf k <> 0.0 then
+                    fail "%s: %s: %s|inf ticked %s (%.0f) with no budget" file
+                      ctx fam k (field inf k))
+                [ "spill_part"; "spill_row"; "spill_bytes"; "ext_sort_run";
+                  "ext_sort_merge" ];
+              let _, tight = List.nth budgeted 1 in
+              let must_tick ks =
+                List.iter
+                  (fun k ->
+                    if not (field tight k > 0.0) then
+                      fail "%s: %s: %s|1pct did not tick %s" file ctx fam k)
+                  ks
+              in
+              if String.equal fam "extsort" then
+                must_tick [ "ext_sort_run"; "ext_sort_merge" ]
+              else must_tick [ "spill_part"; "spill_bytes" ])
+            [ ("grace", [ "scan_row"; "hash_build"; "hash_probe" ]);
+              ("pnhl", [ "scan_row"; "pnhl_build" ]);
+              ("extsort", [ "scan_row" ]) ];
+          let cs = get ctx "coldstart" s in
+          let num k = as_num (ctx ^ " coldstart " ^ k) (get ctx k cs) in
+          List.iter
+            (fun k ->
+              if not (num k > 0.0) then
+                fail "%s: %s: coldstart %s not positive" file ctx k)
+            [ "rows"; "text_bytes"; "njqc_bytes"; "text_ns"; "njqc_ns" ];
+          if not (num "njqc_ns" < num "text_ns") then
+            fail
+              "%s: %s: NJQC cold start (%.0f ns) not strictly below the \
+               textual parse (%.0f ns)"
+              file ctx (num "njqc_ns") (num "text_ns")
+      end;
       if String.equal id "b14" then begin
         (* Span summaries: a plan-cache hit must serve the compiled plan
            without re-running any derivation phase. *)
@@ -463,7 +552,10 @@ let check_bench file =
   if !b16_rows = 0 then
     fail "%s: no b16 work rows (serving experiment missing or empty)" file;
   if !b17_rows = 0 then
-    fail "%s: no b17 work rows (join-order experiment missing or empty)" file
+    fail "%s: no b17 work rows (join-order experiment missing or empty)" file;
+  if !b18_rows = 0 then
+    fail "%s: no b18 work rows (larger-than-memory experiment missing or empty)"
+      file
 
 (* ------------------------------------------------------------------ *)
 (* --baseline: perf-regression gate                                    *)

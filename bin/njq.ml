@@ -87,6 +87,28 @@ let batch_size_arg =
 
 let apply_batch n = if n > 0 then Njq_engine.Batch.set_size n
 
+let mem_budget_arg =
+  let doc =
+    "Engine memory budget in build-side rows, with an optional k or m \
+     suffix (e.g. 1k = 1024 rows).  A hash-join build side estimated past \
+     the budget is Grace-partitioned to temp files under NJQ_TMPDIR and \
+     processed one resident partition at a time; sort inputs past it use \
+     an external sort.  Results are identical at every budget.  Unset \
+     means unlimited (everything stays resident)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "mem-budget" ] ~docv:"N[k|m]" ~doc)
+
+let apply_mem_budget = function
+  | None -> ()
+  | Some s ->
+    (match Njq_engine.Memory.parse s with
+     | Some n -> Njq_engine.Memory.budget := n
+     | None ->
+       Fmt.epr "--mem-budget: expected a positive row count like 4096 or \
+                1k, got %S@." s;
+       exit 1)
+
 (* The active batch size for EXPLAIN's pipeline rendering, [None] when
    the batched executor cannot engage (either flag off). *)
 let explain_batch () =
@@ -149,6 +171,9 @@ let log_query ?(queue_ns = 0) ?(batch = 1) sink ~slow_ms ~query ~fingerprint
   let cpu_ns = int_of_float ((Clock.cpu_seconds () -. cpu0) *. 1e9) in
   let min1, _, maj1 = Gc.counters () in
   let work, work_total = work_fields () in
+  let spilled =
+    match List.assoc_opt "spill_bytes" work with Some n -> n | None -> 0
+  in
   let slow =
     match slow_ms with Some t -> Clock.ns_to_ms wall_ns >= t | None -> false
   in
@@ -167,6 +192,7 @@ let log_query ?(queue_ns = 0) ?(batch = 1) sink ~slow_ms ~query ~fingerprint
       queue_ns;
       batch;
       max_qerror;
+      spilled;
       slow };
   if slow then
     Fmt.epr "slow query: %.3f ms (>= %.1f ms) fp=%s@."
@@ -254,7 +280,11 @@ let load_schema = function
 let make_catalog ?db ?save_db ?schema_file scale seed dangling empty =
   let cat =
     match db, schema_file with
-    | Some path, _ -> Serialize.load_catalog_file path
+    | Some path, _ ->
+      (* Sniff the magic: --db accepts both the textual format and NJQC
+         binary catalogs written by `njq catalog pack`. *)
+      if Njq_engine.Rowcodec.is_njqc path then Catalog.load_binary path
+      else Serialize.load_catalog_file path
     | None, Some _ -> Njq_oosql.Schema.to_catalog (load_schema schema_file)
     | None, None ->
       Njq_workload.Generator.catalog
@@ -400,10 +430,11 @@ let pp_enumeration ppf regions =
 
 let explain_cmd =
   let run q scale seed dangling empty mode analyze cost json trace_out domains
-      batch_size indexes raw_adl no_reorder =
+      batch_size indexes raw_adl no_reorder mem_budget =
     or_die (fun () ->
         apply_domains domains;
         apply_batch batch_size;
+        apply_mem_budget mem_budget;
         let tracing = json || Option.is_some trace_out in
         if tracing then Span.start_tracing ();
         let cat = make_catalog scale seed dangling empty in
@@ -481,8 +512,11 @@ let explain_cmd =
             Json.Obj
               ([ ("query", Json.Str q);
                  ("scale", Json.Int scale);
-                 ("seed", Json.Int seed);
-                 ("phases", Json.List phases);
+                 ("seed", Json.Int seed) ]
+              @ (if Njq_engine.Memory.unlimited () then []
+                 else
+                   [ ("mem_budget", Json.Int !Njq_engine.Memory.budget) ])
+              @ [ ("phases", Json.List phases);
                  ("plan", Json.Str (Fmt.str "%a" Njq_engine.Plan.pp plan));
                  ("pipelines",
                   Json.Str
@@ -509,6 +543,13 @@ let explain_cmd =
         else begin
           Fmt.pr "%a@.@.plan:@.%a@." Strategy.pp_report report
             Njq_engine.Plan.pp plan;
+          if not (Njq_engine.Memory.unlimited ()) then
+            Fmt.pr
+              "@.mem budget: %d build-side rows — over-budget hash joins \
+               run as Grace joins with spill partitions under %s; \
+               over-budget sorts go external@."
+              !Njq_engine.Memory.budget
+              (Njq_engine.Rowcodec.temp_dir ());
           Fmt.pr "@.pipelines (~> fused edge, => materialized edge):@.%a"
             (Njq_engine.Plan.pp_pipelines ?batch:(explain_batch ()))
             plan;
@@ -530,7 +571,7 @@ let explain_cmd =
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ analyze_arg $ cost_arg $ json_arg $ trace_out_arg
       $ domains_arg $ batch_size_arg $ index_arg $ adl_flag_arg
-      $ no_reorder_arg)
+      $ no_reorder_arg $ mem_budget_arg)
 
 let refresh_arg =
   let doc = "Recompute statistics even when a cached snapshot exists for \
@@ -593,10 +634,11 @@ let format_arg =
 
 let run_cmd =
   let run q scale seed dangling empty mode no_opt counters db save_db format
-      schema_file domains batch_size indexes qlog slow_ms =
+      schema_file domains batch_size indexes qlog slow_ms mem_budget =
     or_die (fun () ->
         apply_domains domains;
         apply_batch batch_size;
+        apply_mem_budget mem_budget;
         let cat = make_catalog ?db ?save_db ?schema_file scale seed dangling empty in
         apply_indexes cat indexes;
         (* Derivation goes through the plan cache so the qlog's hit/miss
@@ -651,13 +693,14 @@ let run_cmd =
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ save_db_arg
       $ format_arg $ schema_arg $ domains_arg $ batch_size_arg $ index_arg
-      $ qlog_arg $ slow_ms_arg)
+      $ qlog_arg $ slow_ms_arg $ mem_budget_arg)
 
 let adl_cmd =
   let run q scale seed dangling empty mode no_opt counters db schema_file
-      domains =
+      domains mem_budget =
     or_die (fun () ->
         apply_domains domains;
+        apply_mem_budget mem_budget;
         let cat = make_catalog ?db ?schema_file scale seed dangling empty in
         (match Adlsyntax.of_string q with
          | adl ->
@@ -689,7 +732,7 @@ let adl_cmd =
     Term.(
       const run $ query_arg $ scale_arg $ seed_arg $ dangling_arg $ empty_arg
       $ mode_arg $ no_opt_arg $ counters_arg $ db_arg $ schema_arg
-      $ domains_arg)
+      $ domains_arg $ mem_budget_arg)
 
 let schema_cmd =
   let run () =
@@ -899,10 +942,11 @@ let parse_param_value s =
 let serve_cmd =
   let run q scale seed dangling empty mode no_opt db schema_file domains
       batch_size indexes clients requests burst window no_batching params
-      json qlog slow_ms =
+      json qlog slow_ms mem_budget =
     or_die (fun () ->
         apply_domains domains;
         apply_batch batch_size;
+        apply_mem_budget mem_budget;
         let cat = make_catalog ?db ?schema_file scale seed dangling empty in
         apply_indexes cat indexes;
         let schema = load_schema schema_file in
@@ -993,6 +1037,7 @@ let serve_cmd =
                         queue_ns = r.queue_ns;
                         batch = r.batch;
                         max_qerror = 1.0;
+                        spilled = 0;
                         slow })
                   replies))
           qlog;
@@ -1041,7 +1086,7 @@ let serve_cmd =
       $ empty_arg $ mode_arg $ no_opt_arg $ db_arg $ schema_arg $ domains_arg
       $ batch_size_arg $ index_arg $ clients_arg $ requests_arg $ burst_arg
       $ window_arg $ no_batching_arg $ params_arg $ json_arg $ qlog_arg
-      $ slow_ms_arg)
+      $ slow_ms_arg $ mem_budget_arg)
 
 (* ---------------- plan cache ---------------- *)
 
@@ -1113,6 +1158,65 @@ let cache_cmd =
     (Cmd.info "cache"
        ~doc:"Prepared-query plan cache (LRU over compiled physical plans)")
     [ cache_stats_cmd ]
+
+(* ---------------- binary catalog ---------------- *)
+
+let pack_out_arg =
+  let doc = "Output file for the packed NJQC catalog." in
+  Arg.(required & opt (some string) None
+       & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let catalog_pack_cmd =
+  let run scale seed dangling empty db schema_file out =
+    or_die (fun () ->
+        let cat = make_catalog ?db ?schema_file scale seed dangling empty in
+        let tables = Catalog.table_names cat in
+        let rows =
+          List.fold_left
+            (fun acc t -> acc + Catalog.cardinality cat t)
+            0 tables
+        in
+        let t0 = Clock.now_ns () in
+        Njq_engine.Rowcodec.save_catalog cat out;
+        let pack_ns = Clock.elapsed_ns t0 in
+        let bytes =
+          In_channel.with_open_bin out (fun ic ->
+              Int64.to_int (In_channel.length ic))
+        in
+        (* Read it straight back: proves the file round-trips and shows
+           the cold-start cost the binary format buys down. *)
+        let t1 = Clock.now_ns () in
+        let reloaded = Catalog.load_binary out in
+        let load_ns = Clock.elapsed_ns t1 in
+        let rows' =
+          List.fold_left
+            (fun acc t -> acc + Catalog.cardinality reloaded t)
+            0
+            (Catalog.table_names reloaded)
+        in
+        if rows' <> rows then begin
+          Fmt.epr "pack verification failed: %d row(s) in, %d back@." rows
+            rows';
+          exit 1
+        end;
+        Fmt.pr "packed %d table(s), %d row(s) into %s: %d bytes in %.3f ms@."
+          (List.length tables) rows out bytes (Clock.ns_to_ms pack_ns);
+        Fmt.pr "cold-start load: %.3f ms (round trip verified)@."
+          (Clock.ns_to_ms load_ns))
+  in
+  Cmd.v
+    (Cmd.info "pack"
+       ~doc:"Pack a catalog (loaded with --db/--schema or generated) into \
+             the NJQC binary format; the file is accepted anywhere --db \
+             is, replacing the textual parse on cold start")
+    Term.(
+      const run $ scale_arg $ seed_arg $ dangling_arg $ empty_arg $ db_arg
+      $ schema_arg $ pack_out_arg)
+
+let catalog_cmd =
+  Cmd.group
+    (Cmd.info "catalog" ~doc:"Catalog utilities (NJQC binary packing)")
+    [ catalog_pack_cmd ]
 
 (* ---------------- query-log inspection ---------------- *)
 
@@ -1232,6 +1336,7 @@ let main =
   let doc = "nested-loop to join queries in OODB — OOSQL/ADL query pipeline" in
   Cmd.group (Cmd.info "njq" ~version:"1.0.0" ~doc)
     [ parse_cmd; translate_cmd; explain_cmd; run_cmd; adl_cmd; schema_cmd;
-      stats_cmd; repl_cmd; serve_cmd; cache_cmd; top_cmd; log_cmd ]
+      stats_cmd; repl_cmd; serve_cmd; cache_cmd; catalog_cmd; top_cmd;
+      log_cmd ]
 
 let () = exit (Cmd.eval main)

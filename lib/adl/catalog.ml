@@ -337,6 +337,26 @@ let index_lookup_eq t idx (key : Value.t array) =
   Njq_obs.Metrics.incr ~n:(List.length matched) c_idx_row;
   matched
 
+(* ------------------------------------------------------------------ *)
+(* Binary catalog loading                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The NJQC binary codec lives in the engine library (it shares the spill
+   row format), which this module cannot depend on; the engine registers
+   its loader here at link time and [load_binary] dispatches through it.
+   A missing registration means the codec module was never linked — an
+   informative failure beats a silent fallback to text parsing. *)
+let binary_loader : (string -> t) option ref = ref None
+
+let register_binary_loader f = binary_loader := Some f
+
+let load_binary path =
+  match !binary_loader with
+  | Some f -> f path
+  | None ->
+    invalid_arg
+      "Catalog.load_binary: no binary loader registered (link Njq_engine.Rowcodec)"
+
 let index_lookup_range t idx ~lo ~hi =
   (match idx.idx_kind with
    | Sorted_index -> ()

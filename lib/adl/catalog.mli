@@ -86,6 +86,16 @@ val deref : t -> string -> Value.t -> Value.t
 (** Like {!deref} but [None] on dangling references. *)
 val deref_opt : t -> string -> Value.t -> Value.t option
 
+(** {1 Binary loading}
+
+    The NJQC binary catalog codec lives in the engine library; it
+    registers its loader here at link time.  {!load_binary} loads an NJQC
+    file through the registered loader and raises [Invalid_argument] when
+    none is registered (the codec module was not linked). *)
+
+val register_binary_loader : (string -> t) -> unit
+val load_binary : string -> t
+
 (** {1 Attribute indexes} *)
 
 (** [create_index t ?name ~table ~kind ~attrs ()] declares (and builds,

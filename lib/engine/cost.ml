@@ -174,6 +174,33 @@ let index_matches ?stats (cat : Catalog.t) ~table ~index
        in
        Float.max 1.0 (frac *. card))
 
+(* NDV-based key factor for one equi-join: the fraction of the cross
+   product surviving the first key pair.  With statistics and resolvable
+   key provenance this is the containment-assumption estimate
+   1/max(NDV_left, NDV_right) over real per-epoch distinct counts
+   ({!Stats.join_selectivity} through the rename-aware {!column_of_attr}
+   walk); the fixed 1/max(|L|, |R|) distinct-count heuristic remains only
+   as the fallback when provenance or stats are missing.  Shared by the
+   plain, Grace and parallel join estimates so algorithm choice never
+   shifts an estimate.  With no keys, the residual's syntactic
+   selectivity. *)
+let equi_key_factor ?stats cat ~xvar ~yvar ~keys ~residual ~left ~right l r =
+  match keys with
+  | [] -> selectivity residual
+  | (kx, ky) :: _ ->
+    (match stats with
+     | Some st ->
+       (match scan_column cat left xvar kx, scan_column cat right yvar ky with
+        | Some (lt, la), Some (rt, ra) ->
+          (match
+             Stats.join_selectivity st ~left_table:lt ~left_attr:la
+               ~right_table:rt ~right_attr:ra
+           with
+           | Some s -> s
+           | None -> 1.0 /. Float.max l r)
+        | _ -> 1.0 /. Float.max l r)
+     | None -> 1.0 /. Float.max l r)
+
 (* Estimated number of output rows of a plan.  With [stats], equality
    selectivities over direct scans use real NDV counts. *)
 let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
@@ -248,23 +275,8 @@ let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
     (match kind with
      | Expr.Inner | Expr.LeftOuter _ ->
        let key_factor =
-         match keys with
-         | [] -> selectivity residual
-         | (kx, ky) :: _ ->
-           (match stats with
-            | Some st ->
-              (match
-                 scan_column cat left xvar kx, scan_column cat right yvar ky
-               with
-               | Some (lt, la), Some (rt, ra) ->
-                 (match
-                    Stats.join_selectivity st ~left_table:lt ~left_attr:la
-                      ~right_table:rt ~right_attr:ra
-                  with
-                  | Some s -> s
-                  | None -> 1.0 /. Float.max l r)
-               | _ -> 1.0 /. Float.max l r)
-            | None -> 1.0 /. Float.max l r)
+         equi_key_factor ?stats cat ~xvar ~yvar ~keys ~residual ~left ~right l
+           r
        in
        Float.max 1.0 (l *. r *. key_factor)
      | Expr.Semi -> 0.5 *. l
@@ -275,20 +287,30 @@ let rec rows_out ?stats (cat : Catalog.t) (p : Plan.t) : float =
      | Plan.MSemi | Plan.MAnti -> 0.5 *. rows_out cat left
      | Plan.MInner -> assumed_fanout *. rows_out cat left +. rows_out cat right
      | Plan.MNest _ -> rows_out cat left)
-  | Plan.GraceJoin { kind; left; right; _ } ->
+  | Plan.GraceJoin { kind; xvar; yvar; keys; residual; left; right; _ } ->
     let l = rows_out cat left and r = rows_out cat right in
     (match kind with
-     | Expr.Inner | Expr.LeftOuter _ -> Float.max 1.0 (l *. r /. Float.max l r)
+     | Expr.Inner | Expr.LeftOuter _ ->
+       let key_factor =
+         equi_key_factor ?stats cat ~xvar ~yvar ~keys ~residual ~left ~right l
+           r
+       in
+       Float.max 1.0 (l *. r *. key_factor)
      | Expr.Semi | Expr.Anti -> 0.5 *. l)
   | Plan.RenameOp (_, input) -> rows_out cat input
   | Plan.UnnestOp (_, input) -> assumed_fanout *. rows_out cat input
   | Plan.NestOp { input; _ } -> 0.5 *. rows_out cat input
   | Plan.DivideOp (a, _) -> Float.max 1.0 (0.1 *. rows_out cat a)
   | Plan.Pnhl { left; _ } | Plan.ParPnhl { left; _ } -> rows_out cat left
-  | Plan.ParJoinOp { kind; left; right; _ } ->
+  | Plan.ParJoinOp { kind; xvar; yvar; keys; residual; left; right; _ } ->
     let l = rows_out cat left and r = rows_out cat right in
     (match kind with
-     | Expr.Inner | Expr.LeftOuter _ -> Float.max 1.0 (l *. r /. Float.max l r)
+     | Expr.Inner | Expr.LeftOuter _ ->
+       let key_factor =
+         equi_key_factor ?stats cat ~xvar ~yvar ~keys ~residual ~left ~right l
+           r
+       in
+       Float.max 1.0 (l *. r *. key_factor)
      | Expr.Semi | Expr.Anti -> 0.5 *. l)
   | Plan.ParNestjoinOp { left; _ } -> rows_out cat left
   | Plan.ParFilter { pred; input; _ } -> selectivity pred *. rows_out cat input
@@ -310,6 +332,22 @@ let join_algo_cost algo l r =
   | Plan.Sort_merge ->
     let nlogn x = x *. Float.max 1.0 (Float.log2 (Float.max 2.0 x)) in
     nlogn l +. nlogn r
+
+(* Spill I/O charge.  When the engine memory budget binds, a hash build
+   side estimated past it is Grace-partitioned to temp files: both inputs
+   get written and read back once, [spill_io] work units per row for the
+   round trip.  A sort input past the budget pays the same for external
+   run generation + K-way merge.  Charging this in the model is what makes
+   the join-order enumerator prefer orders whose build sides stay resident
+   when the budget binds. *)
+let spill_io = 2.0
+
+let spill_charge ~build ~probe =
+  if build > float_of_int !Memory.budget then spill_io *. (build +. probe)
+  else 0.0
+
+let ext_sort_charge rows =
+  if rows > float_of_int !Memory.budget then spill_io *. rows else 0.0
 
 (* Estimated cost in abstract work units (comparable to the Counters
    totals). *)
@@ -359,21 +397,36 @@ let rec cost ?stats (cat : Catalog.t) (p : Plan.t) : float =
     cost cat a +. cost cat b +. rows_out cat a +. rows_out cat b
   | Plan.ProductOp (a, b) -> cost cat a +. cost cat b +. out
   | Plan.JoinOp { algo; left; right; _ } ->
-    cost cat left +. cost cat right
-    +. join_algo_cost algo (rows_out cat left) (rows_out cat right)
-    +. out
+    let l = rows_out cat left and r = rows_out cat right in
+    let spill =
+      match algo with
+      | Plan.Hash -> spill_charge ~build:r ~probe:l
+      | Plan.Sort_merge -> ext_sort_charge l +. ext_sort_charge r
+      | Plan.Nested_loop -> 0.0
+    in
+    cost cat left +. cost cat right +. join_algo_cost algo l r +. spill +. out
   | Plan.NestjoinOp { algo; left; right; _ } ->
-    cost cat left +. cost cat right
-    +. join_algo_cost algo (rows_out cat left) (rows_out cat right)
-    +. out
+    let l = rows_out cat left and r = rows_out cat right in
+    (* Hash nestjoin has no spill path, so only the sort-merge variant is
+       charged external-sort I/O when the budget binds. *)
+    let spill =
+      match algo with
+      | Plan.Sort_merge -> ext_sort_charge l +. ext_sort_charge r
+      | Plan.Hash | Plan.Nested_loop -> 0.0
+    in
+    cost cat left +. cost cat right +. join_algo_cost algo l r +. spill +. out
   | Plan.MemberJoin { left; right; _ } ->
     cost cat left +. cost cat right +. rows_out cat right
     +. (assumed_fanout *. rows_out cat left)
-  | Plan.GraceJoin { left; right; _ } ->
-    (* one extra pass over both inputs for partitioning *)
+  | Plan.GraceJoin { mem_budget; left; right; _ } ->
+    (* One extra pass over both inputs for partitioning, plus the temp-file
+       round trip when the build side exceeds this node's budget. *)
     let l = rows_out cat left and r = rows_out cat right in
+    let spill =
+      if r > float_of_int mem_budget then spill_io *. (l +. r) else 0.0
+    in
     cost cat left +. cost cat right +. l +. r +. join_algo_cost Plan.Hash l r
-    +. out
+    +. spill +. out
   | Plan.RenameOp (_, input) -> cost cat input +. out
   | Plan.UnnestOp (_, input) -> cost cat input +. out
   | Plan.NestOp { input; _ } -> cost cat input +. rows_out cat input
@@ -383,12 +436,17 @@ let rec cost ?stats (cat : Catalog.t) (p : Plan.t) : float =
   | Plan.Pnhl { left; right; mem_budget; _ } ->
     let l = rows_out cat left and r = rows_out cat right in
     let partitions = Float.max 1.0 (r /. float_of_int (max 1 mem_budget)) in
+    let spill = if partitions > 1.0 then spill_io *. r else 0.0 in
     cost cat left +. cost cat right +. r
     +. (partitions *. l *. assumed_fanout)
+    +. spill
   | Plan.ParPnhl { left; right; mem_budget; _ } ->
     let l = rows_out cat left and r = rows_out cat right in
     let partitions = Float.max 1.0 (r /. float_of_int (max 1 mem_budget)) in
-    cost cat left +. cost cat right +. r +. (partitions *. l *. assumed_fanout)
+    let spill = if partitions > 1.0 then spill_io *. r else 0.0 in
+    cost cat left +. cost cat right +. r
+    +. (partitions *. l *. assumed_fanout)
+    +. spill
   | Plan.ParJoinOp { left; right; _ } | Plan.ParNestjoinOp { left; right; _ }
     ->
     (* One partitioning pass over both inputs, then per-partition hash

@@ -29,9 +29,20 @@
    counter totals are mode-invariant and remain pool-size-invariant (see
    DESIGN.md sections 7 and 8).
 
+   Larger-than-memory execution: when a Grace/PNHL partition count exceeds
+   one, partitions are real spill files ([Rowcodec]) processed one resident
+   partition at a time (with recursive repartitioning on key skew), and the
+   sort-merge paths switch to an external run-generation + K-way merge sort
+   when an input exceeds [Memory.budget].  Spilling never changes results:
+   partition assignment and merge order reproduce the in-memory
+   permutations exactly.
+
    Work counters (see [Njq_adl.Counters]): "scan_row", "filter_eval",
    "hash_build", "hash_probe", "nl_pair", "sm_cmp", "pnhl_partition",
-   "pnhl_build", "pnhl_probe", plus "oid_lookup" from [Catalog.deref]. *)
+   "pnhl_build", "pnhl_probe", plus "oid_lookup" from [Catalog.deref].
+   Spill activity ticks "spill_part" (per spill file), "spill_row" and
+   "spill_bytes" (per encoded row), "ext_sort_run" (per sorted run) and
+   "ext_sort_merge" (per merged-out row). *)
 
 open Njq_adl
 
@@ -214,6 +225,11 @@ let c_pnhl_build = M.counter "pnhl_build"
 let c_pnhl_probe = M.counter "pnhl_probe"
 let c_par_partition = M.counter "par_partition"
 let c_par_partition_row = M.counter "par_partition_row"
+let c_spill_part = M.counter "spill_part"
+let c_spill_row = M.counter "spill_row"
+let c_spill_bytes = M.counter "spill_bytes"
+let c_ext_sort_run = M.counter "ext_sort_run"
+let c_ext_sort_merge = M.counter "ext_sort_merge"
 
 (* Wall-time distribution of individual parallel tasks (partitions /
    chunks / batches), recorded per domain and merged at pool join. *)
@@ -263,6 +279,111 @@ let tbl_size ?cap cat p =
   let est = int_of_float (Float.min 1_000_000.0 (Cost.rows_out cat p)) in
   let est = match cap with Some c -> min est c | None -> est in
   max 16 est
+
+(* ---------------------------------------------------------------------- *)
+(* Spill helpers                                                           *)
+(* ---------------------------------------------------------------------- *)
+
+(* Write one row to a spill file, charging the spill counters. *)
+let spill_row sp row =
+  let bytes = Rowcodec.spill_add sp row in
+  M.incr c_spill_row;
+  M.incr ~n:bytes c_spill_bytes
+
+(* Spill [rows_] into ceil(n / mem_budget) files of at most [mem_budget]
+   rows each, preserving row order (file s holds rows [s * mem_budget ..)).
+   Used by the PNHL paths, whose segments are contiguous row ranges. *)
+let spill_segments ~mem_budget rows_ =
+  let n_rows = List.length rows_ in
+  let nsegs = (n_rows + mem_budget - 1) / mem_budget in
+  let sps =
+    Array.init nsegs (fun _ -> Rowcodec.spill_create ~prefix:"njq-pnhl" ())
+  in
+  M.incr ~n:nsegs c_spill_part;
+  List.iteri (fun i row -> spill_row sps.(i / mem_budget) row) rows_;
+  sps
+
+(* External merge sort for the sort-merge join paths.  Runs are contiguous
+   [budget]-row chunks of the input, each sorted in memory with the
+   caller's comparator ([List.sort], stable) and spilled; the K-way merge
+   picks the smallest head, breaking ties toward the earliest run.  Because
+   runs are contiguous input chunks and ties resolve to the earliest run,
+   the merged output is exactly the stable-sort permutation [List.sort cmp]
+   would produce — spilling cannot change join results.  Only the K run
+   heads are decoded at once; each run's remaining rows stay as undecoded
+   bytes.  Comparator ticks ("sm_cmp" in the callers) differ from the
+   in-memory sort's — external sorting changes the comparison schedule, not
+   the outcome. *)
+let external_sort_pairs budget cmp pairs =
+  let rec chunks rest =
+    match rest with
+    | [] -> []
+    | _ ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | p :: rest -> take (n - 1) (p :: acc) rest
+      in
+      let chunk, rest = take budget [] rest in
+      chunk :: chunks rest
+  in
+  let spill_run chunk =
+    let sp = Rowcodec.spill_create ~prefix:"njq-sort" () in
+    M.incr c_ext_sort_run;
+    M.incr c_spill_part;
+    List.iter
+      (fun (k, v) -> spill_row sp (Value.of_sorted_fields [ ("k", k); ("v", v) ]))
+      (List.sort cmp chunk);
+    sp
+  in
+  let runs = Array.of_list (List.map spill_run (chunks pairs)) in
+  Fun.protect
+    ~finally:(fun () -> Array.iter Rowcodec.spill_remove runs)
+    (fun () ->
+      let decs = Array.map Rowcodec.spill_decoder runs in
+      let next dec =
+        match Rowcodec.decode_record dec with
+        | Some (Value.VTuple [ ("k", k); ("v", v) ]) -> Some (k, v)
+        | Some _ -> raise (Rowcodec.Corrupt "external sort: malformed run record")
+        | None -> None
+      in
+      let heads = Array.map next decs in
+      let out = ref [] in
+      let merging = ref true in
+      while !merging do
+        let best = ref (-1) in
+        Array.iteri
+          (fun i h ->
+            match h with
+            | None -> ()
+            | Some p ->
+              if !best = -1 then best := i
+              else begin
+                match heads.(!best) with
+                | Some q -> if cmp p q < 0 then best := i
+                | None -> assert false
+              end)
+          heads;
+        if !best = -1 then merging := false
+        else begin
+          let i = !best in
+          match heads.(i) with
+          | Some p ->
+            M.incr c_ext_sort_merge;
+            out := p :: !out;
+            heads.(i) <- next decs.(i)
+          | None -> assert false
+        end
+      done;
+      List.rev !out)
+
+(* Sort keyed pairs for a sort-merge join: in memory when the input fits
+   the engine budget ({!Memory.budget}), externally otherwise.  Both paths
+   produce the identical (stable) permutation. *)
+let sort_pairs cmp pairs =
+  let budget = !Memory.budget in
+  if budget = max_int || List.length pairs <= budget then List.sort cmp pairs
+  else external_sort_pairs budget cmp pairs
 
 (* Allocation counters: cumulative minor- and major-heap words (the major
    figure includes promotions, like [Gc.stat]'s); [Gc.counters] reads
@@ -473,50 +594,20 @@ let rec exec_node (cat : Catalog.t) (p : Plan.t) : Value.t list =
      | Expr.LeftOuter _ -> exec_error "grace join does not support outer joins"
      | _ -> ());
     let xs = rows cat left and ys = rows cat right in
-    let partitions =
-      max 1 ((List.length ys + mem_budget - 1) / mem_budget)
-    in
-    (* Partition both inputs on the hash of the first key; rows of the same
-       key land in the same partition pair, so each pair joins
-       independently. *)
     let kx0, ky0 =
       match keys with
       | k :: _ -> k
       | [] -> exec_error "grace join without equi keys"
     in
     let kx0 = param1 cat ~var:xvar kx0 and ky0 = param1 cat ~var:yvar ky0 in
-    let bucket k row =
-      M.incr c_grace_partition_row;
-      bucket_of_hash (Value.hash (k row)) partitions
-    in
-    let xparts = Array.make partitions [] and yparts = Array.make partitions [] in
-    List.iter
-      (fun x ->
-        let b = bucket kx0 x in
-        xparts.(b) <- x :: xparts.(b))
-      xs;
-    List.iter
-      (fun y ->
-        let b = bucket ky0 y in
-        yparts.(b) <- y :: yparts.(b))
-      ys;
-    M.incr ~n:partitions c_grace_partition;
     (* Compile keys and residual once; every partition pair reuses them. *)
     let xkey = key_fns cat xvar `Left keys and ykey = key_fns cat yvar `Right keys in
     let residual = residual_fn cat xvar yvar residual in
     (* Each partition's build side holds at most [mem_budget] rows. *)
     let build_hint = tbl_size ~cap:mem_budget cat right in
     let out = ref [] in
-    for b = 0 to partitions - 1 do
-      (* Anti joins must also emit left rows whose partition has no right
-         rows at all, so every partition pair is processed. *)
-      let joined =
-        hash_join_keyed kind ~xkey ~ykey ~residual ~build_hint
-          (List.rev xparts.(b))
-          (List.rev yparts.(b))
-      in
-      out := List.rev_append joined !out
-    done;
+    grace_partitioned kind ~kx0 ~ky0 ~xkey ~ykey ~residual ~build_hint
+      ~mem_budget ~depth:0 xs ys (List.length ys) out;
     dedup !out
   | Plan.RenameOp (pairs, input) ->
     List.map
@@ -1566,6 +1657,78 @@ and hash_join_keyed ?(build_hint = 16) kind ~xkey ~ykey ~residual xs ys =
            | ms -> List.map (Value.concat x) ms)
          xs)
 
+(* Grace partitioning with real spills.  The right (build) side dictates
+   the partition count, ceil(|ys| / mem_budget); a single partition means
+   the build fits and the pair joins in memory directly.  Otherwise BOTH
+   inputs are partitioned on the hash of the first key into one spill file
+   per side per partition, and partition pairs are read back and joined one
+   at a time — only one pair is ever resident.  A partition whose build
+   side still exceeds twice the budget (key skew defeated the hash split)
+   is recursively repartitioned with a depth-salted hash; recursion stops
+   when splitting makes no progress (every row carries the same key hash)
+   or at a fixed depth, where the in-memory join is the best remaining
+   option.  The 2x slack mirrors classic Grace practice: hash partitions
+   of a uniform key spread around the budget, and re-spilling every
+   slightly-oversized partition would cost more I/O than the marginally
+   larger build table.
+
+   Tick discipline: "grace_partition_row" per row per partitioning pass
+   (and once per input row when the build fits — the pre-spill executor's
+   counts), "grace_partition" per partition, spill counters per file/row.
+   At depth 0 the bucket function matches the pre-spill executor exactly,
+   so partition assignment — and therefore the result — is unchanged. *)
+and grace_partitioned kind ~kx0 ~ky0 ~xkey ~ykey ~residual ~build_hint
+    ~mem_budget ~depth xs ys nys out =
+  let partitions = max 1 ((nys + mem_budget - 1) / mem_budget) in
+  if partitions = 1 || depth > 8 then begin
+    M.incr ~n:(List.length xs + nys) c_grace_partition_row;
+    M.incr c_grace_partition;
+    let joined = hash_join_keyed kind ~xkey ~ykey ~residual ~build_hint xs ys in
+    out := List.rev_append joined !out
+  end
+  else begin
+    let bucket k row =
+      M.incr c_grace_partition_row;
+      bucket_of_hash (Value.hash (k row) lxor (depth * 0x9e3779b1)) partitions
+    in
+    let spill_side key rows_ =
+      let sps =
+        Array.init partitions (fun _ ->
+            Rowcodec.spill_create ~prefix:"njq-grace" ())
+      in
+      M.incr ~n:partitions c_spill_part;
+      List.iter (fun row -> spill_row sps.(bucket key row) row) rows_;
+      sps
+    in
+    let xsp = spill_side kx0 xs in
+    Fun.protect ~finally:(fun () -> Array.iter Rowcodec.spill_remove xsp)
+    @@ fun () ->
+    let ysp = spill_side ky0 ys in
+    Fun.protect ~finally:(fun () -> Array.iter Rowcodec.spill_remove ysp)
+    @@ fun () ->
+    M.incr ~n:partitions c_grace_partition;
+    for b = 0 to partitions - 1 do
+      (* Anti joins must also emit left rows whose partition has no right
+         rows at all, so every partition pair is processed. *)
+      let nys_b = Rowcodec.spill_rows ysp.(b) in
+      let pxs = Rowcodec.spill_read xsp.(b) in
+      let pys = Rowcodec.spill_read ysp.(b) in
+      (* The pair's bytes are resident now; release the disk space before
+         joining (or recursing, which spills afresh). *)
+      Rowcodec.spill_remove xsp.(b);
+      Rowcodec.spill_remove ysp.(b);
+      if nys_b > 2 * mem_budget && nys_b < nys then
+        grace_partitioned kind ~kx0 ~ky0 ~xkey ~ykey ~residual ~build_hint
+          ~mem_budget ~depth:(depth + 1) pxs pys nys_b out
+      else begin
+        let joined =
+          hash_join_keyed kind ~xkey ~ykey ~residual ~build_hint pxs pys
+        in
+        out := List.rev_append joined !out
+      end
+    done
+  end
+
 and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
   (* Sort both inputs on the first key; equal-key runs are then joined,
      checking the remaining keys and residual per pair. *)
@@ -1578,8 +1741,10 @@ and sort_merge_join cat xvar yvar (kx, ky) residual all_keys xs ys =
     M.incr c_sm_cmp;
     Value.compare a b
   in
-  let xs = List.sort cmp (List.map (fun row -> (kxf row, row)) xs) in
-  let ys = List.sort cmp (List.map (fun row -> (kyf row, row)) ys) in
+  (* [sort_pairs] goes external past the engine memory budget; either way
+     the permutation is the stable in-memory one. *)
+  let xs = sort_pairs cmp (List.map (fun row -> (kxf row, row)) xs) in
+  let ys = sort_pairs cmp (List.map (fun row -> (kyf row, row)) ys) in
   let pair_ok x y = Key.equal (rxkey x) (rykey y) && residual x y in
   let rec run_of key acc = function
     | (k, v) :: rest when Value.equal k key -> run_of key (v :: acc) rest
@@ -1629,8 +1794,8 @@ and exec_nestjoin cat algo xvar yvar keys residual body attr left right =
       M.incr c_sm_cmp;
       Value.compare a b
     in
-    let xs = List.sort cmp (List.map (fun row -> (kxf row, row)) xs) in
-    let ys = List.sort cmp (List.map (fun row -> (kyf row, row)) ys) in
+    let xs = sort_pairs cmp (List.map (fun row -> (kxf row, row)) xs) in
+    let ys = sort_pairs cmp (List.map (fun row -> (kyf row, row)) ys) in
     let pair_ok x y = Key.equal (rxkey x) (rykey y) && residual x y in
     let rec run_of key acc = function
       | (k, v) :: rest when Value.equal k key -> run_of key (v :: acc) rest
@@ -1705,37 +1870,43 @@ and exec_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
   let elem_key = param1 cat ~var:"elem" elem_key in
   let xs = Array.of_list xs in
   let partial = Array.make (Array.length xs) [] in
-  let rec partitions = function
-    | [] -> []
-    | ys ->
-      let rec take n acc = function
-        | rest when n = 0 -> (List.rev acc, rest)
-        | [] -> (List.rev acc, [])
-        | y :: rest -> take (n - 1) (y :: acc) rest
-      in
-      let seg, rest = take mem_budget [] ys in
-      seg :: partitions rest
-  in
   let seg_hint = tbl_size ~cap:mem_budget cat right in
-  List.iter
-    (fun segment ->
-      M.incr c_pnhl_partition;
-      let tbl = VTbl.create seg_hint in
-      List.iter
-        (fun y ->
-          M.incr c_pnhl_build;
-          VTbl.add tbl (row_key y) y)
-        segment;
-      Array.iteri
-        (fun i x ->
-          let elems = Value.as_set (Value.field x attr) in
-          List.iter
-            (fun e ->
-              M.incr c_pnhl_probe;
-              partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
-            elems)
-        xs)
-    (partitions ys);
+  let probe_segment segment =
+    M.incr c_pnhl_partition;
+    let tbl = VTbl.create seg_hint in
+    List.iter
+      (fun y ->
+        M.incr c_pnhl_build;
+        VTbl.add tbl (row_key y) y)
+      segment;
+    Array.iteri
+      (fun i x ->
+        let elems = Value.as_set (Value.field x attr) in
+        List.iter
+          (fun e ->
+            M.incr c_pnhl_probe;
+            partial.(i) <- VTbl.find_all tbl (elem_key e) @ partial.(i))
+          elems)
+      xs
+  in
+  (* A build table that fits is one resident segment; past the budget, the
+     segments become spill files consumed one at a time — the segment
+     boundaries (contiguous [mem_budget]-row ranges) and therefore all
+     build/probe work are identical either way. *)
+  (if ys = [] then ()
+   else if List.length ys <= mem_budget then probe_segment ys
+   else begin
+     let spills = spill_segments ~mem_budget ys in
+     Fun.protect
+       ~finally:(fun () -> Array.iter Rowcodec.spill_remove spills)
+       (fun () ->
+         Array.iter
+           (fun sp ->
+             let segment = Rowcodec.spill_read sp in
+             Rowcodec.spill_remove sp;
+             probe_segment segment)
+           spills)
+   end);
   Array.to_list
     (Array.mapi
        (fun i x -> Value.except x [ (into, Value.set partial.(i)) ])
@@ -1753,25 +1924,13 @@ and exec_par_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
   let row_key_s = param1_spawner cat ~var:"row" row_key in
   let elem_key_s = param1_spawner cat ~var:"elem" elem_key in
   let xs = Array.of_list xs in
-  let rec segments = function
-    | [] -> []
-    | ys ->
-      let rec take n acc = function
-        | rest when n = 0 -> (List.rev acc, rest)
-        | [] -> (List.rev acc, [])
-        | y :: rest -> take (n - 1) (y :: acc) rest
-      in
-      let seg, rest = take mem_budget [] ys in
-      seg :: segments rest
-  in
-  let segs = Array.of_list (segments ys) in
   let seg_hint = tbl_size ~cap:mem_budget cat right in
-  let partials =
-    Pool.run (Array.length segs)
+  let run_tasks nsegs segment_of =
+    Pool.run nsegs
       (par_task "task:par_pnhl" (fun s ->
            let row_key = row_key_s () and elem_key = elem_key_s () in
            M.incr c_pnhl_partition;
-           let segment = segs.(s) in
+           let segment = segment_of s in
            let tbl = VTbl.create seg_hint in
            List.iter
              (fun y ->
@@ -1789,6 +1948,25 @@ and exec_par_pnhl cat ~attr ~elem_key ~row_key ~into ~mem_budget ~left ~right =
                  elems)
              xs;
            partial))
+  in
+  (* Segments are spilled sequentially on the coordinating domain (spill
+     counters cannot depend on the pool size); each pool task then reads
+     back — and unlinks — its own file, so concurrent tasks never share a
+     decoder.  Segment boundaries match the sequential executor's, keeping
+     counter totals budget-for-budget identical to [exec_pnhl]. *)
+  let partials =
+    if ys = [] then [||]
+    else if List.length ys <= mem_budget then run_tasks 1 (fun _ -> ys)
+    else begin
+      let spills = spill_segments ~mem_budget ys in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Rowcodec.spill_remove spills)
+        (fun () ->
+          run_tasks (Array.length spills) (fun s ->
+              let segment = Rowcodec.spill_read spills.(s) in
+              Rowcodec.spill_remove spills.(s);
+              segment))
+    end
   in
   Array.to_list
     (Array.mapi

@@ -16,10 +16,19 @@
     semantics require.  Both execution modes produce identical row lists
     (same rows, same order) and identical counter totals.
 
+    Larger-than-memory execution: Grace joins and PNHL spill partitions
+    that exceed their [mem_budget] to {!Rowcodec} temp files and process
+    them one resident partition at a time (rehashing recursively on skew),
+    and the sort-merge paths switch to an external run-generation + K-way
+    merge sort past {!Memory.budget}.  Results are bit-identical to the
+    fully resident run in every execution mode.
+
     Counters ticked (see {!Njq_adl.Counters}): ["scan_row"],
     ["filter_eval"], ["hash_build"], ["hash_probe"], ["nl_pair"],
     ["sm_cmp"], ["pnhl_partition"], ["pnhl_build"], ["pnhl_probe"], plus
-    ["oid_lookup"] from catalog dereferencing. *)
+    ["oid_lookup"] from catalog dereferencing; spilling adds
+    ["spill_part"], ["spill_row"], ["spill_bytes"], ["ext_sort_run"] and
+    ["ext_sort_merge"]. *)
 
 open Njq_adl
 

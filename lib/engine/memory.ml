@@ -1,0 +1,42 @@
+(* Engine-wide memory budget, in rows.
+
+   [budget] is the |M| of the paper's Section 6.2 generalized to the whole
+   engine: the number of build-side rows any single operator may hold
+   resident at once.  It defaults to [max_int] (everything fits, no
+   operator spills) and is set per invocation from the CLI/serve
+   [--mem-budget] option.  Three layers consult it:
+
+   - {!Planner} rewrites keyed hash joins whose estimated build side
+     exceeds the budget into [Plan.GraceJoin] nodes carrying it, and
+     clamps the [mem_budget] of Grace/PNHL nodes;
+   - {!Cost} charges spill I/O for over-budget builds, steering the
+     join-order enumerator toward non-spilling orders;
+   - {!Exec}'s sort-merge paths switch to external run-generation +
+     K-way merge sort when an input exceeds the budget.
+
+   The knob lives in its own module (below both [Cost] and [Exec]) because
+   [Exec] depends on [Cost] for cardinality hints — either of them owning
+   the reference would force a cycle. *)
+
+let budget : int ref = ref max_int
+
+let unlimited () = !budget = max_int
+
+(* Parse a CLI budget spec: a positive integer with an optional [k]
+   (x 1024) or [m] (x 1024^2) suffix, case-insensitive.  [None] on
+   anything else (zero, negative, garbage). *)
+let parse (s : string) : int option =
+  let s = String.trim s in
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    let mult, digits =
+      match Char.lowercase_ascii s.[n - 1] with
+      | 'k' -> (1024, String.sub s 0 (n - 1))
+      | 'm' -> (1024 * 1024, String.sub s 0 (n - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt digits with
+    | Some v when v > 0 && v <= max_int / mult -> Some (v * mult)
+    | _ -> None
+  end

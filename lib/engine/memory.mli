@@ -1,0 +1,17 @@
+(** Engine-wide memory budget, in rows — the |M| of the paper's Section
+    6.2 generalized to the whole engine: how many build-side rows any
+    single operator may hold resident at once.
+
+    Defaults to [max_int] (everything fits, nothing spills); set per
+    invocation from the CLI [--mem-budget] option.  {!Planner} converts
+    over-budget hash joins to Grace joins and clamps Grace/PNHL node
+    budgets, {!Cost} charges spill I/O for over-budget builds, and
+    {!Exec}'s sorts go external past it. *)
+
+val budget : int ref
+val unlimited : unit -> bool
+
+(** Parse a CLI budget spec: a positive integer with an optional [k]
+    (x 1024) or [m] (x 1024^2) suffix, case-insensitive.  [None] on
+    anything else (zero, negative, overflow, garbage). *)
+val parse : string -> int option

@@ -528,6 +528,45 @@ let parallelize ?stats cat p =
   in
   go p
 
+(* Clamp plan memory use to the engine budget ({!Memory.budget}): a hash
+   join whose build side is estimated past the budget becomes a Grace join
+   (which spills partitions to temp files and processes them one resident
+   partition at a time), and Grace/PNHL nodes carrying a larger in-plan
+   budget are clamped down so their executors spill likewise.  Runs before
+   {!parallelize} so an over-budget hash join is never fanned out across
+   the pool.  Identity when the budget is unlimited.  Without a catalog
+   there are no cardinality estimates, so every hash join is converted —
+   the conservative reading of a binding budget. *)
+let apply_mem_budget ?stats cat p =
+  let budget = !Memory.budget in
+  if budget = max_int then p
+  else
+    let est p =
+      match cat with Some c -> Cost.rows_out ?stats c p | None -> infinity
+    in
+    let rec go p =
+      let p = Plan.with_children p (List.map go (Plan.children p)) in
+      match p with
+      | Plan.JoinOp
+          { algo = Plan.Hash;
+            kind = (Expr.Inner | Expr.Semi | Expr.Anti) as kind;
+            xvar; yvar;
+            keys = _ :: _ as keys;
+            residual; left; right }
+        when est right > float_of_int budget ->
+        Plan.GraceJoin
+          { kind; xvar; yvar; keys; residual; mem_budget = budget; left;
+            right }
+      | Plan.GraceJoin ({ mem_budget; _ } as g) when mem_budget > budget ->
+        Plan.GraceJoin { g with mem_budget = budget }
+      | Plan.Pnhl ({ mem_budget; _ } as g) when mem_budget > budget ->
+        Plan.Pnhl { g with mem_budget = budget }
+      | Plan.ParPnhl ({ mem_budget; _ } as g) when mem_budget > budget ->
+        Plan.ParPnhl { g with mem_budget = budget }
+      | p -> p
+    in
+    go p
+
 let plan ?(algo = Auto) ?cat e =
   let algo_label =
     match algo with
@@ -561,6 +600,12 @@ let plan ?(algo = Auto) ?cat e =
       when !use_indexes && Catalog.has_indexes c ->
       access_paths ~stats:(Stats.cached c) c p
     | _ -> p
+  in
+  let p =
+    if Memory.unlimited () then p
+    else
+      let stats = Option.map Stats.cached cat in
+      apply_mem_budget ?stats cat p
   in
   match cat with
   | Some c when Pool.domains () >= 2 ->

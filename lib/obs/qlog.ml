@@ -31,6 +31,7 @@ type event = {
   queue_ns : int;  (* admission-queue wait before execution; 0 outside serve *)
   batch : int;  (* invocations merged into the executing batch; 1 unbatched *)
   max_qerror : float;  (* >= 1.0; 1.0 when the run was not profiled *)
+  spilled : int;  (* bytes written to spill files; 0 when fully resident *)
   slow : bool;  (* wall time reached the sink's threshold at log time *)
 }
 
@@ -70,6 +71,7 @@ let to_json e =
       ("queue_ns", Json.Int e.queue_ns);
       ("batch", Json.Int e.batch);
       ("max_qerror", Json.Float e.max_qerror);
+      ("spilled", Json.Int e.spilled);
       ("slow", Json.Bool e.slow) ]
 
 let of_json doc =
@@ -112,6 +114,7 @@ let of_json doc =
         queue_ns = Option.value ~default:0 (int "queue_ns");
         batch = Option.value ~default:1 (int "batch");
         max_qerror = Option.value ~default:1.0 (num "max_qerror");
+        spilled = Option.value ~default:0 (int "spilled");
         slow =
           (match Json.member "slow" doc with
            | Some (Json.Bool b) -> b

@@ -24,6 +24,10 @@ type event = {
       (** invocations merged into the executing batch; 1 when run
           one-at-a-time (the default for pre-existing files) *)
   max_qerror : float;  (** worst per-node q-error; 1.0 if unprofiled *)
+  spilled : int;
+      (** bytes written to spill files while executing; 0 when the query
+          ran fully resident (and on files written before the field
+          existed) *)
   slow : bool;  (** reached the sink's slow threshold when logged *)
 }
 

@@ -182,6 +182,7 @@ let sample_event ?(fp = "deadbeefdeadbeef") ?(wall_ns = 5_000_000)
     queue_ns = 0;
     batch = 1;
     max_qerror = 1.5;
+    spilled = 4096;
     slow = false;
   }
 

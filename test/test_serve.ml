@@ -66,6 +66,7 @@ let sample_event =
     queue_ns = 250;
     batch = 4;
     max_qerror = 1.0;
+    spilled = 0;
     slow = false }
 
 let test_qlog_flush_on_exit () =

@@ -1,0 +1,348 @@
+(* Larger-than-memory execution: rowcodec round trips, spill-file hygiene
+   under mid-operator exceptions, NJQC binary catalog round trips, and
+   budget-differential equivalence of the spilling operators (Grace join,
+   PNHL, external sort) across all executor modes and domain counts. *)
+
+open Njq_adl
+open Dsl
+module Plan = Njq_engine.Plan
+module Exec = Njq_engine.Exec
+module Memory = Njq_engine.Memory
+module Rowcodec = Njq_engine.Rowcodec
+
+(* ------------------------------------------------------------------ *)
+(* Rowcodec *)
+
+(* Random values biased toward the codec's edge cases: extreme ints
+   (zigzag of min_int/max_int), non-finite floats, arbitrary-byte strings
+   (interning), dates, oids, VNull, and VSet/VTuple nesting. *)
+let gen_codec_value : Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    oneof
+      [ return Value.VNull;
+        map Value.bool bool;
+        map Value.int
+          (oneof [ int; oneofl [ min_int; max_int; min_int + 1; -1; 0; 1 ] ]);
+        map Value.float
+          (oneofl
+             [ 0.0; -0.0; 1.5; -3.25e300; 4.9e-324; infinity; neg_infinity ]);
+        map Value.string (string_size (int_range 0 12));
+        map Value.date (int_range 0 99991231);
+        map Value.oid (oneof [ int_range 0 1_000_000; oneofl [ 0; max_int ] ])
+      ]
+  in
+  sized @@ fix (fun self n ->
+      if n = 0 then atom
+      else
+        frequency
+          [ (3, atom);
+            (1, map Value.set (list_size (int_range 0 4) (self (n / 2))));
+            (1,
+             map
+               (fun vs ->
+                 Value.tuple
+                   (List.mapi (fun i v -> (Printf.sprintf "f%d" i, v)) vs))
+               (list_size (int_range 0 3) (self (n / 2)))) ])
+
+let prop_rowcodec_roundtrip =
+  Util.qcheck ~count:300 "rowcodec round trip"
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 20) gen_codec_value)
+       ~print:(Fmt.str "%a" (Fmt.Dump.list Value.pp)))
+    (fun rows ->
+      let enc = Rowcodec.encoder () in
+      let buf = Buffer.create 256 in
+      List.iter (fun v -> ignore (Rowcodec.encode_record enc buf v)) rows;
+      let dec = Rowcodec.decoder (Buffer.contents buf) in
+      let rec drain acc =
+        match Rowcodec.decode_record dec with
+        | Some v -> drain (v :: acc)
+        | None -> List.rev acc
+      in
+      let back = drain [] in
+      List.length back = List.length rows
+      && List.for_all2 Value.equal rows back)
+
+let test_spill_roundtrip () =
+  let rows =
+    List.init 100 (fun i ->
+        Value.tuple
+          [ ("k", Value.int i); ("v", Value.string (string_of_int i)) ])
+  in
+  let sp = Rowcodec.spill_create ~prefix:"njq-test" () in
+  List.iter (fun r -> ignore (Rowcodec.spill_add sp r)) rows;
+  Alcotest.(check int) "rows counted" 100 (Rowcodec.spill_rows sp);
+  Alcotest.(check bool) "bytes counted" true (Rowcodec.spill_bytes sp > 0);
+  Alcotest.(check (list Util.value)) "write order preserved" rows
+    (Rowcodec.spill_read sp);
+  Rowcodec.spill_remove sp;
+  Rowcodec.spill_remove sp;
+  (* idempotent *)
+  Alcotest.(check bool) "file unlinked" false
+    (Sys.file_exists (Rowcodec.spill_path sp));
+  Alcotest.(check int) "unregistered" 0 (Rowcodec.live_spills ())
+
+(* ------------------------------------------------------------------ *)
+(* Temp-file hygiene: an exception in the middle of a spilling join must
+   leave no files behind (operator Fun.protect cleanup, not the at_exit
+   sweep). *)
+
+let test_hygiene_on_exception () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "njq-spill-test-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Unix.putenv "NJQ_TMPDIR" dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (* "" falls back to the system temp dir (see Rowcodec.temp_dir). *)
+      Unix.putenv "NJQ_TMPDIR" "";
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      Alcotest.(check string) "budget redirects spills" dir
+        (Rowcodec.temp_dir ());
+      let cat = Catalog.create () in
+      Catalog.add_table cat ~name:"X"
+        ~row_type:(Vtype.tuple [ ("a", Vtype.TInt) ])
+        (List.init 24 (fun i -> Value.tuple [ ("a", Value.int i) ]));
+      Catalog.add_table cat ~name:"Y"
+        ~row_type:(Vtype.tuple [ ("d", Vtype.TInt) ])
+        (List.init 24 (fun i -> Value.tuple [ ("d", Value.int i) ]));
+      (* The residual dereferences a missing attribute, so the join raises
+         after the partition files have been written. *)
+      let bad =
+        Plan.GraceJoin
+          { kind = Expr.Inner; xvar = "x"; yvar = "y";
+            keys = [ (var "x" $. "a", var "y" $. "d") ];
+            residual = eq (var "x" $. "missing") (int 0); mem_budget = 2;
+            left = Plan.Scan "X"; right = Plan.Scan "Y" }
+      in
+      (match Exec.run cat bad with
+       | _ -> Alcotest.fail "expected the residual to raise"
+       | exception (Value.Type_error _ | Exec.Exec_error _) -> ());
+      Alcotest.(check int) "no live spills" 0 (Rowcodec.live_spills ());
+      Alcotest.(check (array string)) "tmpdir swept" [||] (Sys.readdir dir))
+
+(* ------------------------------------------------------------------ *)
+(* NJQC binary catalog *)
+
+let test_njqc_roundtrip () =
+  let cat = Util.small_catalog () in
+  Catalog.ensure_oid_above cat 100;
+  let path = Filename.temp_file "njq-test-cat" ".njqc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Rowcodec.save_catalog cat path;
+      Alcotest.(check bool) "magic recognized" true (Rowcodec.is_njqc path);
+      let cat' = Catalog.load_binary path in
+      Alcotest.(check (list string)) "tables" (Catalog.table_names cat)
+        (Catalog.table_names cat');
+      List.iter
+        (fun t ->
+          Alcotest.check Util.vtype (t ^ " row type") (Catalog.row_type cat t)
+            (Catalog.row_type cat' t);
+          Alcotest.(check (list Util.value)) (t ^ " rows") (Catalog.rows cat t)
+            (Catalog.rows cat' t))
+        (Catalog.table_names cat);
+      (* The oid counter survives (probe-and-store, matching the textual
+         format), so reloaded catalogs never hand out stale identifiers. *)
+      Alcotest.(check bool) "oid counter preserved" true
+        (Catalog.fresh_oid cat' >= 100))
+
+let test_njqc_corrupt () =
+  let path = Filename.temp_file "njq-test-bad" ".njqc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Rowcodec.njqc_magic ^ "\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"));
+      (match Catalog.load_binary path with
+       | _ -> Alcotest.fail "expected Corrupt"
+       | exception Rowcodec.Corrupt _ -> ());
+      Alcotest.(check bool) "missing file is not njqc" false
+        (Rowcodec.is_njqc "njq__no_such_file"))
+
+(* ------------------------------------------------------------------ *)
+(* Memory budget parsing *)
+
+let test_parse_budget () =
+  let check name exp s =
+    Alcotest.(check (option int)) name exp (Memory.parse s)
+  in
+  check "plain" (Some 4096) "4096";
+  check "k suffix" (Some 1024) "1k";
+  check "K suffix" (Some 2048) "2K";
+  check "m suffix" (Some (3 * 1024 * 1024)) "3m";
+  check "trimmed" (Some 7) " 7 ";
+  check "zero" None "0";
+  check "negative" None "-5";
+  check "garbage" None "12q";
+  check "empty" None ""
+
+(* ------------------------------------------------------------------ *)
+(* Planner: an over-budget hash join becomes a Grace join and spills. *)
+
+let test_planner_converts () =
+  let cat = Njq_workload.Generator.xy_catalog ~seed:3 64 in
+  let q =
+    Expr.Join
+      { kind = Expr.Inner; xvar = "x"; yvar = "y";
+        pred = eq (var "x" $. "a") (var "y" $. "d"); left = Expr.Table "X";
+        right = Expr.Table "Y" }
+  in
+  let prev = !Memory.budget in
+  Fun.protect
+    ~finally:(fun () -> Memory.budget := prev)
+    (fun () ->
+      Memory.budget := 8;
+      let plan = Njq_engine.Planner.plan ~cat q in
+      let rec has_grace = function
+        | Plan.GraceJoin { mem_budget; _ } -> mem_budget = 8
+        | p -> List.exists has_grace (Plan.children p)
+      in
+      Alcotest.(check bool) "hash join became grace" true (has_grace plan);
+      Counters.reset ();
+      let v = Exec.run cat plan in
+      let spill_part = Counters.get "spill_part" in
+      let spill_bytes = Counters.get "spill_bytes" in
+      Memory.budget := prev;
+      let expected = Exec.run cat (Njq_engine.Planner.plan ~cat q) in
+      Alcotest.check Util.value "same result as unlimited" expected v;
+      Alcotest.(check bool) "spill partitions ticked" true (spill_part > 0);
+      Alcotest.(check bool) "spill bytes ticked" true (spill_bytes > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Budget differential: Grace, PNHL and sort-merge results are
+   bit-identical at every budget, in every executor mode, at 1/2/4
+   domains. *)
+
+let with_modes f =
+  List.iter
+    (fun (pl, ba, name) ->
+      let p0 = !Exec.pipeline_exec and b0 = !Exec.batch_exec in
+      Exec.pipeline_exec := pl;
+      Exec.batch_exec := ba;
+      Fun.protect
+        ~finally:(fun () ->
+          Exec.pipeline_exec := p0;
+          Exec.batch_exec := b0)
+        (fun () -> f name))
+    [ (false, false, "materializing"); (true, false, "pipelined");
+      (true, true, "batched") ]
+
+let grace_plan budget =
+  Plan.GraceJoin
+    { kind = Expr.Inner; xvar = "x"; yvar = "y";
+      keys = [ (var "x" $. "a", var "y" $. "d") ]; residual = Expr.true_;
+      mem_budget = budget; left = Plan.Scan "X"; right = Plan.Scan "Y" }
+
+let pnhl_plan budget =
+  Plan.Pnhl
+    { attr = "parts_supplied"; elem_key = var "elem";
+      row_key = var "row" $. "oid"; into = "parts_supplied";
+      mem_budget = budget; left = Plan.Scan "SUPPLIER";
+      right = Plan.Scan "PART" }
+
+let smj_plan =
+  Plan.JoinOp
+    { algo = Plan.Sort_merge; kind = Expr.Inner; xvar = "x"; yvar = "y";
+      keys = [ (var "x" $. "a", var "y" $. "d") ]; residual = Expr.true_;
+      left = Plan.Scan "X"; right = Plan.Scan "Y" }
+
+let test_budget_differential () =
+  let xy = Njq_workload.Generator.xy_catalog ~seed:77 64 in
+  let sp = Njq_workload.Generator.catalog (Njq_workload.Generator.scaled ~seed:5 48) in
+  let expected_grace = Exec.run xy (grace_plan max_int) in
+  let expected_pnhl = Exec.run sp (pnhl_plan max_int) in
+  let expected_smj = Exec.run xy smj_plan in
+  Fun.protect
+    ~finally:(fun () -> Njq_engine.Pool.set_domains 1)
+    (fun () ->
+      List.iter
+        (fun domains ->
+          Njq_engine.Pool.set_domains domains;
+          with_modes (fun mode ->
+              List.iter
+                (fun budget ->
+                  Alcotest.check Util.value
+                    (Fmt.str "grace %s d%d b%d" mode domains budget)
+                    expected_grace
+                    (Exec.run xy (grace_plan budget));
+                  Alcotest.check Util.value
+                    (Fmt.str "pnhl %s d%d b%d" mode domains budget)
+                    expected_pnhl
+                    (Exec.run sp (pnhl_plan budget)))
+                [ max_int; 10; 1 ];
+              List.iter
+                (fun budget ->
+                  let prev = !Memory.budget in
+                  Memory.budget := budget;
+                  Fun.protect
+                    ~finally:(fun () -> Memory.budget := prev)
+                    (fun () ->
+                      Alcotest.check Util.value
+                        (Fmt.str "extsort %s d%d b%d" mode domains budget)
+                        expected_smj (Exec.run xy smj_plan)))
+                [ max_int; 10; 1 ]))
+        [ 1; 2; 4 ])
+
+let test_external_sort_counters () =
+  let xy = Njq_workload.Generator.xy_catalog ~seed:77 64 in
+  let prev = !Memory.budget in
+  Fun.protect
+    ~finally:(fun () -> Memory.budget := prev)
+    (fun () ->
+      Memory.budget := 10;
+      Counters.reset ();
+      ignore (Exec.run xy smj_plan);
+      Alcotest.(check bool) "runs generated" true
+        (Counters.get "ext_sort_run" > 0);
+      Alcotest.(check bool) "merge ticked" true
+        (Counters.get "ext_sort_merge" > 0);
+      Alcotest.(check int) "no files left" 0 (Rowcodec.live_spills ()))
+
+let prop_spill_differential =
+  Util.qcheck ~count:100 "spilling operators match in-memory"
+    Util.arbitrary_xy (fun tables ->
+      let cat = Util.xy_catalog tables in
+      let expected = Exec.run cat (grace_plan max_int) in
+      let smj_expected = Exec.run cat smj_plan in
+      List.for_all
+        (fun b ->
+          Value.equal expected (Exec.run cat (grace_plan b))
+          &&
+          let prev = !Memory.budget in
+          Memory.budget := b;
+          Fun.protect
+            ~finally:(fun () -> Memory.budget := prev)
+            (fun () -> Value.equal smj_expected (Exec.run cat smj_plan)))
+        [ 10; 1 ])
+
+let () =
+  Alcotest.run "spill"
+    [ ( "rowcodec",
+        [ Alcotest.test_case "spill file round trip" `Quick
+            test_spill_roundtrip;
+          Alcotest.test_case "hygiene on exception" `Quick
+            test_hygiene_on_exception ] );
+      ( "njqc",
+        [ Alcotest.test_case "catalog round trip" `Quick test_njqc_roundtrip;
+          Alcotest.test_case "corrupt rejected" `Quick test_njqc_corrupt ] );
+      ( "budget",
+        [ Alcotest.test_case "parse" `Quick test_parse_budget;
+          Alcotest.test_case "planner converts over-budget hash join" `Quick
+            test_planner_converts;
+          Alcotest.test_case "differential across modes and domains" `Quick
+            test_budget_differential;
+          Alcotest.test_case "external sort counters" `Quick
+            test_external_sort_counters ] );
+      ( "properties",
+        [ prop_rowcodec_roundtrip; prop_spill_differential ] ) ]
